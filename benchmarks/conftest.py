@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table/figure of the paper (see
+DESIGN.md §4).  The pytest-benchmark timings measure the *simulator's*
+host cost; the reproduced paper metrics (cycles, speedups, seconds on the
+modeled hardware) are attached to each benchmark's ``extra_info`` and
+asserted against the paper's bands.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cudasim import Toolchain
+from repro.gravit.gpu_driver import GpuConfig, GpuForceBackend
+
+#: The optimization ladder of Fig. 12, shared across benchmark modules.
+LEVEL_CONFIGS = {
+    "gpu-aos": GpuConfig(layout_kind="unopt"),
+    "gpu-soa": GpuConfig(layout_kind="soa"),
+    "gpu-aoas": GpuConfig(layout_kind="aoas"),
+    "gpu-soaoas": GpuConfig(layout_kind="soaoas"),
+    "gpu-soaoas-unroll": GpuConfig(layout_kind="soaoas", unroll="full"),
+    "gpu-full-opt": GpuConfig(layout_kind="soaoas", unroll="full", licm=True),
+}
+
+
+@pytest.fixture(scope="session")
+def calibrated_backends() -> dict[str, GpuForceBackend]:
+    """One calibrated backend per optimization level (session-cached —
+    calibration cycle-simulates a few slices per level)."""
+    backends = {}
+    for label, cfg in LEVEL_CONFIGS.items():
+        be = GpuForceBackend(cfg)
+        be.calibrate(slice_counts=(2, 6))
+        backends[label] = be
+    return backends

@@ -1,0 +1,62 @@
+"""ABL-T / PORT benchmarks — the extension studies.
+
+* tiling ablation: tiled vs global-read interaction loop;
+* portability: the layout speedup and occupancy ladder across device
+  models (the paper's future work).
+"""
+
+import pytest
+
+from repro.experiments.ablation_tiling import measure
+from repro.experiments.portability import run as run_portability
+
+
+@pytest.mark.parametrize("variant", ["tiled", "no-tile"])
+def test_tiling_ablation(benchmark, variant):
+    result = benchmark.pedantic(
+        measure,
+        args=(variant == "tiled",),
+        kwargs={"n": 128, "block": 64, "check_forces": False},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["sim_cycles"] = round(result["cycles"])
+    benchmark.extra_info["transactions"] = result["transactions"]
+
+
+def test_tiling_slowdown(benchmark):
+    def slowdown():
+        tiled = measure(True, "soaoas", n=128, block=64, check_forces=False)
+        untiled = measure(False, "soaoas", n=128, block=64, check_forces=False)
+        return untiled["cycles"] / tiled["cycles"]
+
+    value = benchmark.pedantic(slowdown, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["slowdown"] = round(value, 1)
+    assert value > 2.0
+
+
+def test_portability_table(benchmark):
+    result = benchmark.pedantic(
+        run_portability, rounds=3, iterations=1, warmup_rounds=0
+    )
+    for device, speedup in result.data["layout_speedups"].items():
+        benchmark.extra_info[device] = f"{speedup:.2f}x"
+    assert all(v > 1.15 for v in result.data["layout_speedups"].values())
+
+
+def test_warp_scaling_gap(benchmark):
+    """WARP — the latency→bandwidth regime study."""
+    from repro.experiments.warp_scaling import run as run_warps
+
+    result = benchmark.pedantic(
+        run_warps,
+        kwargs={"warp_counts": (1, 8, 16)},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    gaps = result.data["gaps"]
+    benchmark.extra_info["gap_1_warp"] = round(gaps[0], 2)
+    benchmark.extra_info["gap_16_warps"] = round(gaps[-1], 2)
+    assert gaps[-1] > gaps[0]

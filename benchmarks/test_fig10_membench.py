@@ -1,0 +1,47 @@
+"""FIG10 benchmark — regenerates the memory-microbenchmark figure.
+
+One benchmark per (layout × CUDA revision): each run cycle-simulates the
+Sec. III kernel and reports the paper's metric — average cycles per
+4-byte read — in ``extra_info``, asserted against the 200–500 band and
+the expected ordering.
+"""
+
+import pytest
+
+from repro.core import LAYOUT_KINDS
+from repro.cudasim import Toolchain
+from repro.experiments.fig10_memory_cycles import measure_layout
+
+
+@pytest.mark.parametrize("toolchain", list(Toolchain), ids=lambda t: f"cuda{t.value}")
+@pytest.mark.parametrize("kind", LAYOUT_KINDS)
+def test_fig10_cell(benchmark, kind, toolchain):
+    result = benchmark.pedantic(
+        measure_layout,
+        args=(kind, toolchain),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    cycles = result["cycles_per_element"]
+    benchmark.extra_info["cycles_per_element"] = round(cycles, 1)
+    benchmark.extra_info["transactions"] = result["transactions"]
+    benchmark.extra_info["bytes_moved"] = result["bytes_moved"]
+    assert 150 < cycles < 550  # the paper's Fig. 10 band
+
+
+def test_fig10_row_order_cuda10(benchmark):
+    """The whole CUDA 1.0 row in one benchmark, ordering asserted."""
+
+    def row():
+        return {
+            kind: measure_layout(kind, Toolchain.CUDA_1_0)[
+                "cycles_per_element"
+            ]
+            for kind in LAYOUT_KINDS
+        }
+
+    cycles = benchmark.pedantic(row, rounds=1, iterations=1, warmup_rounds=0)
+    for kind in LAYOUT_KINDS:
+        benchmark.extra_info[kind] = round(cycles[kind], 1)
+    assert cycles["unopt"] >= cycles["soa"] > cycles["aoas"] > cycles["soaoas"]

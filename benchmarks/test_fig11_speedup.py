@@ -1,0 +1,41 @@
+"""FIG11 benchmark — layout speedups over the AoS baseline.
+
+Regenerates the paper's Fig. 11 series and asserts its three quantitative
+claims: SoA ≈ +10 % and SoAoaS ≈ +50 % under CUDA 1.0, SoAoaS ≈ +30 %
+under CUDA 2.2, CUDA 1.1 flattened.
+"""
+
+import pytest
+
+from repro.experiments import fig10_memory_cycles, fig11_layout_speedup
+
+
+@pytest.fixture(scope="module")
+def fig10_result():
+    return fig10_memory_cycles.run()
+
+
+def test_fig11_series(benchmark, fig10_result):
+    result = benchmark.pedantic(
+        fig11_layout_speedup.run,
+        kwargs={"fig10": fig10_result},
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    sp = result.data["speedups"]
+    for kind in ("soa", "aoas", "soaoas"):
+        for tc in ("1.0", "1.1", "2.2"):
+            benchmark.extra_info[f"{kind}@{tc}"] = round(sp[kind][tc], 2)
+    assert 1.05 < sp["soa"]["1.0"] < 1.20  # paper: "roughly 10%"
+    assert 1.35 < sp["soaoas"]["1.0"] < 1.60  # paper: "approximately 50%"
+    assert 1.20 < sp["soaoas"]["2.2"] < 1.40  # paper: "roughly 30%"
+    assert max(sp[k]["1.1"] for k in sp) < 1.30  # flattened revision
+
+
+def test_fig11_speedup_from_scratch(benchmark):
+    """Full pipeline (fig10 simulation + derivation) as one benchmark."""
+    result = benchmark.pedantic(
+        fig11_layout_speedup.run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert result.data["speedups"]["soaoas"]["1.0"] > 1.3

@@ -1,0 +1,65 @@
+"""FIG12 benchmark — Gravit runtime per optimization level vs N.
+
+Each benchmark evaluates one optimization level's hybrid-mode prediction
+across the paper's problem sizes (calibration is session-cached in
+conftest).  ``extra_info`` carries the modeled seconds; the summary
+benchmark asserts the paper's headline ratios (1.27× over the GPU
+baseline, 87× over the serial CPU, 1.18× from unrolling).
+"""
+
+import pytest
+
+from benchmarks.conftest import LEVEL_CONFIGS
+from repro.experiments.fig12_gravit_levels import PAPER_SIZES
+from repro.gravit.timing_cpu import CORE2DUO_2_4GHZ
+
+
+@pytest.mark.parametrize("level", list(LEVEL_CONFIGS))
+def test_fig12_level_curve(benchmark, calibrated_backends, level):
+    backend = calibrated_backends[level]
+
+    def curve():
+        return [backend.predict_seconds(n) for n in PAPER_SIZES]
+
+    seconds = benchmark.pedantic(curve, rounds=3, iterations=1, warmup_rounds=0)
+    for n, t in zip(PAPER_SIZES, seconds):
+        benchmark.extra_info[f"t({n})"] = round(t, 3)
+    # O(n²) shape: quadrupling N roughly quadruples time.
+    assert seconds[-1] / seconds[0] == pytest.approx(
+        (PAPER_SIZES[-1] / PAPER_SIZES[0]) ** 2, rel=0.15
+    )
+
+
+def test_fig12_cpu_curve(benchmark):
+    def curve():
+        return [CORE2DUO_2_4GHZ.predict_seconds(n) for n in PAPER_SIZES]
+
+    seconds = benchmark.pedantic(curve, rounds=5, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["t(1M)"] = round(seconds[-1], 1)
+    assert seconds[-1] > 1_000  # hours-scale serial runtime at 1M
+
+
+def test_fig12_headlines(benchmark, calibrated_backends):
+    """The abstract's numbers: 1.27x and 87x."""
+
+    def headlines():
+        n = PAPER_SIZES[-1]
+        t_base = calibrated_backends["gpu-aos"].predict_seconds(n)
+        t_soaoas = calibrated_backends["gpu-soaoas"].predict_seconds(n)
+        t_unroll = calibrated_backends["gpu-soaoas-unroll"].predict_seconds(n)
+        t_opt = calibrated_backends["gpu-full-opt"].predict_seconds(n)
+        t_cpu = CORE2DUO_2_4GHZ.predict_seconds(n)
+        return {
+            "gpu_total": t_base / t_opt,
+            "cpu_vs_gpu": t_cpu / t_opt,
+            "unroll": t_soaoas / t_unroll,
+            "icm_occupancy": t_unroll / t_opt,
+        }
+
+    h = benchmark.pedantic(headlines, rounds=3, iterations=1, warmup_rounds=0)
+    for key, value in h.items():
+        benchmark.extra_info[key] = round(value, 3)
+    assert 1.15 < h["gpu_total"] < 1.40  # paper: 1.27x
+    assert 70 < h["cpu_vs_gpu"] < 105  # paper: 87x
+    assert 1.10 < h["unroll"] < 1.26  # paper: ~1.18x
+    assert 1.01 < h["icm_occupancy"] < 1.12  # paper: ~1.06x

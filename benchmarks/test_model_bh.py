@@ -1,0 +1,83 @@
+"""MODEL / BH benchmarks — the Eq. 2 validation and the tree-code
+trade-off, regenerated as benchmark targets."""
+
+import pytest
+
+from repro.experiments.bh_tradeoff import run as run_bh
+from repro.experiments.model_vs_sim import predict_cycles_per_slice
+
+
+def test_eq2_model_validation(benchmark, calibrated_backends):
+    """Predicted vs simulated cycles/slice for the three states."""
+
+    def compare():
+        out = {}
+        for label, kw, backend_key in (
+            ("rolled", {}, "gpu-soaoas"),
+            ("unrolled", {"unroll": "full"}, "gpu-soaoas-unroll"),
+            ("unrolled+icm", {"unroll": "full", "licm": True}, "gpu-full-opt"),
+        ):
+            predicted = predict_cycles_per_slice(block=128, **kw)
+            model = calibrated_backends[backend_key].calibrate()
+            measured = model.cycles_per_slice / model.resident_blocks
+            out[label] = (predicted, measured)
+        return out
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    for label, (pred, meas) in results.items():
+        benchmark.extra_info[label] = (
+            f"pred {pred:,.0f} / sim {meas:,.0f}"
+        )
+        assert abs(pred / meas - 1.0) < 0.25
+
+
+def test_bh_tradeoff_curve(benchmark):
+    result = benchmark.pedantic(
+        run_bh,
+        kwargs={"n": 800, "thetas": (0.0, 0.6, 1.0)},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    for p in result.data["points"]:
+        benchmark.extra_info[f"theta={p['theta']}"] = (
+            f"{100 * p['rms_error']:.2f}% err, {p['mean_visits']:.0f} visits"
+        )
+    assert result.data["points"][1]["rms_error"] < 0.01
+
+
+@pytest.mark.parametrize("kind", ["soaoas64"])
+def test_membench_64bit_variant(benchmark, kind):
+    """The 64-bit split's Fig. 10 cell (extension)."""
+    from repro.cudasim import Toolchain
+    from repro.experiments.fig10_memory_cycles import measure_layout
+
+    result = benchmark.pedantic(
+        measure_layout,
+        args=(kind, Toolchain.CUDA_1_0),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    cycles = result["cycles_per_element"]
+    benchmark.extra_info["cycles_per_element"] = round(cycles, 1)
+    # Lands between SoA (coalesced scalars) and SoAoaS (one vec4 pair).
+    assert 150 < cycles < 550
+
+
+def test_gpu_treecode_vs_direct(benchmark):
+    """BHGPU — the Sec. I-D question, measured."""
+    from repro.experiments.bh_vs_n2_gpu import measure_pair
+
+    result = benchmark.pedantic(
+        measure_pair,
+        args=(512,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["bh_cycles"] = f"{result['bh_cycles']:,.0f}"
+    benchmark.extra_info["n2_cycles"] = f"{result['n2_cycles']:,.0f}"
+    benchmark.extra_info["ratio"] = f"{result['ratio']:.2f}x"
+    assert result["ratio"] > 1.0  # the paper's choice wins at 2009 sizes

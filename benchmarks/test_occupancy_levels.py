@@ -1,0 +1,56 @@
+"""TXT-R benchmark — registers, occupancy and the +6 %.
+
+Benchmarks the compile pipeline at each optimization state (the register
+counts are the paper's 18/17/16 ladder) and the asymptotic per-slice
+throughput of each state from the session-cached calibrations.
+"""
+
+import pytest
+
+from repro.cudasim import G8800GTX, compile_kernel, occupancy
+from repro.core import make_layout
+from repro.gravit.gpu_kernels import build_force_kernel
+
+STATES = {
+    "rolled": (dict(), 18, 0.50),
+    "unrolled": (dict(unroll="full"), 17, 0.50),
+    "unrolled-icm": (dict(unroll="full", licm=True), 16, 2 / 3),
+}
+
+
+@pytest.mark.parametrize("state", list(STATES))
+def test_compile_and_occupancy(benchmark, state):
+    kw, expected_regs, expected_occ = STATES[state]
+    layout = make_layout("soaoas", 128)
+    kernel, _ = build_force_kernel(layout, block_size=128)
+
+    lk = benchmark.pedantic(
+        compile_kernel,
+        args=(kernel,),
+        kwargs=kw,
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    occ = occupancy(G8800GTX, 128, lk.reg_count, 4 * lk.shared_words)
+    benchmark.extra_info["registers"] = lk.reg_count
+    benchmark.extra_info["occupancy"] = f"{100 * occ.occupancy(G8800GTX):.0f}%"
+    assert lk.reg_count == expected_regs
+    assert occ.occupancy(G8800GTX) == pytest.approx(expected_occ, abs=0.01)
+
+
+def test_occupancy_throughput_gain(benchmark, calibrated_backends):
+    """The +6 %: large-N throughput, unrolled vs unrolled+ICM."""
+
+    def gain():
+        unrolled = calibrated_backends["gpu-soaoas-unroll"].calibrate()
+        opt = calibrated_backends["gpu-full-opt"].calibrate()
+        per_block_unrolled = (
+            unrolled.cycles_per_slice / unrolled.resident_blocks
+        )
+        per_block_opt = opt.cycles_per_slice / opt.resident_blocks
+        return per_block_unrolled / per_block_opt
+
+    value = benchmark.pedantic(gain, rounds=3, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["icm_occupancy_speedup"] = round(value, 3)
+    assert 1.01 < value < 1.12  # paper: ~1.06x

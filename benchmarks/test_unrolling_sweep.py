@@ -1,0 +1,48 @@
+"""TXT-U benchmark — the Sec. IV-A unroll-factor sweep.
+
+One benchmark per unroll factor: compiles the SoAoaS force kernel at that
+factor and cycle-simulates a small launch.  ``extra_info`` carries the
+paper's quantities (registers, dynamic instructions per iteration,
+speedup over rolled); the summary benchmark asserts the 18 %-class claims.
+"""
+
+import pytest
+
+from repro.experiments.unrolling_sweep import measure_factor
+
+FACTORS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def rolled_baseline():
+    return measure_factor(None, n=256, block=128)
+
+
+@pytest.mark.parametrize("factor", FACTORS)
+def test_unroll_factor(benchmark, rolled_baseline, factor):
+    compile_factor = None if factor == 1 else (
+        "full" if factor == 128 else factor
+    )
+    result = benchmark.pedantic(
+        measure_factor,
+        args=(compile_factor,),
+        kwargs={"n": 256, "block": 128},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    speedup = rolled_baseline["cycles"] / result["cycles"]
+    benchmark.extra_info["registers"] = result["registers"]
+    benchmark.extra_info["warp_instr_per_iter"] = round(
+        result["warp_instr_per_iteration"], 2
+    )
+    benchmark.extra_info["speedup_vs_rolled"] = round(speedup, 3)
+    assert speedup >= 0.99  # unrolling never hurts on this kernel
+    if factor == 128:
+        # Paper: ~18-20 % fewer instructions, ~18 % faster, iterator freed.
+        reduction = 1 - result["warp_instructions"] / rolled_baseline[
+            "warp_instructions"
+        ]
+        assert 0.15 < reduction < 0.24
+        assert 1.10 < speedup < 1.30
+        assert result["registers"] == rolled_baseline["registers"] - 1

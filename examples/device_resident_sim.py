@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""A fully device-resident simulation, cycle-simulated end to end.
+
+Uploads a Plummer sphere once, then alternates the force kernel and the
+integration kernel on the simulated GPU with no host round-trips —
+watching the per-step cycle cost, the memory-traffic efficiency of the
+chosen layout (captured live with the trace recorder), and the physics
+(virial ratio, half-mass radius) before and after.
+
+    python examples/device_resident_sim.py [--n 256] [--steps 5]
+"""
+
+import argparse
+
+from repro.core import policy_for
+from repro.cudasim import G8800GTX
+from repro.cudasim.trace import TraceRecorder
+from repro.gravit import GpuConfig, GpuSimulation, plummer
+from repro.gravit.diagnostics import system_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=256)
+    parser.add_argument("--steps", type=int, default=5)
+    parser.add_argument("--dt", type=float, default=2e-3)
+    parser.add_argument("--layout", default="soaoas",
+                        choices=["unopt", "aos", "soa", "aoas", "soaoas",
+                                 "soaoas64"])
+    args = parser.parse_args()
+
+    system = plummer(args.n, seed=99)
+    print(f"before: {system_report(system).describe()}\n")
+
+    cfg = GpuConfig(
+        layout_kind=args.layout, block_size=64, unroll="full", licm=True
+    )
+    print(
+        f"layout={args.layout}, kernel config '{cfg.label}', "
+        f"cycle-simulating {args.steps} steps of {args.n} particles...\n"
+    )
+    with GpuSimulation(system, cfg) as gpu:
+        for k in range(args.steps):
+            recorder = TraceRecorder("force") if k == 0 else None
+            cycles = gpu.step(args.dt, force_trace=recorder)
+            ms = 1e3 * G8800GTX.cycles_to_seconds(cycles)
+            line = f"  step {k}: {cycles:10,.0f} cycles ({ms:.3f} ms on-GPU)"
+            if recorder is not None:
+                report = recorder.report(policy_for(cfg.toolchain))
+                line += (
+                    f"   force-kernel traffic: {report.transactions} tx, "
+                    f"{100 * report.efficiency:.0f}% useful"
+                )
+            print(line)
+        after = gpu.download()
+
+    print(f"\nafter:  {system_report(after).describe()}")
+    drift = abs(
+        (after.kinetic_energy() + after.potential_energy())
+        - (system.kinetic_energy() + system.potential_energy())
+    ) / abs(system.kinetic_energy() + system.potential_energy())
+    print(f"energy drift over the run: {100 * drift:.2f}%")
+    print(
+        "\nTip: rerun with --layout unopt to watch the traffic efficiency "
+        "collapse to ~12%\nwhile the physics stays identical."
+    )
+
+
+if __name__ == "__main__":
+    main()

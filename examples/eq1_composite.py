@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The paper's Eq. 1, fully composed: Force = FE + FNN + FFF.
+
+A protoplanetary-style ring orbiting a heavy central attractor (the
+external term FE), with short-range collisional repulsion between the
+bodies (the nearest-neighbor term FNN) and Barnes-Hut self-gravity (the
+far-field term FFF the paper offloads to the GPU).
+
+    python examples/eq1_composite.py [--n 600] [--steps 60]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.gravit import (
+    ExternalField,
+    GravitSimulator,
+    ParticleSystem,
+    render_ascii,
+)
+
+
+def spawn_ring(n: int, r0: float = 1.0, central_mass: float = 50.0,
+               seed: int = 12) -> ParticleSystem:
+    rng = np.random.default_rng(seed)
+    r = r0 * (1.0 + 0.15 * rng.standard_normal(n))
+    theta = rng.random(n) * 2 * np.pi
+    pos = np.stack(
+        [r * np.cos(theta), r * np.sin(theta),
+         0.02 * rng.standard_normal(n)], axis=1
+    )
+    v = np.sqrt(central_mass / np.maximum(r, 0.3))
+    vel = np.stack(
+        [-v * np.sin(theta), v * np.cos(theta), np.zeros(n)], axis=1
+    )
+    return ParticleSystem.from_arrays(pos, vel, masses=0.05 / n)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=600)
+    parser.add_argument("--steps", type=int, default=60)
+    args = parser.parse_args()
+
+    field = ExternalField(central_mass=50.0, eps=5e-2)
+    system = spawn_ring(args.n)
+    sim = GravitSimulator(
+        system,
+        backend="barneshut",
+        theta=0.6,
+        dt=1e-3,
+        eps=2e-2,
+        external_field=field,  # FE: the central star
+        nn_radius=0.03,        # FNN: collisional repulsion
+        nn_strength=5e-4,
+    )
+
+    print(
+        f"Eq. 1 composition on {args.n} ring bodies:\n"
+        f"  FE  = central attractor (M={field.central_mass})\n"
+        f"  FNN = k-d-tree contact repulsion within r=0.03\n"
+        f"  FFF = Barnes-Hut self-gravity (theta=0.6)\n"
+    )
+    print("t = 0:")
+    print(render_ascii(sim.system, width=68, height=24, extent=1.6))
+    sim.run(args.steps)
+    print(f"\nt = {args.steps * sim.dt:.3f} ({args.steps} steps):")
+    print(render_ascii(sim.system, width=68, height=24, extent=1.6))
+
+    r = np.linalg.norm(sim.system.positions, axis=1)
+    print(
+        f"\nring status: mean radius {r.mean():.3f} "
+        f"(started ~1.0), spread {r.std():.3f} — the attractor holds the "
+        f"orbit while FNN keeps close encounters bounded."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Two colliding disc galaxies under the Barnes-Hut tree code.
+
+The workload Gravit is famous for: two discs fall into each other and
+tidal tails form.  Uses the O(n log n) Barnes-Hut backend (the paper's
+Sec. I-C CPU algorithm), renders ASCII frames as the merger progresses,
+and reports the tree-code accuracy against the exact O(n²) sum.
+
+    python examples/galaxy_collision.py [--particles 1500] [--frames 4]
+"""
+
+import argparse
+import time
+
+from repro.gravit import (
+    GravitSimulator,
+    bh_accuracy,
+    render_ascii,
+    two_galaxies,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--particles", type=int, default=1_200)
+    parser.add_argument("--frames", type=int, default=4)
+    parser.add_argument("--steps-per-frame", type=int, default=12)
+    parser.add_argument("--theta", type=float, default=0.6)
+    args = parser.parse_args()
+
+    system = two_galaxies(
+        args.particles, separation=3.2, approach_speed=0.45, seed=7
+    )
+    print(
+        f"{args.particles} particles in two discs, "
+        f"Barnes-Hut theta={args.theta}"
+    )
+    err = bh_accuracy(system.take(min(400, system.n)), theta=args.theta)
+    print(f"tree-code RMS force error vs direct sum: {100 * err:.2f}%\n")
+
+    sim = GravitSimulator(
+        system, backend="barneshut", theta=args.theta, dt=4e-3, eps=3e-2
+    )
+    extent = 2.8
+    for frame in range(args.frames + 1):
+        print(f"--- t = {sim.steps_done * sim.dt:.3f} "
+              f"({sim.steps_done} steps) ---")
+        print(render_ascii(sim.system, width=76, height=26, extent=extent))
+        print()
+        if frame < args.frames:
+            t0 = time.perf_counter()
+            sim.run(args.steps_per_frame)
+            dt = time.perf_counter() - t0
+            print(
+                f"[{args.steps_per_frame} steps in {dt:.1f}s — "
+                f"{args.steps_per_frame * args.particles / dt:,.0f} "
+                f"particle-updates/s]\n"
+            )
+
+    p = sim.system.momentum()
+    print(f"net momentum after the merger: ({p[0]:+.2e}, {p[1]:+.2e}, "
+          f"{p[2]:+.2e})  (conserved up to tree-code error)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The Sec. III memory microbenchmark, live.
+
+Runs the clock()-instrumented read kernel for every layout of the
+particle structure under all three CUDA toolchain revisions and charts
+the Fig. 10/11 results, alongside the closed-form prediction of the
+analytic access-cost model.
+
+    python examples/membench_layouts.py
+"""
+
+from repro.core import LAYOUT_KINDS
+from repro.cudasim import Toolchain
+from repro.experiments.fig10_memory_cycles import measure_layout
+from repro.experiments.report import ascii_bars, format_table
+
+
+def main() -> None:
+    print("memory microbenchmark: avg cycles per 4-byte element\n")
+    rows = []
+    results: dict[tuple[str, Toolchain], dict] = {}
+    for kind in LAYOUT_KINDS:
+        row = [kind]
+        for tc in Toolchain:
+            m = measure_layout(kind, tc)
+            results[(kind, tc)] = m
+            row.append(round(m["cycles_per_element"], 1))
+        m10 = results[(kind, Toolchain.CUDA_1_0)]
+        row.append(f"{m10['loads']} loads / {m10['transactions']} tx")
+        rows.append(row)
+    print(format_table(
+        ["layout", "CUDA 1.0", "CUDA 1.1", "CUDA 2.2", "traffic (1.0)"],
+        rows,
+    ))
+
+    print("\nCUDA 1.0 cycles per element (lower is better):\n")
+    print(
+        ascii_bars(
+            list(LAYOUT_KINDS),
+            [
+                results[(k, Toolchain.CUDA_1_0)]["cycles_per_element"]
+                for k in LAYOUT_KINDS
+            ],
+            unit=" cy",
+        )
+    )
+
+    print("\nspeedup over the AoS baseline (the paper's Fig. 11):\n")
+    speedup_rows = []
+    for kind in ("soa", "aoas", "soaoas"):
+        row = [kind]
+        for tc in Toolchain:
+            base = results[("aos", tc)]["cycles_per_element"]
+            row.append(f"{base / results[(kind, tc)]['cycles_per_element']:.2f}x")
+        speedup_rows.append(row)
+    print(format_table(
+        ["layout", "CUDA 1.0", "CUDA 1.1", "CUDA 2.2"], speedup_rows
+    ))
+
+    print(
+        "\nanalytic model vs simulation (CUDA 1.0, cycles/element):\n"
+    )
+    print(format_table(
+        ["layout", "simulated", "closed-form"],
+        [
+            [
+                k,
+                round(results[(k, Toolchain.CUDA_1_0)]["cycles_per_element"], 1),
+                round(
+                    results[(k, Toolchain.CUDA_1_0)][
+                        "analytic_cycles_per_element"
+                    ],
+                    1,
+                ),
+            ]
+            for k in LAYOUT_KINDS
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Interactive tour of the CC 1.0 occupancy calculator.
+
+Walks the exact resource arithmetic behind the paper's 50 % → 67 % jump:
+8192 registers and 768 threads per SM, register allocation rounded to
+256-register units, shared memory rounded to 512-byte units.
+
+    python examples/occupancy_explorer.py [--regs 16] [--shared 2052]
+"""
+
+import argparse
+
+from repro.cudasim import G8800GTX, occupancy
+from repro.cudasim.errors import LaunchError
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--regs", type=int, default=None,
+                        help="registers/thread (default: show 14..20)")
+    parser.add_argument("--shared", type=int, default=16 * 128 + 4,
+                        help="shared bytes per block")
+    args = parser.parse_args()
+
+    dev = G8800GTX
+    print(f"device: {dev.name}  ({dev.registers_per_sm} regs/SM, "
+          f"{dev.max_threads_per_sm} threads/SM, "
+          f"{dev.max_warps_per_sm} warps/SM, "
+          f"{dev.shared_mem_per_sm // 1024} KiB shared/SM)\n")
+
+    reg_range = [args.regs] if args.regs else list(range(14, 21))
+    print("occupancy at block size 128 (the paper's configuration):\n")
+    rows = []
+    for regs in reg_range:
+        r = occupancy(dev, 128, regs, args.shared)
+        note = {18: "<- rolled baseline", 17: "<- fully unrolled",
+                16: "<- + invariant code motion"}.get(regs, "")
+        rows.append(
+            [regs, r.blocks_per_sm, r.active_warps,
+             f"{100 * r.occupancy(dev):.0f}%", r.limiter, note]
+        )
+    print(format_table(
+        ["regs/thread", "blocks/SM", "warps", "occupancy", "limiter", ""],
+        rows,
+    ))
+
+    print("\nblock-size sweep at 16 regs/thread "
+          "(shared tile = 16 B/thread):\n")
+    rows = []
+    for bs in (32, 64, 96, 128, 160, 192, 256, 320, 384, 448, 512):
+        try:
+            r = occupancy(dev, bs, 16, 16 * bs + 4)
+        except LaunchError as exc:
+            rows.append([bs, "-", "-", "unlaunchable", str(exc)[:40], ""])
+            continue
+        rows.append(
+            [bs, r.blocks_per_sm, r.active_warps,
+             f"{100 * r.occupancy(dev):.0f}%", r.limiter,
+             "<- the paper's pick" if bs == 128 else ""]
+        )
+    print(format_table(
+        ["block", "blocks/SM", "warps", "occupancy", "limiter", ""], rows
+    ))
+
+    print(
+        "\nNote how 128 threads/block is the smallest block reaching the "
+        "67% ceiling at\n16 registers — smaller blocks lose to the "
+        "8-blocks/SM cap, larger ones to\nregister-file granularity. "
+        "That's the paper's 'switching to a block size of 128'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a little galaxy and meet the optimization stack.
+
+Runs a 2,000-particle disc galaxy for a few steps with the GPU force
+backend (functional mode), prints the kernel's compiled footprint at the
+paper's three optimization levels, and renders the result as ASCII.
+
+    python examples/quickstart.py
+"""
+
+from repro.cudasim import G8800GTX
+from repro.gravit import (
+    GpuConfig,
+    GpuForceBackend,
+    GravitSimulator,
+    disc_galaxy,
+    render_ascii,
+)
+
+
+def main() -> None:
+    print("spawning a 2,000-particle disc galaxy...")
+    system = disc_galaxy(2_000, seed=42)
+    sim = GravitSimulator(
+        system,
+        backend="gpu",
+        gpu_config=GpuConfig(
+            layout_kind="soaoas", unroll="full", licm=True, eps=3e-2
+        ),
+        eps=3e-2,
+        dt=1e-3,
+        track_energy=True,
+    )
+
+    print("\nkernel footprint at the paper's optimization levels:")
+    for label, cfg in [
+        ("rolled (baseline)", GpuConfig()),
+        ("fully unrolled", GpuConfig(unroll="full")),
+        ("unrolled + ICM", GpuConfig(unroll="full", licm=True)),
+    ]:
+        backend = GpuForceBackend(cfg)
+        occ = backend.occupancy()
+        print(
+            f"  {label:18s} {backend.registers_per_thread:2d} regs/thread, "
+            f"{occ.blocks_per_sm} blocks/SM, "
+            f"{100 * occ.occupancy(G8800GTX):.0f}% occupancy"
+        )
+
+    print("\nintegrating 25 leapfrog steps on the GPU backend...")
+    sim.run(25)
+    print(f"energy drift after {sim.steps_done} steps: "
+          f"{100 * sim.energy_drift():.3f}%")
+
+    print("\nthe galaxy, top-down:\n")
+    print(render_ascii(sim.system, width=72, height=30, extent=1.2))
+
+
+if __name__ == "__main__":
+    main()

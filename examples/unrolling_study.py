@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The Sec. IV-A unrolling study, reproduced interactively.
+
+Sweeps unroll factors on the SoAoaS force kernel, prints registers,
+per-iteration instruction counts, the Eq. 3 prediction and the measured
+(cycle-simulated) speedup, and finishes with the paper's punchline: the
+speedup comes from instruction-count reduction, not instruction
+reordering.
+
+    python examples/unrolling_study.py [--factors 1 2 4 8 16 32 64 128]
+"""
+
+import argparse
+
+from repro.core import estimate_unroll, unroll_curve
+from repro.cudasim import G8800GTX, occupancy
+from repro.experiments.report import ascii_bars, format_table
+from repro.experiments.unrolling_sweep import (
+    BODY_INSTRS,
+    measure_factor,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--factors", type=int, nargs="+",
+        default=[1, 2, 4, 8, 16, 32, 64, 128],
+    )
+    parser.add_argument("--block", type=int, default=128)
+    args = parser.parse_args()
+
+    print("analytic Eq. 3 curve (body=16 instrs, 4 removable per iter):\n")
+    curve = unroll_curve(BODY_INSTRS, args.block)
+    print(
+        format_table(
+            ["factor", "instr/iter", "predicted speedup", "code growth"],
+            [
+                [e.factor, e.per_iteration, e.speedup_vs_rolled,
+                 f"x{e.code_growth:.0f}"]
+                for e in curve
+            ],
+        )
+    )
+
+    print("\ncycle-simulated sweep (N=512, block "
+          f"{args.block}):\n")
+    rows = []
+    base_cycles = None
+    speedups = []
+    for f in args.factors:
+        compile_factor = None if f == 1 else (
+            "full" if f == args.block else f
+        )
+        m = measure_factor(compile_factor, block=args.block, n=512)
+        if base_cycles is None:
+            base_cycles = m["cycles"]
+        speedup = base_cycles / m["cycles"]
+        speedups.append(speedup)
+        occ = occupancy(
+            G8800GTX, args.block, m["registers"], 16 * args.block + 4
+        )
+        rows.append(
+            [
+                f,
+                m["registers"],
+                f"{100 * occ.occupancy(G8800GTX):.0f}%",
+                round(m["warp_instr_per_iteration"], 2),
+                round(estimate_unroll(BODY_INSTRS, args.block, f).speedup_vs_rolled, 3),
+                round(speedup, 3),
+            ]
+        )
+    print(
+        format_table(
+            ["factor", "regs", "occupancy", "instr/iter",
+             "Eq.3 predicted", "measured"],
+            rows,
+        )
+    )
+
+    print("\nmeasured speedup by unroll factor:\n")
+    print(ascii_bars([f"U={f}" for f in args.factors], speedups, unit="x"))
+
+    print(
+        "\nPaper's observation, reproduced: the innermost loop has no "
+        "reordering potential,\nyet full unrolling wins ~18% purely by "
+        "deleting the compare/increment/jump and\nhard-coding the tile "
+        "offset — and it frees the iterator register on top."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of Siegel, Ributzka & Li, *CUDA Memory
+Optimizations for Large Data-Structures in the Gravit Simulator*
+(ICPP Workshops 2009), on a cycle-level SIMT GPU simulator.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: memory-layout optimization for large
+    structures (AoS/SoA/AoaS/SoAoaS), coalescing analysis per CUDA
+    revision, access-cost model, loop-unrolling speedup model.
+``repro.cudasim``
+    The substrate: a G80-class SIMT simulator with kernel IR, optimizing
+    compiler passes, warp scheduler, memory pipeline, occupancy.
+``repro.gravit``
+    The application: the Gravit n-body simulator — particle system,
+    initial conditions, CPU forces (direct + Barnes-Hut), GPU kernels at
+    every optimization level, integrators.
+``repro.experiments``
+    Harness regenerating every figure/table of the paper's evaluation.
+"""
+
+from ._version import __version__
+
+# NOTE: repro.cudasim must be imported before repro.core.  The core layer
+# only imports cudasim *submodules* (dtypes/device), which is safe while
+# the cudasim package initializes; importing core first would re-enter
+# core's own __init__ through cudasim.launch and fail.
+from .cudasim import (
+    Device,
+    G8800GTX,
+    KernelBuilder,
+    Toolchain,
+    compile_kernel,
+    occupancy,
+)
+from .core import (
+    AoaSLayout,
+    AoSLayout,
+    Field,
+    MemoryLayout,
+    SoALayout,
+    SoAoaSLayout,
+    StructDecl,
+    make_layout,
+    particle_struct,
+)
+
+__all__ = [
+    "__version__",
+    "Field",
+    "StructDecl",
+    "MemoryLayout",
+    "AoSLayout",
+    "SoALayout",
+    "AoaSLayout",
+    "SoAoaSLayout",
+    "make_layout",
+    "particle_struct",
+    "Device",
+    "G8800GTX",
+    "KernelBuilder",
+    "Toolchain",
+    "compile_kernel",
+    "occupancy",
+]

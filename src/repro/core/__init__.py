@@ -1,0 +1,110 @@
+"""``repro.core`` — the paper's contribution as a reusable library.
+
+Memory-layout optimization for large structures on CUDA-like memory
+hierarchies (AoS → SoA → AoaS → SoAoaS), coalescing analysis per CUDA
+toolchain revision, the analytic access-cost model, the loop-unrolling
+speedup model of Eq. 3, and the end-to-end optimization procedure /
+autotuner of Sec. IV.
+"""
+
+from .access import HALFWARP, HalfWarpAccess, accesses_for_indices, halfwarp_access, warp_accesses
+from .coalescing import (
+    POLICIES,
+    CoalescingPolicy,
+    DriverMergedPolicy,
+    SegmentBasedPolicy,
+    StrictHalfWarpPolicy,
+    policy_for,
+)
+from .fields import (
+    Field,
+    PARTICLE_FIELDS,
+    StructDecl,
+    group_by_frequency,
+    particle_struct,
+    split_for_alignment,
+)
+from .layouts import (
+    ALL_LAYOUT_KINDS,
+    LAYOUT_KINDS,
+    AoaSLayout,
+    AoSLayout,
+    LoadStep,
+    MemoryLayout,
+    SoALayout,
+    SoAoaSLayout,
+    make_layout,
+)
+from .autotuner import TuneConfig, TuneResult, autotune, default_space
+from .model import SBPCounts, SBPModel, eq3_speedup, sbp_counts
+from .optimizer import LayoutRecommendation, optimize_layout
+from .timing import (
+    AccessCost,
+    MemoryCostModel,
+    StructureReadEstimate,
+    estimate_cycles_per_element,
+    estimate_structure_read,
+)
+from .unrolling import UnrollEstimate, estimate_unroll, plan_unroll, unroll_curve
+from .transactions import (
+    TRANSACTION_SIZES,
+    MemoryTransaction,
+    cover_with_segments,
+    segment_of,
+    total_bytes,
+    touched_segments,
+)
+
+__all__ = [
+    "Field",
+    "StructDecl",
+    "PARTICLE_FIELDS",
+    "particle_struct",
+    "split_for_alignment",
+    "group_by_frequency",
+    "MemoryLayout",
+    "LoadStep",
+    "AoSLayout",
+    "SoALayout",
+    "AoaSLayout",
+    "SoAoaSLayout",
+    "make_layout",
+    "LAYOUT_KINDS",
+    "ALL_LAYOUT_KINDS",
+    "HalfWarpAccess",
+    "HALFWARP",
+    "halfwarp_access",
+    "warp_accesses",
+    "accesses_for_indices",
+    "CoalescingPolicy",
+    "StrictHalfWarpPolicy",
+    "DriverMergedPolicy",
+    "SegmentBasedPolicy",
+    "policy_for",
+    "POLICIES",
+    "MemoryTransaction",
+    "TRANSACTION_SIZES",
+    "segment_of",
+    "touched_segments",
+    "cover_with_segments",
+    "total_bytes",
+    "AccessCost",
+    "MemoryCostModel",
+    "StructureReadEstimate",
+    "estimate_structure_read",
+    "estimate_cycles_per_element",
+    "SBPCounts",
+    "SBPModel",
+    "sbp_counts",
+    "eq3_speedup",
+    "UnrollEstimate",
+    "estimate_unroll",
+    "unroll_curve",
+    "plan_unroll",
+    "LayoutRecommendation",
+    "optimize_layout",
+    "TuneConfig",
+    "TuneResult",
+    "autotune",
+    "default_space",
+]

@@ -1,0 +1,137 @@
+"""Per-warp address-stream generation from layout load steps.
+
+Coalescing on compute capability 1.x is decided per *half-warp* (16
+threads), so the analysis unit here is :class:`HalfWarpAccess`: the 16
+per-thread addresses (with an activity mask) of one load instruction, plus
+the per-thread access width.
+
+The canonical n-body access — thread ``t`` of a warp reading record
+``first + t`` — is produced by :func:`warp_accesses`; arbitrary gather
+patterns go through :func:`accesses_for_indices`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .layouts import LoadStep
+
+__all__ = [
+    "HALFWARP",
+    "HalfWarpAccess",
+    "halfwarp_access",
+    "warp_accesses",
+    "accesses_for_indices",
+]
+
+HALFWARP = 16
+
+
+@dataclass(frozen=True)
+class HalfWarpAccess:
+    """Addresses issued by one half-warp for one load/store instruction."""
+
+    addresses: np.ndarray  # int64[HALFWARP]; entries under inactive lanes ignored
+    size_bytes: int  # per-thread access width: 4, 8 or 16
+    active: np.ndarray = field(
+        default_factory=lambda: np.ones(HALFWARP, dtype=bool)
+    )
+
+    def __post_init__(self) -> None:
+        addresses = np.asarray(self.addresses, dtype=np.int64)
+        active = np.asarray(self.active, dtype=bool)
+        if addresses.shape != (HALFWARP,) or active.shape != (HALFWARP,):
+            raise ValueError(
+                f"half-warp arrays must have shape ({HALFWARP},); got "
+                f"{addresses.shape} and {active.shape}"
+            )
+        if self.size_bytes not in (4, 8, 16):
+            raise ValueError(f"access width {self.size_bytes} not in (4, 8, 16)")
+        object.__setattr__(self, "addresses", addresses)
+        object.__setattr__(self, "active", active)
+
+    @property
+    def active_addresses(self) -> np.ndarray:
+        return self.addresses[self.active]
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self.active.any())
+
+    def is_sequential(self) -> bool:
+        """Thread ``k`` accesses ``base + k * size`` for every active lane.
+
+        This is the CC 1.0 coalescing precondition: the k-th thread of the
+        half-warp must access the k-th element of the accessed region.
+        """
+        lanes = np.flatnonzero(self.active)
+        if lanes.size == 0:
+            return True
+        base = int(self.addresses[lanes[0]]) - int(lanes[0]) * self.size_bytes
+        expect = base + lanes * self.size_bytes
+        return bool(np.array_equal(self.addresses[lanes], expect))
+
+    def sequential_base(self) -> int | None:
+        """The implied lane-0 base address if :meth:`is_sequential`, else None."""
+        if not self.is_sequential() or not self.any_active:
+            return None
+        lane = int(np.flatnonzero(self.active)[0])
+        return int(self.addresses[lane]) - lane * self.size_bytes
+
+
+def halfwarp_access(
+    step: LoadStep,
+    first_record: int,
+    half: int = 0,
+    active: np.ndarray | None = None,
+) -> HalfWarpAccess:
+    """Addresses for half-warp ``half`` (0 or 1) of a warp whose thread ``t``
+    reads record ``first_record + t`` through ``step``."""
+    if half not in (0, 1):
+        raise ValueError("half must be 0 or 1")
+    lanes = np.arange(HALFWARP, dtype=np.int64) + half * HALFWARP
+    addrs = step.address(first_record + lanes)
+    if active is None:
+        active = np.ones(HALFWARP, dtype=bool)
+    return HalfWarpAccess(addrs, step.vector.nbytes, active)
+
+
+def warp_accesses(
+    step: LoadStep, first_record: int, active: np.ndarray | None = None
+) -> list[HalfWarpAccess]:
+    """Both half-warps of one warp-wide load of ``step``.
+
+    ``active`` is an optional 32-lane mask (e.g. tail warps where
+    ``first_record + t >= n``).
+    """
+    if active is not None:
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (2 * HALFWARP,):
+            raise ValueError(f"warp mask must have {2 * HALFWARP} lanes")
+    out = []
+    for half in (0, 1):
+        mask = None if active is None else active[half * HALFWARP : (half + 1) * HALFWARP]
+        out.append(halfwarp_access(step, first_record, half, mask))
+    return out
+
+
+def accesses_for_indices(
+    step: LoadStep, indices: np.ndarray
+) -> list[HalfWarpAccess]:
+    """Half-warp accesses for an arbitrary per-thread record gather.
+
+    ``indices`` holds one record index per thread (any multiple of 16
+    threads); negative indices mark inactive lanes.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1 or indices.size % HALFWARP:
+        raise ValueError("indices must be a 1-D multiple of 16 lanes")
+    out = []
+    for start in range(0, indices.size, HALFWARP):
+        chunk = indices[start : start + HALFWARP]
+        active = chunk >= 0
+        addrs = step.address(np.where(active, chunk, 0))
+        out.append(HalfWarpAccess(addrs, step.vector.nbytes, active))
+    return out

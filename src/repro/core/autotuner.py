@@ -1,0 +1,116 @@
+"""Exhaustive autotuner over the paper's optimization space.
+
+The paper tunes three axes by hand: memory layout (Sec. II), unroll
+factor (Sec. IV-A), and block size (for occupancy).  The autotuner walks
+the cross product and ranks configurations by an arbitrary objective
+(seconds, cycles, occupancy-weighted cost, ...).
+
+The objective is a callback so the module stays independent of the
+application layer: pass ``lambda cfg: backend_for(cfg).predict_seconds(n)``
+to tune the Gravit kernel (see ``examples/layout_autotune.py``), or an
+analytic model for instant results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence, Union
+
+__all__ = ["TuneConfig", "TuneResult", "autotune", "default_space"]
+
+UnrollSpec = Union[int, str, None]
+
+
+@dataclass(frozen=True)
+class TuneConfig:
+    """One point of the search space."""
+
+    layout_kind: str
+    block_size: int
+    unroll: UnrollSpec
+    licm: bool
+
+    @property
+    def label(self) -> str:
+        u = (
+            "rolled"
+            if self.unroll in (None, 1)
+            else ("full" if self.unroll == "full" else f"u{self.unroll}")
+        )
+        return (
+            f"{self.layout_kind}/b{self.block_size}/{u}"
+            + ("/icm" if self.licm else "")
+        )
+
+
+@dataclass
+class TuneResult:
+    """Ranked outcome of a search."""
+
+    ranked: list[tuple[TuneConfig, float]] = field(default_factory=list)
+    failed: list[tuple[TuneConfig, str]] = field(default_factory=list)
+
+    @property
+    def best(self) -> TuneConfig:
+        if not self.ranked:
+            raise ValueError("no configuration succeeded")
+        return self.ranked[0][0]
+
+    @property
+    def best_cost(self) -> float:
+        return self.ranked[0][1]
+
+    def speedup_over_worst(self) -> float:
+        if len(self.ranked) < 2:
+            return 1.0
+        return self.ranked[-1][1] / self.ranked[0][1]
+
+    def table(self, top: int | None = None) -> str:
+        rows = self.ranked if top is None else self.ranked[:top]
+        width = max((len(c.label) for c, _ in rows), default=8)
+        lines = [f"{'configuration':<{width}}  cost"]
+        for cfg, cost in rows:
+            lines.append(f"{cfg.label:<{width}}  {cost:.6g}")
+        for cfg, err in self.failed:
+            lines.append(f"{cfg.label:<{width}}  FAILED: {err}")
+        return "\n".join(lines)
+
+
+def default_space(
+    layouts: Sequence[str] = ("aos", "soa", "aoas", "soaoas"),
+    block_sizes: Sequence[int] = (64, 128, 256),
+    unrolls: Sequence[UnrollSpec] = (None, 4, "full"),
+    licm: Sequence[bool] = (False, True),
+) -> list[TuneConfig]:
+    """The cross product the paper explores (2 × 3 × 3 × 4 points)."""
+    return [
+        TuneConfig(lk, bs, u, ic)
+        for lk, bs, u, ic in itertools.product(
+            layouts, block_sizes, unrolls, licm
+        )
+    ]
+
+
+def autotune(
+    objective: Callable[[TuneConfig], float],
+    space: Iterable[TuneConfig] | None = None,
+    lower_is_better: bool = True,
+) -> TuneResult:
+    """Evaluate ``objective`` over ``space`` and rank.
+
+    Configurations whose objective raises are recorded in ``failed``
+    (e.g. a block size whose register demand cannot launch) rather than
+    aborting the search — mirroring how a practitioner sweeps CUDA
+    configurations.
+    """
+    result = TuneResult()
+    for cfg in space if space is not None else default_space():
+        try:
+            cost = float(objective(cfg))
+        except Exception as exc:  # noqa: BLE001 - survey semantics
+            result.failed.append((cfg, f"{type(exc).__name__}: {exc}"))
+            continue
+        result.ranked.append((cfg, cost))
+    result.ranked.sort(key=lambda pair: pair[1] if lower_is_better else -pair[1])
+    return result

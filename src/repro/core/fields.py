@@ -1,0 +1,262 @@
+"""Structure declarations with CUDA alignment semantics.
+
+The paper's subject is a 28-byte particle record::
+
+    typedef struct particles {
+        float px, py, pz;
+        float vx, vy, vz;
+        float mass;
+    } particle_t;
+
+and what happens to its memory traffic under different layouts.  This module
+models the *declaration* side: fields, offsets, the ``__align__(N)``
+attribute, and the hidden padding CUDA inserts (Sec. II-C: aligning the
+7-float structure to 16 bytes adds an eighth hidden 32-bit element).
+
+A :class:`StructDecl` computes offsets exactly like nvcc for plain 4-byte
+scalar fields: consecutive, each aligned to 4 bytes; the struct size is
+rounded up to the declared alignment.  :func:`split_for_alignment`
+implements step 2 of the paper's Sec. IV procedure — splitting a structure
+that exceeds the 128-bit boundary into 64/128-bit alignable pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable, Iterator, Sequence
+
+from ..cudasim.dtypes import F32, DType
+
+__all__ = [
+    "Field",
+    "StructDecl",
+    "PARTICLE_FIELDS",
+    "particle_struct",
+    "split_for_alignment",
+    "group_by_frequency",
+]
+
+#: Alignments CUDA's ``__align__`` accepts for memory-access vectorization.
+_VALID_ALIGNMENTS = (None, 4, 8, 16)
+
+#: Name used for hidden padding slots (mirrors the paper's "hidden 32 bit
+#: padding element").
+PAD_NAME = "__pad"
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named scalar member of a structure.
+
+    ``frequency`` is a relative access-frequency tag used by the paper's
+    grouping rule ("group data in portions with similar access
+    frequencies"): in Gravit, positions and mass are read every inner-loop
+    iteration while velocities are read once per particle update.
+    """
+
+    name: str
+    dtype: DType = F32
+    frequency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name.startswith(" "):
+            raise ValueError(f"invalid field name {self.name!r}")
+        if self.dtype.nbytes != 4:
+            raise ValueError(
+                f"field {self.name!r}: only 4-byte scalar fields are "
+                f"supported (CUDA 1.x register width)"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return self.dtype.nbytes
+
+    @property
+    def is_padding(self) -> bool:
+        return self.name.startswith(PAD_NAME)
+
+
+def _pad_field(index: int) -> Field:
+    return Field(f"{PAD_NAME}{index}", F32, frequency=0.0)
+
+
+@dataclass(frozen=True)
+class StructDecl:
+    """A C-style structure of 4-byte scalar fields with optional alignment.
+
+    Parameters
+    ----------
+    name:
+        Struct tag, used in diagnostics and kernel symbol names.
+    fields:
+        Ordered member fields (padding members are appended automatically
+        when ``align`` requires them; do not declare them yourself).
+    align:
+        ``None`` for natural (4-byte) alignment, or 8/16 for
+        ``__align__(8)`` / ``__align__(16)``, which both pads the struct
+        size and permits vectorized 8/16-byte loads.
+    """
+
+    name: str
+    fields: tuple[Field, ...]
+    align: int | None = None
+    _padded: tuple[Field, ...] = dc_field(init=False, repr=False, default=())
+
+    def __init__(
+        self,
+        name: str,
+        fields: Sequence[Field] | Iterable[Field],
+        align: int | None = None,
+    ) -> None:
+        fields = tuple(fields)
+        if not fields:
+            raise ValueError("a struct needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in struct {name!r}")
+        if align not in _VALID_ALIGNMENTS:
+            raise ValueError(
+                f"align must be one of {_VALID_ALIGNMENTS}, got {align!r}"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "fields", fields)
+        object.__setattr__(self, "align", align)
+        object.__setattr__(self, "_padded", self._compute_padded())
+
+    # -- layout math ------------------------------------------------------
+
+    def _compute_padded(self) -> tuple[Field, ...]:
+        """Fields plus hidden padding to reach the declared alignment."""
+        members = list(self.fields)
+        if self.align:
+            natural = 4 * len(members)
+            padded = -(-natural // self.align) * self.align
+            for i in range((padded - natural) // 4):
+                members.append(_pad_field(i))
+        return tuple(members)
+
+    @property
+    def padded_fields(self) -> tuple[Field, ...]:
+        """All members including hidden padding elements."""
+        return self._padded
+
+    @property
+    def natural_size(self) -> int:
+        """Size without alignment padding (sizeof the packed struct)."""
+        return 4 * len(self.fields)
+
+    @property
+    def size(self) -> int:
+        """sizeof() including alignment padding."""
+        return 4 * len(self.padded_fields)
+
+    @property
+    def alignment(self) -> int:
+        """Effective alignment requirement in bytes."""
+        return self.align or 4
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def offset_of(self, field_name: str) -> int:
+        """Byte offset of a member within one struct instance."""
+        for i, f in enumerate(self.padded_fields):
+            if f.name == field_name:
+                return 4 * i
+        raise KeyError(f"struct {self.name!r} has no field {field_name!r}")
+
+    def __contains__(self, field_name: str) -> bool:
+        return any(f.name == field_name for f in self.fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    @property
+    def exceeds_alignment_boundary(self) -> bool:
+        """True when the struct is one of the paper's "large structures".
+
+        A structure larger than 16 bytes cannot be fetched with a single
+        64/128-bit access, which is exactly the class of structures the
+        paper's SoAoaS technique targets.
+        """
+        return self.natural_size > 16
+
+    def with_align(self, align: int | None) -> "StructDecl":
+        return StructDecl(self.name, self.fields, align)
+
+
+#: The Gravit particle record, with the access frequencies from Sec. IV:
+#: positions and mass are touched in every inner-loop interaction,
+#: velocities only once per integration step.
+PARTICLE_FIELDS = (
+    Field("px", F32, frequency=1.0),
+    Field("py", F32, frequency=1.0),
+    Field("pz", F32, frequency=1.0),
+    Field("vx", F32, frequency=1e-3),
+    Field("vy", F32, frequency=1e-3),
+    Field("vz", F32, frequency=1e-3),
+    Field("mass", F32, frequency=1.0),
+)
+
+
+def particle_struct(align: int | None = None) -> StructDecl:
+    """The paper's ``particle_t`` declaration (Fig. 2 / Fig. 6)."""
+    return StructDecl("particle_t", PARTICLE_FIELDS, align)
+
+
+def split_for_alignment(
+    struct: StructDecl, boundary: int = 16
+) -> list[StructDecl]:
+    """Split a large struct into alignable sub-structs (paper step 2).
+
+    Fields are taken in declaration order and packed greedily into chunks
+    of at most ``boundary`` bytes; every chunk is emitted as a struct
+    aligned to the smallest power-of-two access size that covers it
+    (4, 8 or 16 bytes), so each can be fetched with one vector load.
+    """
+    if boundary not in (8, 16):
+        raise ValueError(f"boundary must be 8 or 16 bytes, got {boundary}")
+    per_chunk = boundary // 4
+    chunks: list[StructDecl] = []
+    members = list(struct.fields)
+    for start in range(0, len(members), per_chunk):
+        chunk = members[start : start + per_chunk]
+        natural = 4 * len(chunk)
+        align = 4 if natural <= 4 else (8 if natural <= 8 else 16)
+        chunks.append(
+            StructDecl(f"{struct.name}_part{len(chunks)}", chunk, align)
+        )
+    return chunks
+
+
+def group_by_frequency(
+    fields: Sequence[Field], ratio_threshold: float = 10.0
+) -> list[tuple[Field, ...]]:
+    """Group fields whose access frequencies are within ``ratio_threshold``.
+
+    Implements step 1 of the paper's Sec. IV procedure: "group data in
+    portions with similar access frequencies".  Fields are sorted by
+    descending frequency and a new group is opened whenever the frequency
+    drops by more than the threshold ratio relative to the group leader.
+    Declaration order is preserved inside each group so that the grouping
+    never reorders semantically adjacent members (px,py,pz stay together).
+    """
+    if ratio_threshold <= 1.0:
+        raise ValueError("ratio_threshold must exceed 1.0")
+    ordered = sorted(
+        enumerate(fields), key=lambda kv: (-kv[1].frequency, kv[0])
+    )
+    groups: list[list[tuple[int, Field]]] = []
+    for idx, f in ordered:
+        if groups and groups[-1][0][1].frequency <= f.frequency * ratio_threshold:
+            groups[-1].append((idx, f))
+        else:
+            groups.append([(idx, f)])
+    return [
+        tuple(f for _, f in sorted(group, key=lambda kv: kv[0]))
+        for group in groups
+    ]

@@ -1,0 +1,472 @@
+"""Memory layouts for arrays of large structures (paper Sec. II).
+
+A :class:`MemoryLayout` maps *records* (logical struct instances, e.g. one
+particle) onto a flat device-memory region, and — crucially for this paper —
+describes *how a thread reads record i* as a sequence of :class:`LoadStep`
+vector accesses.  Everything downstream consumes these steps:
+
+* the coalescing analyzer turns a half-warp of step addresses into memory
+  transactions (:mod:`repro.core.coalescing`);
+* kernel builders emit one ``LD_GLOBAL`` per step
+  (:mod:`repro.gravit.gpu_kernels`);
+* ``pack``/``unpack`` move numpy arrays in and out of device buffers.
+
+The four layouts of the paper:
+
+=========  =============================================  ==================
+class      paper section                                  traffic per record
+=========  =============================================  ==================
+AoS        II-A  array of (packed) structures             7 scalar reads,
+                                                          not coalesced
+SoA        II-B  structure of arrays                      7 scalar reads,
+                                                          coalesced
+AoaS       II-C  array of __align__(16) structures        2 float4 reads,
+                                                          not coalesced
+SoAoaS     II-D  structure of arrays of aligned structs   2 float4 reads,
+                                                          coalesced
+=========  =============================================  ==================
+
+Fig. 10 additionally distinguishes "unopt" from "AoS": we read "unopt" as
+the original packed 28-byte-stride layout (records straddle 32-byte
+segments) and "AoS" as the same access pattern on a 32-byte padded stride
+(fields segment-aligned, reads still uncoalesced).  ``make_layout`` exposes
+both spellings.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..cudasim.dtypes import F32, VecType
+from .fields import (
+    Field,
+    StructDecl,
+    group_by_frequency,
+    particle_struct,
+    split_for_alignment,
+)
+
+__all__ = [
+    "LoadStep",
+    "MemoryLayout",
+    "AoSLayout",
+    "SoALayout",
+    "AoaSLayout",
+    "SoAoaSLayout",
+    "make_layout",
+    "LAYOUT_KINDS",
+]
+
+#: Device allocations for field arrays are aligned to this many bytes so a
+#: layout never loses coalescing to an unaligned array base (cudaMalloc
+#: guarantees 256-byte alignment).
+ARRAY_BASE_ALIGN = 256
+
+
+def _align_up(value: int, align: int) -> int:
+    return -(-value // align) * align
+
+
+@dataclass(frozen=True)
+class LoadStep:
+    """One vector access per record: ``address(i) = base + stride * i``.
+
+    ``fields`` names the semantic field carried in each vector lane
+    (``None`` for hidden padding lanes).  All layouts in this package are
+    affine in the record index, which is what lets kernel builders fold the
+    address computation into a single MAD and the unroller fold it into an
+    immediate offset.
+    """
+
+    fields: tuple[str | None, ...]
+    vector: VecType
+    base: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        if len(self.fields) != self.vector.lanes:
+            raise ValueError(
+                f"{len(self.fields)} field names for a "
+                f"{self.vector.lanes}-lane vector"
+            )
+        if self.base % 4 or self.stride % 4:
+            raise ValueError("load step base/stride must be word aligned")
+
+    def address(self, index):
+        """Byte address of the access for record ``index`` (vectorizable)."""
+        return self.base + self.stride * np.asarray(index)
+
+    def lane_of(self, field: str) -> int:
+        try:
+            return self.fields.index(field)
+        except ValueError:
+            raise KeyError(f"step does not carry field {field!r}") from None
+
+    @property
+    def is_aligned(self) -> bool:
+        """Whether every record's access is naturally aligned."""
+        align = self.vector.alignment
+        return self.base % align == 0 and self.stride % align == 0
+
+    @property
+    def semantic_fields(self) -> tuple[str, ...]:
+        return tuple(f for f in self.fields if f is not None)
+
+
+class MemoryLayout(abc.ABC):
+    """Maps ``n`` records of ``struct`` onto a flat byte region."""
+
+    #: short identifier used in figures and the layout registry
+    kind: str = "abstract"
+
+    def __init__(self, struct: StructDecl, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"record count must be positive, got {n}")
+        self.struct = struct
+        self.n = int(n)
+        self._steps = tuple(self._build_steps())
+        self._check_steps()
+
+    # -- subclass responsibilities -----------------------------------------
+
+    @abc.abstractmethod
+    def _build_steps(self) -> Iterable[LoadStep]:
+        """Produce the load steps that together cover every field once."""
+
+    @property
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Total bytes of the device region backing the layout."""
+
+    # -- generic API ---------------------------------------------------------
+
+    @property
+    def steps(self) -> tuple[LoadStep, ...]:
+        return self._steps
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return self.struct.field_names
+
+    @property
+    def size_words(self) -> int:
+        return self.size_bytes // 4
+
+    def _check_steps(self) -> None:
+        covered: list[str] = []
+        for step in self._steps:
+            covered.extend(step.semantic_fields)
+        if sorted(covered) != sorted(self.field_names):
+            raise ValueError(
+                f"{type(self).__name__} steps cover {sorted(covered)}, "
+                f"expected {sorted(self.field_names)}"
+            )
+        limit = self.size_bytes
+        for step in self._steps:
+            last = step.base + step.stride * (self.n - 1) + step.vector.nbytes
+            if step.base < 0 or last > limit:
+                raise ValueError(
+                    f"step {step} escapes the layout region ({last} > {limit})"
+                )
+
+    def read_plan(
+        self, fields: Sequence[str] | None = None
+    ) -> tuple[LoadStep, ...]:
+        """Minimal subsequence of steps covering the requested fields.
+
+        This is where the paper's access-frequency grouping pays off: a
+        kernel that only needs positions and mass receives a single-step
+        plan under SoAoaS but a seven-step plan under AoS.
+        """
+        if fields is None:
+            return self._steps
+        wanted = set(fields)
+        unknown = wanted - set(self.field_names)
+        if unknown:
+            raise KeyError(f"unknown fields {sorted(unknown)}")
+        plan = tuple(
+            s for s in self._steps if wanted.intersection(s.semantic_fields)
+        )
+        return plan
+
+    def step_for(self, field: str) -> LoadStep:
+        for step in self._steps:
+            if field in step.semantic_fields:
+                return step
+        raise KeyError(f"layout has no field {field!r}")
+
+    def address(self, field: str, index: int) -> int:
+        """Byte address of ``field`` of record ``index``."""
+        if not 0 <= index < self.n:
+            raise IndexError(f"record index {index} out of range 0..{self.n - 1}")
+        step = self.step_for(field)
+        return int(step.address(index)) + 4 * step.lane_of(field)
+
+    # -- host <-> device data movement ----------------------------------------
+
+    def pack(self, data: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Serialize per-field arrays into a float32 word image."""
+        missing = set(self.field_names) - set(data)
+        if missing:
+            raise KeyError(f"pack missing fields {sorted(missing)}")
+        words = np.zeros(self.size_words, dtype=np.float32)
+        idx = np.arange(self.n, dtype=np.int64)
+        for step in self._steps:
+            word_base = (step.base // 4) + idx * (step.stride // 4)
+            for lane, fname in enumerate(step.fields):
+                if fname is None:
+                    continue
+                arr = np.asarray(data[fname], dtype=np.float32)
+                if arr.shape != (self.n,):
+                    raise ValueError(
+                        f"field {fname!r}: expected shape ({self.n},), "
+                        f"got {arr.shape}"
+                    )
+                words[word_base + lane] = arr
+        return words
+
+    def unpack(self, words: np.ndarray) -> dict[str, np.ndarray]:
+        """Inverse of :meth:`pack`."""
+        words = np.asarray(words, dtype=np.float32)
+        if words.shape != (self.size_words,):
+            raise ValueError(
+                f"expected {self.size_words} words, got shape {words.shape}"
+            )
+        idx = np.arange(self.n, dtype=np.int64)
+        out: dict[str, np.ndarray] = {}
+        for step in self._steps:
+            word_base = (step.base // 4) + idx * (step.stride // 4)
+            for lane, fname in enumerate(step.fields):
+                if fname is not None:
+                    out[fname] = words[word_base + lane].copy()
+        return out
+
+    # -- metrics ---------------------------------------------------------------
+
+    def loads_per_record(self, fields: Sequence[str] | None = None) -> int:
+        """Number of load instructions a thread issues per record."""
+        return len(self.read_plan(fields))
+
+    def elements_per_record(self, fields: Sequence[str] | None = None) -> int:
+        """4-byte elements transferred per record (Fig. 10 denominator).
+
+        Includes hidden padding lanes — the paper divides by the number of
+        elements actually moved (8 for the aligned layouts, 7 otherwise).
+        """
+        return sum(s.vector.lanes for s in self.read_plan(fields))
+
+    def bytes_per_record(self, fields: Sequence[str] | None = None) -> int:
+        return 4 * self.elements_per_record(fields)
+
+    def describe(self) -> str:
+        lines = [f"{type(self).__name__}({self.struct.name} x {self.n})"]
+        for step in self._steps:
+            names = ",".join(f or "pad" for f in step.fields)
+            lines.append(
+                f"  {step.vector}: [{names}] @ {step.base} + {step.stride}*i"
+                f" ({'aligned' if step.is_aligned else 'unaligned'})"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} n={self.n} bytes={self.size_bytes}>"
+
+
+class AoSLayout(MemoryLayout):
+    """Array of structures (paper Sec. II-A, Fig. 2).
+
+    A packed particle struct is 28 bytes, so record bases wander across the
+    32-byte transaction segments and none of the 7 scalar reads of a
+    half-warp are coalescible.  Handing this class an ``__align__(16)``
+    struct yields the padded-stride variant ("AoS" tick of Fig. 10): 32-byte
+    stride, fields segment-aligned, accesses still uncoalesced.
+    """
+
+    kind = "aos"
+
+    def _build_steps(self) -> Iterable[LoadStep]:
+        stride = self.struct.size
+        for f in self.struct.fields:
+            yield LoadStep(
+                fields=(f.name,),
+                vector=VecType(F32, 1),
+                base=self.struct.offset_of(f.name),
+                stride=stride,
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        return self.struct.size * self.n
+
+
+class SoALayout(MemoryLayout):
+    """Structure of arrays (paper Sec. II-B, Fig. 4).
+
+    One scalar array per field; every warp read of a field is coalesced,
+    but a thread still issues 7 separate loads per record.
+    """
+
+    kind = "soa"
+
+    def _build_steps(self) -> Iterable[LoadStep]:
+        base = 0
+        for f in self.struct.fields:
+            yield LoadStep(
+                fields=(f.name,),
+                vector=VecType(F32, 1),
+                base=base,
+                stride=4,
+            )
+            base += _align_up(4 * self.n, ARRAY_BASE_ALIGN)
+
+    @property
+    def size_bytes(self) -> int:
+        return _align_up(4 * self.n, ARRAY_BASE_ALIGN) * len(self.struct.fields)
+
+
+class AoaSLayout(MemoryLayout):
+    """Array of aligned structures (paper Sec. II-C, Fig. 6).
+
+    The struct is padded to 32 bytes by ``__align__(16)`` so a thread
+    fetches it with two 128-bit loads — few accesses, but consecutive
+    threads touch addresses 32 bytes apart, so nothing coalesces.
+    """
+
+    kind = "aoas"
+
+    def __init__(self, struct: StructDecl, n: int) -> None:
+        if struct.align != 16:
+            struct = struct.with_align(16)
+        super().__init__(struct, n)
+
+    def _build_steps(self) -> Iterable[LoadStep]:
+        stride = self.struct.size
+        padded = self.struct.padded_fields
+        for chunk_base in range(0, stride, 16):
+            lanes = padded[chunk_base // 4 : chunk_base // 4 + 4]
+            yield LoadStep(
+                fields=tuple(
+                    None if f.is_padding else f.name for f in lanes
+                ),
+                vector=VecType(F32, 4),
+                base=chunk_base,
+                stride=stride,
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        return self.struct.size * self.n
+
+
+class SoAoaSLayout(MemoryLayout):
+    """Structure of arrays of aligned structures (paper Sec. II-D, Fig. 8).
+
+    The paper's proposal: split the record into ≤128-bit aligned
+    sub-structures grouped by access frequency, and store each group in its
+    own array.  Each group is fetched with a single coalesced vector load.
+    """
+
+    kind = "soaoas"
+
+    def __init__(
+        self,
+        struct: StructDecl,
+        n: int,
+        groups: Sequence[StructDecl] | None = None,
+        boundary: int = 16,
+    ) -> None:
+        if groups is None:
+            groups = self.derive_groups(struct, boundary)
+        for g in groups:
+            if g.size > 16:
+                raise ValueError(
+                    f"group {g.name!r} is {g.size} bytes; groups must fit "
+                    f"one 128-bit access"
+                )
+        self.groups = tuple(groups)
+        declared = [f.name for g in self.groups for f in g.fields]
+        if sorted(declared) != sorted(struct.field_names):
+            raise ValueError(
+                "groups must partition the struct fields exactly; "
+                f"got {sorted(declared)} vs {sorted(struct.field_names)}"
+            )
+        super().__init__(struct, n)
+
+    @staticmethod
+    def derive_groups(
+        struct: StructDecl, boundary: int = 16
+    ) -> tuple[StructDecl, ...]:
+        """Paper Sec. IV procedure: frequency grouping, then the 64/128-bit
+        split (``boundary`` selects which of the two the paper mentions)."""
+        if boundary not in (8, 16):
+            raise ValueError("boundary must be 8 or 16 bytes")
+        groups: list[StructDecl] = []
+        for i, bundle in enumerate(group_by_frequency(struct.fields)):
+            probe = StructDecl(f"{struct.name}_g{i}", bundle)
+            if probe.natural_size > boundary:
+                groups.extend(split_for_alignment(probe, boundary))
+            else:
+                align = 4 if probe.natural_size <= 4 else (
+                    8 if probe.natural_size <= 8 else 16
+                )
+                groups.append(probe.with_align(min(align, boundary)))
+        return tuple(groups)
+
+    def _build_steps(self) -> Iterable[LoadStep]:
+        base = 0
+        for g in self.groups:
+            lanes = g.padded_fields
+            yield LoadStep(
+                fields=tuple(None if f.is_padding else f.name for f in lanes),
+                vector=VecType(F32, len(lanes)),
+                base=base,
+                stride=g.size,
+            )
+            base += _align_up(g.size * self.n, ARRAY_BASE_ALIGN)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(
+            _align_up(g.size * self.n, ARRAY_BASE_ALIGN) for g in self.groups
+        )
+
+
+#: Layout registry keys in the order Fig. 10 plots them (plus the 64-bit
+#: SoAoaS variant the paper mentions as the alternative split).
+LAYOUT_KINDS = ("unopt", "aos", "soa", "aoas", "soaoas")
+ALL_LAYOUT_KINDS = (*LAYOUT_KINDS, "soaoas64")
+
+
+def make_layout(kind: str, n: int, struct: StructDecl | None = None) -> MemoryLayout:
+    """Build one of the paper's layouts for ``n`` particle records.
+
+    ``unopt``
+        the original Gravit layout: packed 28-byte AoS (Sec. II-A);
+    ``aos``
+        AoS on a 32-byte padded stride, still scalar uncoalesced reads;
+    ``soa`` / ``aoas`` / ``soaoas``
+        Sections II-B / II-C / II-D;
+    ``soaoas64``
+        the Sec. IV alternative: sub-structures split at the 64-bit
+        boundary (float2 accesses instead of float4).
+    """
+    base = struct or particle_struct()
+    if kind == "unopt":
+        return AoSLayout(base, n)
+    if kind == "aos":
+        return AoSLayout(base.with_align(16), n)
+    if kind == "soa":
+        return SoALayout(base, n)
+    if kind == "aoas":
+        return AoaSLayout(base, n)
+    if kind == "soaoas":
+        return SoAoaSLayout(base, n)
+    if kind == "soaoas64":
+        return SoAoaSLayout(base, n, boundary=8)
+    raise ValueError(
+        f"unknown layout kind {kind!r}; choose from {ALL_LAYOUT_KINDS}"
+    )

@@ -1,0 +1,184 @@
+"""Memory-access cost model (latency + bandwidth queue).
+
+Used in two places:
+
+* analytically, by :func:`estimate_structure_read` /
+  :func:`estimate_cycles_per_element` — a closed-form predictor for the
+  Fig. 10 microbenchmark that needs no simulation (and is cross-checked
+  against the cycle simulator in the test suite);
+* inside the simulator's memory pipeline (:mod:`repro.cudasim.pipeline`),
+  which charges the same per-transaction costs but resolves queueing
+  dynamically.
+
+Model: a load instruction generates transactions (via a coalescing
+policy).  Each transaction occupies the SM's memory pipe for
+
+    ``pipe_cycles = transaction_overhead + size / bytes_per_cycle``
+
+and the data arrives ``latency`` cycles after the transaction leaves the
+pipe.  Wide per-thread accesses (8/16 bytes) additionally pay a latency
+factor — on the G80, 64/128-bit loads are measurably slower per element
+than 32-bit loads (cf. the low per-element gain the paper reports for the
+aligned layouts relative to the transaction-count reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cudasim.device import DeviceProperties, MemoryTimings
+from .access import warp_accesses
+from .coalescing import CoalescingPolicy
+from .layouts import MemoryLayout
+from .transactions import MemoryTransaction
+
+__all__ = [
+    "AccessCost",
+    "MemoryCostModel",
+    "StructureReadEstimate",
+    "estimate_structure_read",
+    "estimate_cycles_per_element",
+]
+
+
+@dataclass(frozen=True)
+class AccessCost:
+    """Cycle cost of one warp-wide load/store instruction."""
+
+    n_transactions: int
+    bytes_moved: int
+    issue_cycles: float  # instruction (re-)issue cost at the SM front end
+    pipe_cycles: float  # memory-pipe occupancy (the bandwidth term)
+    latency: float  # cycles from last transaction to data-ready
+
+    @property
+    def exposed_cycles(self) -> float:
+        """Completion time when nothing overlaps (dependent-use chain)."""
+        return self.issue_cycles + self.pipe_cycles + self.latency
+
+
+class MemoryCostModel:
+    """Charges cycles for transaction lists under a device's timings."""
+
+    def __init__(self, device: DeviceProperties) -> None:
+        self.device = device
+        self.timings: MemoryTimings = device.memory
+
+    def transaction_pipe_cycles(self, tx: MemoryTransaction) -> float:
+        t = self.timings
+        return t.transaction_overhead + tx.size / t.bytes_per_cycle
+
+    def access_cost(
+        self,
+        policy: CoalescingPolicy,
+        transactions_per_halfwarp: list[list[MemoryTransaction]],
+        access_size: int,
+    ) -> AccessCost:
+        """Cost of one warp instruction given its per-half-warp transactions."""
+        t = self.timings
+        all_tx = [tx for half in transactions_per_halfwarp for tx in half]
+        n_tx = len(all_tx)
+        pipe = sum(self.transaction_pipe_cycles(tx) for tx in all_tx)
+        # The instruction is replayed once per transaction beyond the first
+        # of each half-warp (address-divergence replays) — unless the
+        # toolchain merges in the driver instead of replaying in hardware.
+        replays = 0
+        if policy.charges_replays:
+            replays = sum(
+                max(0, len(half) - 1) for half in transactions_per_halfwarp
+            )
+        issue = self.device.alu_issue_cycles + replays * t.replay_issue_cycles
+        latency = policy.load_latency(t, access_size)
+        return AccessCost(
+            n_transactions=n_tx,
+            bytes_moved=sum(tx.size for tx in all_tx),
+            issue_cycles=float(issue),
+            pipe_cycles=float(pipe),
+            latency=float(latency),
+        )
+
+    def warp_load_cost(
+        self,
+        policy: CoalescingPolicy,
+        layout_step_accesses,
+        access_size: int,
+    ) -> AccessCost:
+        txs = [policy.transactions(a) for a in layout_step_accesses]
+        return self.access_cost(policy, txs, access_size)
+
+
+@dataclass(frozen=True)
+class StructureReadEstimate:
+    """Analytic prediction for reading one full record per thread."""
+
+    layout_kind: str
+    policy_name: str
+    loads: int
+    elements: int
+    transactions: int
+    bytes_moved: int
+    serialized_cycles: float  # dependent-use chain, one warp alone
+    overlapped_cycles: float  # independent loads, latencies overlap
+    per_element_serialized: float
+    per_element_overlapped: float
+
+
+def estimate_structure_read(
+    layout: MemoryLayout,
+    policy: CoalescingPolicy,
+    device: DeviceProperties,
+    fields: tuple[str, ...] | None = None,
+    first_record: int = 0,
+    use_latency: float | None = None,
+) -> StructureReadEstimate:
+    """Closed-form cost of one warp reading one record per thread.
+
+    ``use_latency`` adds a consumer-ALU latency per element for the
+    "sum up all the data" instructions of the Sec. III microbenchmark
+    protocol (defaults to the device's ALU result latency).
+    """
+    model = MemoryCostModel(device)
+    if use_latency is None:
+        use_latency = float(device.alu_result_latency)
+    plan = layout.read_plan(fields)
+    serialized = 0.0
+    issue_total = 0.0
+    pipe_total = 0.0
+    max_latency = 0.0
+    n_tx = 0
+    moved = 0
+    elements = 0
+    for step in plan:
+        accesses = warp_accesses(step, first_record)
+        cost = model.warp_load_cost(policy, accesses, step.vector.nbytes)
+        serialized += cost.exposed_cycles + step.vector.lanes * use_latency
+        issue_total += cost.issue_cycles + cost.pipe_cycles
+        max_latency = max(max_latency, cost.latency)
+        n_tx += cost.n_transactions
+        moved += cost.bytes_moved
+        elements += step.vector.lanes
+    overlapped = issue_total + max_latency + elements * use_latency
+    return StructureReadEstimate(
+        layout_kind=layout.kind,
+        policy_name=policy.name,
+        loads=len(plan),
+        elements=elements,
+        transactions=n_tx,
+        bytes_moved=moved,
+        serialized_cycles=serialized,
+        overlapped_cycles=overlapped,
+        per_element_serialized=serialized / max(elements, 1),
+        per_element_overlapped=overlapped / max(elements, 1),
+    )
+
+
+def estimate_cycles_per_element(
+    layout: MemoryLayout,
+    policy: CoalescingPolicy,
+    device: DeviceProperties,
+    fields: tuple[str, ...] | None = None,
+) -> float:
+    """The Fig. 10 metric, predicted analytically (serialized protocol)."""
+    return estimate_structure_read(
+        layout, policy, device, fields
+    ).per_element_serialized

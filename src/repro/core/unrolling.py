@@ -1,0 +1,137 @@
+"""Loop-unrolling cost model and guidelines (paper Sec. IV-A).
+
+The paper's argument, parameterized:
+
+* a rolled iteration executes ``body + bookkeeping`` instructions, where
+  bookkeeping = compare + increment + jump (3) plus any induction-address
+  adds the unroller can fold (1 in the Gravit kernel);
+* unrolling by U amortizes the loop bookkeeping U-fold and, at full
+  unroll, folds the address adds into immediates — predicted per-original-
+  iteration cost ``body + folded/U' + bookkeeping/U``;
+* the expected speedup is Eq. 3: the ratio of per-iteration costs;
+* fully unrolling also frees the iterator register (and ICM one more),
+  which matters through occupancy, not instruction count.
+
+:func:`plan_unroll` turns the model into the paper's guideline: unroll
+the innermost loop fully when its trip count is static and the code-size
+growth is acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "UnrollEstimate",
+    "estimate_unroll",
+    "unroll_curve",
+    "plan_unroll",
+]
+
+
+@dataclass(frozen=True)
+class UnrollEstimate:
+    """Predicted effect of unrolling a counted loop by ``factor``."""
+
+    factor: int
+    trip_count: int
+    per_iteration: float  # instructions per original iteration
+    speedup_vs_rolled: float  # Eq. 3
+    code_growth: float  # static body size multiplier
+    frees_iterator: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"U={self.factor}: {self.per_iteration:.2f} instr/iter, "
+            f"{self.speedup_vs_rolled:.3f}x, code x{self.code_growth:.0f}"
+        )
+
+
+def estimate_unroll(
+    body_instrs: float,
+    trip_count: int,
+    factor: int,
+    loop_bookkeeping: float = 3.0,
+    foldable_adds: float = 1.0,
+) -> UnrollEstimate:
+    """Predict per-iteration cost at one unroll factor.
+
+    ``body_instrs`` excludes all bookkeeping; ``foldable_adds`` counts
+    induction increments that partial unrolling shares across the factor
+    and full unrolling removes entirely (hard-coded offsets).
+    """
+    if trip_count <= 0 or factor <= 0:
+        raise ValueError("trip count and factor must be positive")
+    if trip_count % factor:
+        raise ValueError(
+            f"factor {factor} does not divide trip count {trip_count}"
+        )
+    rolled = body_instrs + loop_bookkeeping + foldable_adds
+    if factor == trip_count:
+        per_iter = body_instrs  # everything folded, loop gone
+    else:
+        per_iter = (
+            body_instrs
+            + foldable_adds / factor  # one combined induction add
+            + loop_bookkeeping / factor
+        )
+    return UnrollEstimate(
+        factor=factor,
+        trip_count=trip_count,
+        per_iteration=per_iter,
+        speedup_vs_rolled=rolled / per_iter,
+        code_growth=float(factor),
+        frees_iterator=factor == trip_count,
+    )
+
+
+def unroll_curve(
+    body_instrs: float,
+    trip_count: int,
+    loop_bookkeeping: float = 3.0,
+    foldable_adds: float = 1.0,
+) -> list[UnrollEstimate]:
+    """Estimates at every power-of-two factor up to full unroll."""
+    factors = []
+    f = 1
+    while f < trip_count:
+        if trip_count % f == 0:
+            factors.append(f)
+        f *= 2
+    factors.append(trip_count)
+    return [
+        estimate_unroll(
+            body_instrs, trip_count, f, loop_bookkeeping, foldable_adds
+        )
+        for f in factors
+    ]
+
+
+def plan_unroll(
+    trip_count: int | None,
+    body_instrs: float,
+    max_code_growth: int = 4096,
+) -> int | str | None:
+    """The paper's guideline as a decision rule.
+
+    Returns ``"full"``, a partial factor, or ``None``:
+
+    * dynamic trip count → ``None`` (cannot fold, gains are marginal);
+    * static trip count with acceptable code growth → ``"full"`` — on a
+      GPU the win is the instruction-count reduction itself, so small
+      bodies (no reordering potential) are *still* worth unrolling, the
+      paper's key observation;
+    * oversized full expansion → the largest power-of-two divisor that
+      stays under the growth budget.
+    """
+    if trip_count is None:
+        return None
+    if trip_count * body_instrs <= max_code_growth:
+        return "full"
+    best = None
+    f = 2
+    while f < trip_count:
+        if trip_count % f == 0 and f * body_instrs <= max_code_growth:
+            best = f
+        f *= 2
+    return best

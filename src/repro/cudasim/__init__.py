@@ -1,0 +1,135 @@
+"""``repro.cudasim`` — a cycle-level simulator of a G80-class CUDA GPU.
+
+The substrate for reproducing the paper: SIMT warps, half-warp memory
+coalescing (per CUDA toolchain revision), a latency+bandwidth global
+memory pipeline, banked shared memory, scoreboarded warp scheduling with
+latency hiding, a kernel IR with an optimizing "nvcc" stage (unrolling,
+LICM, register allocation), and the CC 1.0 occupancy calculator.
+
+Quick tour::
+
+    from repro.cudasim import Device, KernelBuilder, Toolchain, compile_kernel
+
+    b = KernelBuilder("axpy", params=("x", "y", "n", "a"))
+    i = b.tmp("i"); addr = b.tmp("addr"); v = b.tmp("v")
+    b.imad(i, b.sreg("ctaid"), b.sreg("ntid"), b.sreg("tid"))
+    b.imad(addr, i, 4, b.param("x"))
+    b.ld_global(v, addr)
+    b.mad(v, v, b.param("a"), v)
+    ...
+"""
+
+from .device import (
+    DEVICE_PROFILES,
+    DeviceProperties,
+    G8600GT,
+    G8800GTX,
+    GTX280,
+    MemoryTimings,
+    Toolchain,
+    device_for,
+)
+from .dtypes import F32, I32, PRED, U32, VecType, float1, float2, float4
+from .errors import (
+    AccessViolation,
+    AllocationError,
+    CudaSimError,
+    DeadlockError,
+    DeviceError,
+    ExecutionError,
+    IRError,
+    LaunchError,
+    LoweringError,
+    MisalignedAccess,
+    RegisterAllocationError,
+)
+from .ir import IfStmt, Kernel, KernelBuilder, LoopStmt, RawStmt, Seq
+from .isa import Imm, Instr, Op, Param, Reg, Special, SReg
+from .launch import Device, LaunchResult, compile_kernel
+from .liveness import analyze as liveness_analyze
+from .lower import LoweredKernel, disassemble, lower
+from .memory import DevicePtr, GlobalMemory, SharedMemory, bank_conflict_degree
+from .occupancy import OccupancyResult, occupancy, occupancy_table, suggest_block_size
+from .profiler import KernelStats
+from .regalloc import allocate
+from .texture import TextureCache, TextureCacheStats
+from .trace import MemoryTrace, TraceRecorder, TrafficReport
+from .validation import ValidationIssue, check_or_raise, validate_kernel
+from .transforms import (
+    eliminate_dead_code,
+    fold_constants,
+    hoist_invariants,
+    unroll_loops,
+)
+
+__all__ = [
+    "Device",
+    "DeviceProperties",
+    "DevicePtr",
+    "G8800GTX",
+    "G8600GT",
+    "GTX280",
+    "DEVICE_PROFILES",
+    "device_for",
+    "GlobalMemory",
+    "SharedMemory",
+    "Toolchain",
+    "MemoryTimings",
+    "Kernel",
+    "KernelBuilder",
+    "LoweredKernel",
+    "LaunchResult",
+    "KernelStats",
+    "OccupancyResult",
+    "Instr",
+    "Op",
+    "Reg",
+    "Imm",
+    "Param",
+    "SReg",
+    "Special",
+    "Seq",
+    "LoopStmt",
+    "IfStmt",
+    "RawStmt",
+    "compile_kernel",
+    "lower",
+    "allocate",
+    "occupancy",
+    "occupancy_table",
+    "suggest_block_size",
+    "disassemble",
+    "liveness_analyze",
+    "unroll_loops",
+    "hoist_invariants",
+    "fold_constants",
+    "eliminate_dead_code",
+    "bank_conflict_degree",
+    "ValidationIssue",
+    "TextureCache",
+    "TextureCacheStats",
+    "TraceRecorder",
+    "MemoryTrace",
+    "TrafficReport",
+    "validate_kernel",
+    "check_or_raise",
+    "F32",
+    "I32",
+    "U32",
+    "PRED",
+    "VecType",
+    "float1",
+    "float2",
+    "float4",
+    "CudaSimError",
+    "DeviceError",
+    "AllocationError",
+    "AccessViolation",
+    "MisalignedAccess",
+    "LaunchError",
+    "ExecutionError",
+    "DeadlockError",
+    "IRError",
+    "LoweringError",
+    "RegisterAllocationError",
+]

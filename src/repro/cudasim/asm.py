@@ -1,0 +1,319 @@
+"""Textual assembly for the simulator ISA.
+
+A human-readable, round-trippable format for lowered kernels — the
+simulator's equivalent of PTX text.  Useful for golden-file tests,
+diffing the output of compiler passes, and writing micro-kernels by hand
+without the builder DSL.
+
+Syntax (one instruction per line; ``//`` and ``#`` start comments)::
+
+    .kernel axpy
+    .params x y n a
+    .shared 0
+        imad   %i, %ctaid, %ntid, %tid
+        setp.ge %p$0, %i, param:n
+        @%p$0 exit
+        imad   %ax, %i, 4, param:x
+        ld.global.v1 %v, [%ax+0]
+        mad    %v, %v, param:a, %v
+        st.global.v1 [%ax+0], %v
+    L1:
+        bra    L1            // (never reached; demo label)
+        exit
+
+* registers are ``%name`` (predicates ``%p$name``),
+* immediates are bare numbers (``4``, ``-2.5e3``),
+* parameters are ``param:name``, special registers ``%tid``/``%ctaid``/
+  ``%ntid``/``%nctaid``/``%laneid``,
+* memory operands are ``[%reg+offset]``,
+* a leading ``@%p`` / ``@!%p`` predicates the instruction,
+* ``label:`` lines define branch targets.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import IRError
+from .isa import CMP_OPS, Imm, Instr, Op, Param, Reg, Special, SReg
+from .ir import Kernel, RawStmt, Seq
+from .lower import LoweredKernel, lower
+
+__all__ = ["assemble", "format_program", "roundtrip"]
+
+_SPECIALS = {s.value: s for s in Special}
+
+_MEM_OPS = {
+    "ld.tex": Op.LD_TEX,
+    "ld.global": Op.LD_GLOBAL,
+    "st.global": Op.ST_GLOBAL,
+    "ld.shared": Op.LD_SHARED,
+    "st.shared": Op.ST_SHARED,
+}
+
+_SIMPLE_OPS = {
+    op.name.lower(): op
+    for op in Op
+    if op
+    not in (
+        Op.LD_GLOBAL,
+        Op.ST_GLOBAL,
+        Op.LD_SHARED,
+        Op.ST_SHARED,
+        Op.LD_TEX,
+        Op.SETP,
+        Op.LABEL,
+    )
+}
+_SIMPLE_OPS["bar_sync"] = Op.BAR_SYNC
+_SIMPLE_OPS["bar.sync"] = Op.BAR_SYNC
+
+_TOKEN = re.compile(
+    r"""\[(?P<mem_base>%[\w$.]+|param:\w+)\s*(?:\+\s*(?P<mem_off>-?\d+))?\]
+      | (?P<reg>%[\w$.]+)
+      | (?P<param>param:\w+)
+      | (?P<num>[-+]?(?:0x[0-9a-fA-F]+|\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+|\d+(?:[eE][-+]?\d+)?))
+      | (?P<label>[A-Za-z_.][\w.]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _parse_operand(text: str):
+    text = text.strip()
+    if text.startswith("%"):
+        name = text[1:]
+        if name in _SPECIALS:
+            return SReg(_SPECIALS[name])
+        return Reg(name)
+    if text.startswith("param:"):
+        return Param(text[6:])
+    try:
+        if re.fullmatch(r"[-+]?\d+", text):
+            return Imm(int(text))
+        if text.lower().startswith(("0x", "-0x", "+0x")):
+            return Imm(int(text, 16))
+        return Imm(float(text))
+    except ValueError:
+        raise IRError(f"cannot parse operand {text!r}") from None
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split on commas not inside brackets."""
+    out, depth, cur = [], 0, []
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        out.append(tail)
+    return out
+
+
+def _parse_mem(text: str) -> tuple[object, int]:
+    m = re.fullmatch(r"\[\s*(?P<base>[^\]+]+?)\s*(?:\+\s*(?P<off>-?\d+))?\s*\]", text)
+    if not m:
+        raise IRError(f"bad memory operand {text!r}")
+    return _parse_operand(m.group("base")), int(m.group("off") or 0)
+
+
+def assemble(text: str) -> Kernel:
+    """Parse assembly text into a (flat) structured kernel.
+
+    The result contains only raw instructions and ``LABEL`` markers are
+    preserved by converting branches to the labels defined in the text;
+    pass it through :func:`repro.cudasim.lower.lower` to execute.
+    """
+    name = "anonymous"
+    params: tuple[str, ...] = ()
+    shared_words = 0
+    body = Seq()
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].split("#")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            name = line.split(None, 1)[1].strip()
+            continue
+        if line.startswith(".params"):
+            params = tuple(line.split()[1:])
+            continue
+        if line.startswith(".shared"):
+            shared_words = int(line.split()[1])
+            continue
+        if re.fullmatch(r"[A-Za-z_.][\w.]*:", line):
+            body.stmts.append(
+                RawStmt(Instr(Op.LABEL, target=line[:-1]))
+            )
+            continue
+
+        pred = None
+        pred_neg = False
+        if line.startswith("@"):
+            pred_text, line = line[1:].split(None, 1)
+            if pred_text.startswith("!"):
+                pred_neg = True
+                pred_text = pred_text[1:]
+            if not pred_text.startswith("%"):
+                raise IRError(f"bad predicate {pred_text!r}")
+            pred = Reg(pred_text[1:])
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        operands = _split_operands(rest)
+
+        # Vector suffix on memory ops: ld.global.v4
+        mem_match = re.fullmatch(r"(ld|st)\.(global|shared|tex)(?:\.v(\d))?", mnemonic)
+        if mem_match:
+            op = _MEM_OPS[f"{mem_match.group(1)}.{mem_match.group(2)}"]
+            is_load = mem_match.group(1) == "ld"
+            if is_load:
+                dst_texts = operands[:-1]
+                addr, off = _parse_mem(operands[-1])
+                dsts = tuple(_parse_operand(t) for t in dst_texts)
+                if not all(isinstance(d, Reg) for d in dsts):
+                    raise IRError("load destinations must be registers")
+                body.stmts.append(
+                    RawStmt(
+                        Instr(op, dsts=dsts, srcs=(addr,), offset=off,
+                              pred=pred, pred_neg=pred_neg)
+                    )
+                )
+            else:
+                addr, off = _parse_mem(operands[0])
+                srcs = tuple(_parse_operand(t) for t in operands[1:])
+                body.stmts.append(
+                    RawStmt(
+                        Instr(op, srcs=(addr, *srcs), offset=off,
+                              pred=pred, pred_neg=pred_neg)
+                    )
+                )
+            continue
+
+        setp_match = re.fullmatch(r"setp\.(\w+)", mnemonic)
+        if setp_match:
+            cmp = setp_match.group(1)
+            if cmp not in CMP_OPS:
+                raise IRError(f"bad comparison {cmp!r}")
+            dst = _parse_operand(operands[0])
+            a = _parse_operand(operands[1])
+            b = _parse_operand(operands[2])
+            body.stmts.append(
+                RawStmt(
+                    Instr(Op.SETP, dsts=(dst,), srcs=(a, b), cmp=cmp,
+                          pred=pred, pred_neg=pred_neg)
+                )
+            )
+            continue
+
+        if mnemonic == "bra":
+            body.stmts.append(
+                RawStmt(
+                    Instr(Op.BRA, target=operands[0], pred=pred,
+                          pred_neg=pred_neg)
+                )
+            )
+            continue
+
+        if mnemonic not in _SIMPLE_OPS:
+            raise IRError(f"unknown mnemonic {mnemonic!r}")
+        op = _SIMPLE_OPS[mnemonic]
+        parsed = [_parse_operand(t) for t in operands]
+        if op in (Op.EXIT, Op.BAR_SYNC, Op.NOP):
+            body.stmts.append(
+                RawStmt(Instr(op, pred=pred, pred_neg=pred_neg))
+            )
+            continue
+        dsts = (parsed[0],) if parsed else ()
+        if dsts and not isinstance(dsts[0], Reg):
+            raise IRError(f"{mnemonic}: destination must be a register")
+        body.stmts.append(
+            RawStmt(
+                Instr(op, dsts=dsts, srcs=tuple(parsed[1:]),
+                      pred=pred, pred_neg=pred_neg)
+            )
+        )
+
+    return Kernel(name=name, params=params, body=body,
+                  shared_words=shared_words)
+
+
+def format_program(lk: LoweredKernel) -> str:
+    """Emit a lowered kernel as parseable assembly text."""
+    by_index: dict[int, list[str]] = {}
+    for label, idx in lk.targets.items():
+        by_index.setdefault(idx, []).append(label)
+    lines = [
+        f".kernel {lk.name}",
+        f".params {' '.join(lk.kernel.params)}".rstrip(),
+        f".shared {lk.shared_words}",
+    ]
+    for i, ins in enumerate(lk.instructions):
+        for label in sorted(by_index.get(i, ())):
+            lines.append(f"{label}:")
+        lines.append(f"    {_format_instr(ins)}")
+    for label in sorted(by_index.get(len(lk.instructions), ())):
+        lines.append(f"{label}:")
+        lines.append("    nop")
+    return "\n".join(lines)
+
+
+def _format_operand(o) -> str:
+    if isinstance(o, Reg):
+        return f"%{o.name}"
+    if isinstance(o, SReg):
+        return f"%{o.special.value}"
+    if isinstance(o, Param):
+        return f"param:{o.name}"
+    if isinstance(o, Imm):
+        return repr(o.value)
+    raise IRError(f"cannot format operand {o!r}")  # pragma: no cover
+
+
+def _format_instr(ins: Instr) -> str:
+    prefix = ""
+    if ins.pred is not None:
+        prefix = f"@{'!' if ins.pred_neg else ''}%{ins.pred.name} "
+    if ins.op in (Op.LD_GLOBAL, Op.LD_SHARED, Op.LD_TEX):
+        space = {Op.LD_GLOBAL: "global", Op.LD_SHARED: "shared",
+                 Op.LD_TEX: "tex"}[ins.op]
+        dsts = ", ".join(_format_operand(d) for d in ins.dsts)
+        return (
+            f"{prefix}ld.{space}.v{len(ins.dsts)} {dsts}, "
+            f"[{_format_operand(ins.srcs[0])}+{ins.offset}]"
+        )
+    if ins.op in (Op.ST_GLOBAL, Op.ST_SHARED):
+        space = "global" if ins.op is Op.ST_GLOBAL else "shared"
+        srcs = ", ".join(_format_operand(s) for s in ins.srcs[1:])
+        return (
+            f"{prefix}st.{space}.v{len(ins.srcs) - 1} "
+            f"[{_format_operand(ins.srcs[0])}+{ins.offset}], {srcs}"
+        )
+    if ins.op is Op.SETP:
+        ops = ", ".join(
+            [_format_operand(ins.dsts[0])]
+            + [_format_operand(s) for s in ins.srcs]
+        )
+        return f"{prefix}setp.{ins.cmp} {ops}"
+    if ins.op is Op.BRA:
+        return f"{prefix}bra {ins.target}"
+    name = ins.op.name.lower()
+    ops = ", ".join(
+        [_format_operand(d) for d in ins.dsts]
+        + [_format_operand(s) for s in ins.srcs]
+    )
+    return f"{prefix}{name} {ops}".rstrip()
+
+
+def roundtrip(lk: LoweredKernel) -> LoweredKernel:
+    """format → parse → lower; used by the property tests."""
+    return lower(assemble(format_program(lk)))

@@ -1,0 +1,242 @@
+"""Device and toolchain descriptions.
+
+The paper's testbed is a GeForce 8800 GTX (G80, compute capability 1.0)
+driven by three CUDA toolchain revisions (1.0, 1.1, 2.2).  Both halves are
+modeled explicitly:
+
+* :class:`DeviceProperties` carries the *hardware* constants — SM counts,
+  register file size, shared-memory banks, occupancy limits and the timing
+  constants of the simulator's pipelines.  Every calibrated constant has a
+  provenance comment; these are the only free parameters of the timing
+  model (see DESIGN.md §5).
+* :class:`Toolchain` selects the *driver/compiler behaviour* that the paper
+  varies: chiefly how uncoalesced accesses are combined into memory
+  transactions (Sec. III observes that CUDA 1.1 and 2.2 changed this).
+
+Occupancy-relevant limits of the G80 (verified against the CUDA occupancy
+calculator for compute capability 1.0):
+
+========================  =======
+registers per SM           8192
+max threads per SM          768
+max warps per SM             24
+max blocks per SM             8
+shared memory per SM     16 KiB
+warp size                    32
+========================  =======
+
+With those limits a 128-thread block needing 17 or 18 registers/thread fits
+3 blocks/SM (384 threads, 50 % occupancy) while 16 registers/thread fits
+4 blocks/SM (512 threads, 67 %) — exactly the paper's Sec. IV-A numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "Toolchain",
+    "MemoryTimings",
+    "DeviceProperties",
+    "G8800GTX",
+    "device_for",
+]
+
+
+class Toolchain(enum.Enum):
+    """CUDA driver/compiler revisions studied in the paper."""
+
+    CUDA_1_0 = "1.0"
+    CUDA_1_1 = "1.1"
+    CUDA_2_2 = "2.2"
+
+    @property
+    def coalescing_policy_name(self) -> str:
+        """Name of the :mod:`repro.core.coalescing` policy this revision uses."""
+        return {
+            Toolchain.CUDA_1_0: "strict-halfwarp",
+            Toolchain.CUDA_1_1: "driver-merged",
+            Toolchain.CUDA_2_2: "segment-based",
+        }[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CUDA {self.value}"
+
+
+@dataclass(frozen=True)
+class MemoryTimings:
+    """Timing constants of the global-memory pipeline.
+
+    The model is *latency + bandwidth queue*: a load completes
+    ``latency`` cycles after its last transaction has drained through a
+    pipe that services ``bytes_per_cycle`` bytes each SM cycle.  These four
+    constants are the calibration surface for Fig. 10's 200–500
+    cycles-per-read band.
+    """
+
+    #: DRAM round-trip observed by a warp, in SM cycles.  NVIDIA's
+    #: programming guide for the G80 era quotes 400–600 for the raw DRAM
+    #: trip; 370 is the calibrated value that puts the Fig. 10 serialized
+    #: microbenchmark in the paper's 200–500 cycles/element band.
+    latency: float = 370.0
+
+    #: Peak DRAM service rate per SM in bytes per SM cycle.  The chip-wide
+    #: figure (86.4 GB/s / 16 SMs / 1.35 GHz ≈ 4 B/cy) is a *sustained*
+    #: number; a single SM issuing back-to-back bursts sees the full burst
+    #: rate, calibrated here to 32 B/cycle so one uncoalesced half-warp
+    #: (16 × 32 B) occupies the pipe for ~48 cycles.
+    bytes_per_cycle: float = 32.0
+
+    #: Smallest transaction the memory controller issues.  G80 DRAM bursts
+    #: are 32 bytes; a single uncoalesced 4-byte read still moves 32 bytes.
+    min_transaction_bytes: int = 32
+
+    #: Largest single transaction (one 128-byte segment).
+    max_transaction_bytes: int = 128
+
+    #: Fixed controller overhead per transaction, in SM cycles.  Models
+    #: command/address cycles that are paid even for tiny transactions.
+    transaction_overhead: float = 0.5
+
+    #: Issue-port cycles for each extra transaction a half-warp generates
+    #: (re-issue cost of a replayed access).  Only charged by toolchains
+    #: whose policy replays in hardware (see ``CoalescingPolicy``).
+    replay_issue_cycles: float = 0.5
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Architectural description of one simulated GPU."""
+
+    name: str = "generic-g80"
+    compute_capability: tuple[int, int] = (1, 0)
+
+    # --- chip geometry -------------------------------------------------
+    num_sms: int = 16
+    sps_per_sm: int = 8  # scalar "CUDA cores" per SM
+    sfus_per_sm: int = 2  # special-function units (rsqrt, sin, ...)
+    clock_mhz: float = 1350.0  # shader clock of the 8800 GTX
+
+    # --- SIMT geometry -------------------------------------------------
+    warp_size: int = 32
+    halfwarp_size: int = 16  # coalescing granularity on CC 1.x
+
+    # --- occupancy limits (CC 1.0) --------------------------------------
+    registers_per_sm: int = 8192
+    max_threads_per_sm: int = 768
+    max_warps_per_sm: int = 24
+    max_blocks_per_sm: int = 8
+    shared_mem_per_sm: int = 16 * 1024
+    max_threads_per_block: int = 512
+    #: Register allocation granularity: CC 1.0 allocates registers to a
+    #: block rounded up to a multiple of this many registers.
+    register_alloc_unit: int = 256
+    #: Shared memory allocation granularity in bytes.
+    shared_alloc_unit: int = 512
+    #: Shared memory consumed by kernel parameters + blockIdx bookkeeping;
+    #: nvcc for CC 1.x always reserves a small amount.
+    shared_mem_base_usage: int = 16
+
+    # --- shared memory banks --------------------------------------------
+    shared_banks: int = 16
+    shared_bank_width: int = 4  # bytes per bank per cycle
+
+    # --- texture cache (the G80's only DRAM cache) ------------------------
+    tex_cache_bytes: int = 8 * 1024  # per SM (8 KiB working set on G80)
+    tex_line_bytes: int = 32
+    #: Texture-unit pipeline latency even on a hit — long but hideable.
+    tex_hit_latency: float = 110.0
+
+    # --- instruction timing ----------------------------------------------
+    #: Cycles for one warp (32 threads) to issue one ALU instruction
+    #: through 8 SPs: 32/8 = 4.
+    alu_issue_cycles: int = 4
+    #: Cycles for a warp to issue a transcendental through 2 SFUs: 32/2=16.
+    sfu_issue_cycles: int = 16
+    #: Extra latency before the result of an ALU op can be consumed
+    #: (register read-after-write latency on G80 is ~24 cycles, hidden when
+    #: ≥6 warps are resident; the scheduler models it as result latency).
+    alu_result_latency: int = 24
+    sfu_result_latency: int = 32
+    #: Cycles for a barrier instruction once all warps arrived.
+    barrier_cycles: int = 4
+
+    memory: MemoryTimings = field(default_factory=MemoryTimings)
+
+    # --- global memory size ----------------------------------------------
+    global_mem_bytes: int = 768 * 1024 * 1024  # 768 MiB on the 8800 GTX
+
+    @property
+    def max_registers_per_thread(self) -> int:
+        """Hard nvcc limit for CC 1.x."""
+        return 124
+
+    @property
+    def peak_gflops(self) -> float:
+        """Single-precision MAD peak: 2 flops × SPs × clock."""
+        return 2.0 * self.num_sms * self.sps_per_sm * self.clock_mhz / 1000.0
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_mhz * 1e6)
+
+    def with_memory(self, **overrides: object) -> "DeviceProperties":
+        """Return a copy with some :class:`MemoryTimings` fields replaced."""
+        return replace(self, memory=replace(self.memory, **overrides))
+
+
+#: The paper's testbed GPU.
+G8800GTX = DeviceProperties(name="GeForce 8800 GTX")
+
+#: A low-end G8x part — same architecture, a quarter of the SMs, slower
+#: memory.  Used by the portability experiment (the paper's future work:
+#: "study how the basic principles can be tuned for different GPU models").
+G8600GT = DeviceProperties(
+    name="GeForce 8600 GT",
+    num_sms=4,
+    clock_mhz=1190.0,
+    global_mem_bytes=256 * 1024 * 1024,
+    memory=MemoryTimings(
+        latency=420.0,  # slower DDR3 on the 8600 GT
+        bytes_per_cycle=12.0,  # 22.4 GB/s / 4 SMs / 1.19 GHz ≈ 4.7; burst
+        # rate scaled like the 8800's sustained:burst ratio
+    ),
+)
+
+#: The GT200 flagship (compute capability 1.3): doubled register file,
+#: 1024 threads/SM, relaxed (segment-based) coalescing in hardware.
+GTX280 = DeviceProperties(
+    name="GeForce GTX 280",
+    compute_capability=(1, 3),
+    num_sms=30,
+    clock_mhz=1296.0,
+    registers_per_sm=16384,
+    max_threads_per_sm=1024,
+    max_warps_per_sm=32,
+    register_alloc_unit=512,
+    global_mem_bytes=1024 * 1024 * 1024,
+    memory=MemoryTimings(
+        latency=350.0,
+        bytes_per_cycle=40.0,  # 141.7 GB/s across 30 SMs, burst-scaled
+    ),
+)
+
+#: All shipped device profiles.
+DEVICE_PROFILES: dict[str, DeviceProperties] = {
+    "GeForce 8800 GTX": G8800GTX,
+    "g8800gtx": G8800GTX,
+    "GeForce 8600 GT": G8600GT,
+    "g8600gt": G8600GT,
+    "GeForce GTX 280": GTX280,
+    "gtx280": GTX280,
+}
+
+
+def device_for(name: str) -> DeviceProperties:
+    """Look up a device profile by name."""
+    try:
+        return DEVICE_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; available: {sorted(DEVICE_PROFILES)}"
+        ) from None

@@ -1,0 +1,124 @@
+"""Scalar and vector data types understood by the simulator.
+
+The G80 generation is natively a 32-bit machine: every register holds one
+32-bit word and global memory is accessed in 4-, 8- or 16-byte quantities
+(``float``, ``float2``, ``float4`` and their integer cousins).  The
+simulator keeps the same model: a :class:`DType` is a 4-byte scalar kind and
+a :class:`VecType` is 1, 2 or 4 lanes of a scalar kind.
+
+Register values are stored lane-wise as ``numpy.float64`` inside the warp
+register file (exact for all ``f32`` values and for integers up to 2**53);
+the dtype objects here carry the *semantics* (how memory bytes map to
+register values and back), not the storage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ScalarKind",
+    "DType",
+    "VecType",
+    "F32",
+    "I32",
+    "U32",
+    "PRED",
+    "float1",
+    "float2",
+    "float4",
+    "int1",
+    "int2",
+    "int4",
+    "uint1",
+    "vec",
+    "WORD_BYTES",
+]
+
+#: All global-memory traffic is expressed in 4-byte words.
+WORD_BYTES = 4
+
+
+class ScalarKind(enum.Enum):
+    """The three register interpretations plus the predicate kind."""
+
+    F32 = "f32"
+    I32 = "i32"
+    U32 = "u32"
+    PRED = "pred"
+
+
+@dataclass(frozen=True)
+class DType:
+    """A 4-byte scalar type (or the register-free predicate type)."""
+
+    kind: ScalarKind
+
+    @property
+    def nbytes(self) -> int:
+        return 0 if self.kind is ScalarKind.PRED else WORD_BYTES
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return {
+            ScalarKind.F32: np.dtype(np.float32),
+            ScalarKind.I32: np.dtype(np.int32),
+            ScalarKind.U32: np.dtype(np.uint32),
+            ScalarKind.PRED: np.dtype(np.bool_),
+        }[self.kind]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.kind.value
+
+
+F32 = DType(ScalarKind.F32)
+I32 = DType(ScalarKind.I32)
+U32 = DType(ScalarKind.U32)
+PRED = DType(ScalarKind.PRED)
+
+
+@dataclass(frozen=True)
+class VecType:
+    """A vector of 1, 2 or 4 scalar lanes — the units of memory access.
+
+    ``VecType(F32, 4)`` is CUDA's ``float4``: a 16-byte naturally aligned
+    quantity that one ``LD_GLOBAL`` instruction moves into 4 registers.
+    """
+
+    scalar: DType
+    lanes: int
+
+    def __post_init__(self) -> None:
+        if self.lanes not in (1, 2, 4):
+            raise ValueError(f"vector width must be 1, 2 or 4, got {self.lanes}")
+        if self.scalar.kind is ScalarKind.PRED:
+            raise ValueError("predicate registers cannot form memory vectors")
+
+    @property
+    def nbytes(self) -> int:
+        return self.scalar.nbytes * self.lanes
+
+    @property
+    def alignment(self) -> int:
+        """Natural alignment: equal to the size for 4/8/16-byte accesses."""
+        return self.nbytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.scalar}x{self.lanes}"
+
+
+def vec(scalar: DType, lanes: int) -> VecType:
+    """Convenience constructor mirroring CUDA's built-in vector types."""
+    return VecType(scalar, lanes)
+
+
+float1 = VecType(F32, 1)
+float2 = VecType(F32, 2)
+float4 = VecType(F32, 4)
+int1 = VecType(I32, 1)
+int2 = VecType(I32, 2)
+int4 = VecType(I32, 4)
+uint1 = VecType(U32, 1)

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the CUDA-like simulator.
+
+Every error raised by :mod:`repro.cudasim` derives from :class:`CudaSimError`
+so callers can catch simulator failures without masking programming errors
+in their own code.
+"""
+
+from __future__ import annotations
+
+
+class CudaSimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class DeviceError(CudaSimError):
+    """Invalid device configuration or device-limit violation."""
+
+
+class MemoryError_(CudaSimError):
+    """Device memory fault (OOB access, misaligned access, OOM).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`; exported as ``DeviceMemoryError`` from the package.
+    """
+
+
+class AllocationError(MemoryError_):
+    """Device allocator could not satisfy a request."""
+
+
+class AccessViolation(MemoryError_):
+    """A thread accessed an address outside any live allocation."""
+
+
+class MisalignedAccess(MemoryError_):
+    """A vector load/store address was not naturally aligned.
+
+    Real CUDA hardware requires an N-byte load to be N-byte aligned; the
+    simulator enforces the same contract instead of silently splitting.
+    """
+
+
+class LaunchError(CudaSimError):
+    """Kernel launch configuration exceeds device limits."""
+
+
+class ExecutionError(CudaSimError):
+    """Fault raised while executing kernel instructions."""
+
+
+class DeadlockError(ExecutionError):
+    """The warp scheduler found no runnable warp and no pending event.
+
+    Typically caused by a barrier that not all warps of a block reach
+    (divergent ``BAR_SYNC``), mirroring real-hardware hangs.
+    """
+
+
+class IRError(CudaSimError):
+    """Malformed kernel IR (undefined register, bad loop bounds, ...)."""
+
+
+class LoweringError(IRError):
+    """Structured IR could not be lowered to a flat instruction stream."""
+
+
+class RegisterAllocationError(IRError):
+    """Register allocation failed or exceeded the per-thread budget."""
+
+
+class TraceError(CudaSimError):
+    """Memory-trace capture/replay mismatch."""

@@ -1,0 +1,690 @@
+"""Cycle-level SIMT execution of lowered kernels on one SM.
+
+Model (G80-like, single issue port per SM):
+
+* warps issue in round-robin; each issued warp instruction occupies the
+  issue port for its issue cost (4 cycles ALU, 16 SFU, more for replayed
+  memory accesses);
+* results carry a ready-cycle in a per-warp scoreboard; a warp whose next
+  instruction needs a pending register is not issuable — *latency hiding
+  emerges from other warps filling the gap*, which is exactly the
+  occupancy mechanism of the paper's Sec. IV-A;
+* global accesses run through the per-SM memory pipeline
+  (:mod:`repro.cudasim.pipeline`) after the toolchain's coalescing policy
+  converts them to transactions;
+* shared accesses serialize by bank-conflict degree;
+* ``BAR_SYNC`` blocks a warp until all live warps of its block arrive;
+* branch divergence is handled with a reconvergence mask stack: taken
+  lanes of a forward branch park at the target; lanes leaving a
+  divergent *backward* loop park at the fall-through pc until the
+  loopers finish — which is what lets data-dependent loops (the GPU
+  Barnes-Hut traversal) run.
+
+Functional semantics are evaluated eagerly and vectorized across the 32
+lanes with numpy; float operations round to float32 per operation so
+kernel numerics match a float32 host reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.access import HALFWARP, HalfWarpAccess
+from ..core.coalescing import CoalescingPolicy
+from .device import DeviceProperties
+from .errors import DeadlockError, ExecutionError
+from .isa import Imm, Instr, IssueClass, Op, Param, Reg, Special, SReg
+from .lower import LoweredKernel
+from .memory import GlobalMemory, SharedMemory
+from .pipeline import MemoryPipeline
+from .profiler import KernelStats
+from .texture import TextureCache
+
+__all__ = ["BlockState", "WarpState", "SMExecutor"]
+
+WARP = 32
+
+_F32 = np.float32
+_F64 = np.float64
+
+
+def _f32(x):
+    return np.asarray(x, dtype=_F32)
+
+
+def _i64(x):
+    return np.asarray(np.asarray(x, dtype=_F64), dtype=np.int64)
+
+
+_FLOAT_BINOPS: dict[Op, Callable] = {
+    Op.ADD: lambda a, b: _f32(a) + _f32(b),
+    Op.SUB: lambda a, b: _f32(a) - _f32(b),
+    Op.MUL: lambda a, b: _f32(a) * _f32(b),
+    Op.DIV: lambda a, b: _f32(a) / _f32(b),
+    Op.MIN: lambda a, b: np.minimum(_f32(a), _f32(b)),
+    Op.MAX: lambda a, b: np.maximum(_f32(a), _f32(b)),
+}
+
+_INT_BINOPS: dict[Op, Callable] = {
+    Op.IADD: lambda a, b: _i64(a) + _i64(b),
+    Op.ISUB: lambda a, b: _i64(a) - _i64(b),
+    Op.IMUL: lambda a, b: _i64(a) * _i64(b),
+    Op.SHL: lambda a, b: _i64(a) << _i64(b),
+    Op.SHR: lambda a, b: _i64(a) >> _i64(b),
+    Op.AND: lambda a, b: _i64(a) & _i64(b),
+    Op.OR: lambda a, b: _i64(a) | _i64(b),
+    Op.XOR: lambda a, b: _i64(a) ^ _i64(b),
+}
+
+_CMPS: dict[str, Callable] = {
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+}
+
+
+@dataclass
+class BlockState:
+    block_id: int
+    shared: SharedMemory
+    warps: list["WarpState"] = field(default_factory=list)
+    barrier_count: int = 0
+
+    @property
+    def live_warps(self) -> int:
+        return sum(1 for w in self.warps if not w.done)
+
+    @property
+    def done(self) -> bool:
+        return all(w.done for w in self.warps)
+
+
+class WarpState:
+    """Execution state of one warp."""
+
+    __slots__ = (
+        "block",
+        "warp_in_block",
+        "pc",
+        "active",
+        "alive",
+        "div_stack",
+        "regs",
+        "preds",
+        "pending",
+        "next_issue",
+        "at_barrier",
+        "done",
+        "tid",
+    )
+
+    def __init__(
+        self, block: BlockState, warp_in_block: int, reg_count: int, pred_count: int
+    ) -> None:
+        self.block = block
+        self.warp_in_block = warp_in_block
+        self.pc = 0
+        self.active = np.ones(WARP, dtype=bool)
+        self.alive = np.ones(WARP, dtype=bool)
+        self.div_stack: list[tuple[int, np.ndarray]] = []
+        self.regs = np.zeros((max(reg_count, 1), WARP), dtype=_F64)
+        self.preds = np.zeros((max(pred_count, 1), WARP), dtype=bool)
+        self.pending: dict[int, float] = {}
+        self.next_issue = 0.0
+        self.at_barrier = False
+        self.done = False
+        self.tid = warp_in_block * WARP + np.arange(WARP, dtype=np.int64)
+
+
+class _Prep:
+    """Pre-resolved instruction: physical register indices, target index."""
+
+    __slots__ = (
+        "instr",
+        "op",
+        "dsts",
+        "src_kinds",
+        "srcs",
+        "pred",
+        "pred_neg",
+        "cmp",
+        "offset",
+        "target",
+        "issue_class",
+        "need_regs",
+    )
+
+    def __init__(self, instr: Instr):
+        self.instr = instr
+        self.op = instr.op
+        self.cmp = instr.cmp
+        self.offset = instr.offset
+        self.pred_neg = instr.pred_neg
+        self.issue_class = instr.issue_class
+        self.target: int | None = None  # filled by executor
+        self.dsts: list[int] = []
+        self.srcs: list = []
+        self.src_kinds: list[str] = []
+        self.pred: int | None = None
+        self.need_regs: list[int] = []
+
+
+class SMExecutor:
+    """Runs a queue of blocks on one simulated SM."""
+
+    def __init__(
+        self,
+        device: DeviceProperties,
+        policy: CoalescingPolicy,
+        gmem: GlobalMemory,
+        lk: LoweredKernel,
+        params: dict,
+        block_dim: int,
+        grid_dim: int,
+        stats: KernelStats | None = None,
+        trace=None,
+    ) -> None:
+        self.device = device
+        self.policy = policy
+        self.gmem = gmem
+        self.lk = lk
+        self.params = params
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.trace = trace  # optional per-global-access hook
+        self.stats = stats if stats is not None else KernelStats()
+        self.pipeline = MemoryPipeline(device, policy)
+        self.texcache = TextureCache(device, self.pipeline)
+        self._prepped = self._prepare()
+        self._lane = np.arange(WARP, dtype=np.int64)
+
+    # ------------------------------------------------------------------ prep
+
+    def _prepare(self) -> list[_Prep]:
+        lk = self.lk
+        out: list[_Prep] = []
+        for ins in lk.instructions:
+            p = _Prep(ins)
+            if ins.op is Op.BRA:
+                p.target = lk.targets[ins.target]
+            for d in ins.dsts:
+                if d.is_predicate:
+                    p.dsts.append(-1 - lk.pred_map[d.name])
+                else:
+                    p.dsts.append(lk.reg_map[d.name])
+            for s in ins.srcs:
+                if isinstance(s, Reg):
+                    if s.is_predicate:
+                        p.src_kinds.append("pred")
+                        p.srcs.append(lk.pred_map[s.name])
+                    else:
+                        p.src_kinds.append("reg")
+                        idx = lk.reg_map[s.name]
+                        p.srcs.append(idx)
+                        p.need_regs.append(idx)
+                elif isinstance(s, Imm):
+                    p.src_kinds.append("imm")
+                    p.srcs.append(s.value)
+                elif isinstance(s, Param):
+                    p.src_kinds.append("param")
+                    p.srcs.append(s.name)
+                elif isinstance(s, SReg):
+                    p.src_kinds.append("sreg")
+                    p.srcs.append(s.special)
+                else:  # pragma: no cover - defensive
+                    raise ExecutionError(f"bad operand {s!r}")
+            if ins.pred is not None:
+                p.pred = lk.pred_map[ins.pred.name]
+            # Registers whose pending status blocks issue: sources and
+            # destinations (in-order WAW on loads).
+            for d in ins.dsts:
+                if not d.is_predicate:
+                    p.need_regs.append(lk.reg_map[d.name])
+            out.append(p)
+        return out
+
+    # ------------------------------------------------------------- operands
+
+    def _value(self, warp: WarpState, kind: str, src):
+        if kind == "reg":
+            return warp.regs[src]
+        if kind == "imm":
+            return src
+        if kind == "param":
+            try:
+                return self.params[src]
+            except KeyError:
+                raise ExecutionError(f"missing kernel parameter {src!r}") from None
+        if kind == "pred":
+            return warp.preds[src]
+        # special register
+        sp: Special = src
+        if sp is Special.TID:
+            return warp.tid
+        if sp is Special.CTAID:
+            return warp.block.block_id
+        if sp is Special.NTID:
+            return self.block_dim
+        if sp is Special.NCTAID:
+            return self.grid_dim
+        if sp is Special.LANEID:
+            return self._lane
+        raise ExecutionError(f"unknown special register {sp!r}")
+
+    def _values(self, warp: WarpState, p: _Prep) -> list:
+        return [
+            self._value(warp, k, s) for k, s in zip(p.src_kinds, p.srcs)
+        ]
+
+    @staticmethod
+    def _write(warp: WarpState, dst: int, value, mask: np.ndarray) -> None:
+        if dst < 0:  # predicate file
+            warp.preds[-1 - dst][mask] = np.broadcast_to(value, (WARP,))[mask]
+        else:
+            arr = np.broadcast_to(np.asarray(value, dtype=_F64), (WARP,))
+            warp.regs[dst][mask] = arr[mask]
+
+    # ------------------------------------------------------------ readiness
+
+    def _wake_time(self, warp: WarpState) -> float | None:
+        """Earliest cycle the warp could issue, or None if externally blocked."""
+        if warp.done or warp.at_barrier:
+            return None
+        t = warp.next_issue
+        p = self._prepped[warp.pc]
+        for r in p.need_regs:
+            t = max(t, warp.pending.get(r, 0.0))
+        return t
+
+    def _ready(self, warp: WarpState, now: float) -> bool:
+        t = self._wake_time(warp)
+        return t is not None and t <= now
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, block_ids: list[int], max_resident: int) -> float:
+        """Execute ``block_ids`` with at most ``max_resident`` co-resident
+        blocks; returns the finish cycle."""
+        # Kernel float math follows IEEE-754 silently, like the GPU:
+        # overflow → inf, 0/0 → NaN, without host-side warnings.
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            return self._run(block_ids, max_resident)
+
+    def _run(self, block_ids: list[int], max_resident: int) -> float:
+        queue = list(block_ids)
+        resident: list[BlockState] = []
+        now = 0.0
+
+        def activate() -> None:
+            while queue and len(resident) < max_resident:
+                bid = queue.pop(0)
+                blk = BlockState(
+                    block_id=bid,
+                    shared=SharedMemory(self.lk.shared_words, self.device),
+                )
+                n_warps = self.block_dim // WARP
+                for w in range(n_warps):
+                    ws = WarpState(
+                        blk, w, self.lk.reg_count, self.lk.pred_count
+                    )
+                    ws.next_issue = now
+                    blk.warps.append(ws)
+                resident.append(blk)
+                self.stats.blocks_executed += 1
+                self.stats.warps_executed += n_warps
+
+        activate()
+        rr = 0
+        while resident:
+            warps = [w for blk in resident for w in blk.warps]
+            issued = False
+            n = len(warps)
+            for k in range(n):
+                warp = warps[(rr + k) % n]
+                if self._ready(warp, now):
+                    rr = (rr + k + 1) % n
+                    now = self._issue(warp, now)
+                    issued = True
+                    break
+                elif not warp.done and not warp.at_barrier:
+                    self.stats.scoreboard_stalls += 1
+            # Retire finished blocks, admit queued ones.
+            finished = [b for b in resident if b.done]
+            if finished:
+                for b in finished:
+                    resident.remove(b)
+                activate()
+                continue
+            if issued:
+                continue
+            # Nobody issuable: advance time to the earliest wake-up.
+            wakes = [t for w in warps if (t := self._wake_time(w)) is not None]
+            if not wakes:
+                if any(not w.done for w in warps):
+                    raise DeadlockError(
+                        f"kernel {self.lk.name!r}: all warps blocked "
+                        f"(divergent barrier?) at cycle {now:.0f}"
+                    )
+                continue
+            new_now = max(now, min(wakes))
+            if new_now == now:  # pragma: no cover - defensive
+                raise DeadlockError(
+                    f"kernel {self.lk.name!r}: scheduler stuck at {now:.0f}"
+                )
+            self.stats.idle_cycles += new_now - now
+            now = new_now
+        self.stats.sm_cycles.append(now)
+        return now
+
+    # ---------------------------------------------------------------- issue
+
+    def _issue(self, warp: WarpState, now: float) -> float:
+        """Execute one instruction for ``warp``; returns the new SM clock."""
+        # Reconvergence check: lanes parked for this pc rejoin.
+        while warp.div_stack and warp.pc == warp.div_stack[-1][0]:
+            _, mask = warp.div_stack.pop()
+            warp.active = (warp.active | mask) & warp.alive
+
+        p = self._prepped[warp.pc]
+        op = p.op
+        dev = self.device
+
+        mask = warp.active.copy()
+        if p.pred is not None and op is not Op.BRA and op is not Op.EXIT:
+            pv = warp.preds[p.pred]
+            mask &= (~pv) if p.pred_neg else pv
+
+        self.stats.count(op, p.issue_class, int(mask.sum()))
+        issue = dev.alu_issue_cycles
+        advance_pc = True
+
+        if op in _FLOAT_BINOPS:
+            a, b = self._values(warp, p)
+            self._write(warp, p.dsts[0], _FLOAT_BINOPS[op](a, b), mask)
+            self._mark(warp, p.dsts[0], now + dev.alu_result_latency)
+            if op is Op.DIV:
+                issue = dev.sfu_issue_cycles
+                self._mark(warp, p.dsts[0], now + dev.sfu_result_latency)
+        elif op in _INT_BINOPS:
+            a, b = self._values(warp, p)
+            self._write(warp, p.dsts[0], _INT_BINOPS[op](a, b), mask)
+            self._mark(warp, p.dsts[0], now + dev.alu_result_latency)
+        elif op is Op.MOV:
+            (a,) = self._values(warp, p)
+            self._write(warp, p.dsts[0], a, mask)
+            self._mark(warp, p.dsts[0], now + dev.alu_result_latency)
+        elif op is Op.MAD:
+            a, b, c = self._values(warp, p)
+            self._write(warp, p.dsts[0], _f32(a) * _f32(b) + _f32(c), mask)
+            self._mark(warp, p.dsts[0], now + dev.alu_result_latency)
+        elif op is Op.IMAD:
+            a, b, c = self._values(warp, p)
+            self._write(warp, p.dsts[0], _i64(a) * _i64(b) + _i64(c), mask)
+            self._mark(warp, p.dsts[0], now + dev.alu_result_latency)
+        elif op in (Op.RSQRT, Op.SQRT):
+            (a,) = self._values(warp, p)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                root = np.sqrt(_f32(a))
+                val = (_f32(1.0) / root) if op is Op.RSQRT else root
+            self._write(warp, p.dsts[0], val, mask)
+            issue = dev.sfu_issue_cycles
+            self._mark(warp, p.dsts[0], now + dev.sfu_result_latency)
+        elif op is Op.NEG:
+            (a,) = self._values(warp, p)
+            self._write(warp, p.dsts[0], -_f32(a), mask)
+            self._mark(warp, p.dsts[0], now + dev.alu_result_latency)
+        elif op is Op.ABS:
+            (a,) = self._values(warp, p)
+            self._write(warp, p.dsts[0], np.abs(_f32(a)), mask)
+            self._mark(warp, p.dsts[0], now + dev.alu_result_latency)
+        elif op is Op.F2I:
+            (a,) = self._values(warp, p)
+            self._write(warp, p.dsts[0], np.trunc(np.asarray(a, dtype=_F64)), mask)
+            self._mark(warp, p.dsts[0], now + dev.alu_result_latency)
+        elif op is Op.I2F:
+            (a,) = self._values(warp, p)
+            self._write(warp, p.dsts[0], _f32(np.asarray(a, dtype=_F64)), mask)
+            self._mark(warp, p.dsts[0], now + dev.alu_result_latency)
+        elif op is Op.SETP:
+            a, b = self._values(warp, p)
+            av = np.broadcast_to(np.asarray(a, dtype=_F64), (WARP,))
+            bv = np.broadcast_to(np.asarray(b, dtype=_F64), (WARP,))
+            self._write(warp, p.dsts[0], _CMPS[p.cmp](av, bv), mask)
+        elif op is Op.SELP:
+            a, b, pv = self._values(warp, p)
+            av = np.broadcast_to(np.asarray(a, dtype=_F64), (WARP,))
+            bv = np.broadcast_to(np.asarray(b, dtype=_F64), (WARP,))
+            self._write(warp, p.dsts[0], np.where(pv, av, bv), mask)
+            self._mark(warp, p.dsts[0], now + dev.alu_result_latency)
+        elif op is Op.CLOCK:
+            self._write(warp, p.dsts[0], float(now), mask)
+        elif op is Op.NOP:
+            pass
+        elif op is Op.BRA:
+            advance_pc = self._branch(warp, p)
+            issue = dev.alu_issue_cycles
+        elif op is Op.EXIT:
+            advance_pc = self._exit(warp, p, now)
+        elif op is Op.BAR_SYNC:
+            self._barrier(warp, now)
+            advance_pc = True
+        elif op in (Op.LD_GLOBAL, Op.ST_GLOBAL):
+            issue = self._global_access(warp, p, mask, now)
+        elif op is Op.LD_TEX:
+            issue = self._tex_access(warp, p, mask, now)
+        elif op in (Op.LD_SHARED, Op.ST_SHARED):
+            issue = self._shared_access(warp, p, mask, now, dev)
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unimplemented op {op!r}")
+
+        if advance_pc:
+            warp.pc += 1
+            if warp.pc >= len(self._prepped):
+                self._retire(warp, now)
+        warp.next_issue = now + issue
+        return now + issue
+
+    # ------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _mark(warp: WarpState, dst: int, ready: float) -> None:
+        if dst >= 0:
+            warp.pending[dst] = ready
+
+    def _branch(self, warp: WarpState, p: _Prep) -> bool:
+        target = p.target
+        assert target is not None
+        if p.pred is None:
+            taken = warp.active.copy()
+        else:
+            pv = warp.preds[p.pred]
+            taken = warp.active & ((~pv) if p.pred_neg else pv)
+        if not taken.any():
+            return True  # fall through
+        if bool(np.array_equal(taken, warp.active)):
+            warp.pc = target
+            return False
+        if target <= warp.pc:
+            # Divergent backward branch (a per-lane data-dependent loop,
+            # e.g. Barnes-Hut traversal): lanes leaving the loop park at
+            # the fall-through pc and rejoin when the loopers arrive.
+            resume = warp.pc + 1
+            not_taken = warp.active & ~taken
+            if warp.div_stack and warp.div_stack[-1][0] == resume:
+                pc0, mask = warp.div_stack[-1]
+                warp.div_stack[-1] = (pc0, mask | not_taken)
+            else:
+                warp.div_stack.append((resume, not_taken.copy()))
+            warp.active = taken.copy()
+            warp.pc = target
+            return False
+        # Divergent forward branch: taken lanes park at the target.
+        warp.div_stack.append((target, taken.copy()))
+        warp.active = warp.active & ~taken
+        return True
+
+    def _exit(self, warp: WarpState, p: _Prep, now: float) -> bool:
+        if p.pred is None:
+            dying = warp.active.copy()
+        else:
+            pv = warp.preds[p.pred]
+            dying = warp.active & ((~pv) if p.pred_neg else pv)
+        warp.alive &= ~dying
+        warp.active &= ~dying
+        if not warp.alive.any():
+            self._retire(warp, now)
+            return False
+        if not warp.active.any():
+            # Jump ahead to the nearest reconvergence point.
+            if warp.div_stack:
+                pc, mask = warp.div_stack.pop()
+                warp.pc = pc
+                warp.active = mask & warp.alive
+                return False
+            self._retire(warp, now)
+            return False
+        return True
+
+    def _retire(self, warp: WarpState, now: float) -> None:
+        if warp.done:
+            return
+        warp.done = True
+        warp.active[:] = False
+        # A retiring warp may release a barrier its siblings wait on.
+        blk = warp.block
+        live = blk.live_warps
+        if live and blk.barrier_count >= live:
+            self._release_barrier(blk, now)
+
+    def _barrier(self, warp: WarpState, now: float) -> None:
+        blk = warp.block
+        warp.at_barrier = True
+        blk.barrier_count += 1
+        self.stats.barrier_waits += 1
+        if blk.barrier_count >= blk.live_warps:
+            self._release_barrier(blk, now)
+
+    def _release_barrier(self, blk: BlockState, now: float) -> None:
+        blk.barrier_count = 0
+        for w in blk.warps:
+            if w.at_barrier:
+                w.at_barrier = False
+                w.next_issue = max(w.next_issue, now + self.device.barrier_cycles)
+
+    def _addresses(self, warp: WarpState, p: _Prep) -> np.ndarray:
+        base = self._value(warp, p.src_kinds[0], p.srcs[0])
+        addrs = _i64(np.broadcast_to(np.asarray(base, dtype=_F64), (WARP,)))
+        return addrs + p.offset
+
+    def _global_access(
+        self, warp: WarpState, p: _Prep, mask: np.ndarray, now: float
+    ) -> float:
+        dev = self.device
+        is_load = p.op is Op.LD_GLOBAL
+        lanes = len(p.dsts) if is_load else len(p.srcs) - 1
+        addrs = self._addresses(warp, p)
+        if not mask.any():
+            return dev.alu_issue_cycles
+        # Functional effect.
+        idx = np.flatnonzero(mask)
+        if is_load:
+            data = self.gmem.gather(addrs[idx], lanes)
+            for k, dst in enumerate(p.dsts):
+                warp.regs[dst][idx] = data[k]
+        else:
+            vals = np.empty((lanes, idx.size), dtype=_F64)
+            for k in range(lanes):
+                v = self._value(warp, p.src_kinds[1 + k], p.srcs[1 + k])
+                vals[k] = np.broadcast_to(np.asarray(v, dtype=_F64), (WARP,))[idx]
+            self.gmem.scatter(addrs[idx], vals)
+        if self.trace is not None:
+            self.trace(
+                pc=warp.pc,
+                block=warp.block.block_id,
+                warp=warp.warp_in_block,
+                is_load=is_load,
+                width=4 * lanes,
+                addresses=addrs,
+                active=mask,
+            )
+        # Timing: coalesce per half-warp, queue the transactions.
+        txs = []
+        per_half = []
+        width = 4 * lanes
+        for h in (0, 1):
+            sel = slice(h * HALFWARP, (h + 1) * HALFWARP)
+            acc = HalfWarpAccess(addrs[sel], width, mask[sel])
+            half_txs = self.policy.transactions(acc)
+            per_half.append(half_txs)
+            txs.extend(half_txs)
+        ready = self.pipeline.request(txs, now, width, is_load)
+        if is_load:
+            for dst in p.dsts:
+                self._mark(warp, dst, ready)
+        replays = 0
+        if self.policy.charges_replays:
+            replays = sum(max(0, len(h) - 1) for h in per_half)
+        return dev.alu_issue_cycles + replays * dev.memory.replay_issue_cycles
+
+    def _tex_access(
+        self, warp: WarpState, p: _Prep, mask: np.ndarray, now: float
+    ) -> float:
+        """Read-only fetch through the per-SM texture cache."""
+        dev = self.device
+        lanes = len(p.dsts)
+        addrs = self._addresses(warp, p)
+        if not mask.any():
+            return dev.alu_issue_cycles
+        idx = np.flatnonzero(mask)
+        data = self.gmem.gather(addrs[idx], lanes)
+        for k, dst in enumerate(p.dsts):
+            warp.regs[dst][idx] = data[k]
+        if self.trace is not None:
+            self.trace(
+                pc=warp.pc,
+                block=warp.block.block_id,
+                warp=warp.warp_in_block,
+                is_load=True,
+                width=4 * lanes,
+                addresses=addrs,
+                active=mask,
+            )
+        ready = self.texcache.access(addrs[idx], 4 * lanes, now)
+        for dst in p.dsts:
+            self._mark(warp, dst, ready)
+        return dev.alu_issue_cycles
+
+    def _shared_access(
+        self,
+        warp: WarpState,
+        p: _Prep,
+        mask: np.ndarray,
+        now: float,
+        dev: DeviceProperties,
+    ) -> float:
+        is_load = p.op is Op.LD_SHARED
+        lanes = len(p.dsts) if is_load else len(p.srcs) - 1
+        addrs = self._addresses(warp, p)
+        if not mask.any():
+            return dev.alu_issue_cycles
+        shared = warp.block.shared
+        idx = np.flatnonzero(mask)
+        if is_load:
+            data = shared.gather(addrs[idx], lanes)
+            for k, dst in enumerate(p.dsts):
+                warp.regs[dst][idx] = data[k]
+                self._mark(warp, dst, now + dev.alu_result_latency)
+        else:
+            vals = np.empty((lanes, idx.size), dtype=_F64)
+            for k in range(lanes):
+                v = self._value(warp, p.src_kinds[1 + k], p.srcs[1 + k])
+                vals[k] = np.broadcast_to(np.asarray(v, dtype=_F64), (WARP,))[idx]
+            shared.scatter(addrs[idx], vals)
+        degree = shared.conflict_degree(addrs, lanes, mask)
+        return dev.alu_issue_cycles * degree

@@ -1,0 +1,423 @@
+"""Structured kernel IR and the :class:`KernelBuilder` DSL.
+
+Kernels are built as a tree of statements (sequences, counted loops,
+forward conditionals) over virtual registers.  The compiler passes of
+:mod:`repro.cudasim.transforms` (loop unrolling, invariant code motion)
+operate on this tree; :mod:`repro.cudasim.lower` flattens it to the ISA
+of :mod:`repro.cudasim.isa`; :mod:`repro.cudasim.regalloc` then maps
+virtual registers to a physical register file — the register counts that
+drive the paper's occupancy argument.
+
+The builder is deliberately close to how the paper's CUDA-C kernels read::
+
+    b = KernelBuilder("gravity", params=("pos", "n"))
+    i = b.tmp("i")
+    b.imad(i, b.sreg("ctaid"), b.sreg("ntid"), b.sreg("tid"))
+    with b.loop(0, 128) as j:
+        ...
+    b.build(shared_words=512)
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence, Union
+
+from .errors import IRError
+from .isa import CMP_OPS, Imm, Instr, Op, Operand, Param, Reg, Special, SReg
+
+__all__ = [
+    "Stmt",
+    "RawStmt",
+    "Seq",
+    "LoopStmt",
+    "IfStmt",
+    "Kernel",
+    "KernelBuilder",
+    "walk_instrs",
+    "count_static_instrs",
+]
+
+
+@dataclass
+class RawStmt:
+    """A single machine instruction."""
+
+    instr: Instr
+
+
+@dataclass
+class Seq:
+    """Ordered statement sequence."""
+
+    stmts: list["Stmt"] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator["Stmt"]:
+        return iter(self.stmts)
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+
+@dataclass
+class LoopStmt:
+    """Counted loop: ``for var = start; var < stop; var += step``.
+
+    ``unroll`` is the pragma carried to the unrolling pass: ``None`` for
+    no unrolling, an integer factor, or ``"full"``.
+    """
+
+    var: Reg
+    start: Operand
+    stop: Operand
+    step: int
+    body: Seq
+    unroll: Union[int, str, None] = None
+
+    def __post_init__(self) -> None:
+        if self.step == 0:
+            raise IRError("loop step must be nonzero")
+
+    def static_trip_count(self) -> int | None:
+        """Trip count when both bounds are immediates, else ``None``."""
+        if isinstance(self.start, Imm) and isinstance(self.stop, Imm):
+            span = self.stop.value - self.start.value
+            trips = -(-span // self.step) if self.step > 0 else -(-(-span) // (-self.step))
+            return max(0, int(trips))
+        return None
+
+
+@dataclass
+class IfStmt:
+    """Forward conditional: run ``body`` where ``pred`` (xor negate) holds.
+
+    Lowered to a branch over the body.  The simulator executes it either
+    as a uniform branch or via lane masking when the predicate diverges
+    within a warp.
+    """
+
+    pred: Reg
+    body: Seq
+    negate: bool = False
+
+
+Stmt = Union[RawStmt, Seq, LoopStmt, IfStmt]
+
+
+@dataclass
+class Kernel:
+    """A complete kernel: parameters, shared-memory footprint, body tree."""
+
+    name: str
+    params: tuple[str, ...]
+    body: Seq
+    shared_words: int = 0
+
+    def with_body(self, body: Seq, suffix: str = "") -> "Kernel":
+        return replace(self, body=body, name=self.name + suffix)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Kernel {self.name!r} params={self.params} "
+            f"shared={self.shared_words}w>"
+        )
+
+
+def walk_instrs(stmt: Stmt) -> Iterator[Instr]:
+    """All instructions in tree order (loop bodies visited once)."""
+    if isinstance(stmt, RawStmt):
+        yield stmt.instr
+    elif isinstance(stmt, Seq):
+        for s in stmt:
+            yield from walk_instrs(s)
+    elif isinstance(stmt, LoopStmt):
+        yield from walk_instrs(stmt.body)
+    elif isinstance(stmt, IfStmt):
+        yield from walk_instrs(stmt.body)
+    else:  # pragma: no cover - defensive
+        raise IRError(f"unknown statement {stmt!r}")
+
+
+def count_static_instrs(stmt: Stmt) -> int:
+    """Static instruction count of a tree (loop bodies counted once)."""
+    return sum(1 for ins in walk_instrs(stmt) if ins.is_real)
+
+
+class KernelBuilder:
+    """Fluent construction of kernel IR.
+
+    Operand coercion rules: python numbers become :class:`Imm`;
+    strings become :class:`Reg`; ``Reg``/``Imm``/``Param``/``SReg`` pass
+    through.  Every emitter returns its destination register so
+    expressions chain naturally.
+    """
+
+    def __init__(self, name: str, params: Sequence[str] = ()) -> None:
+        self.name = name
+        self.params = tuple(params)
+        self._root = Seq()
+        self._stack: list[Seq] = [self._root]
+        self._fresh = itertools.count()
+        self._shared_words = 0
+
+    # -- operand helpers ----------------------------------------------------
+
+    @staticmethod
+    def _coerce(x) -> Operand:
+        if isinstance(x, (Reg, Imm, Param, SReg)):
+            return x
+        if isinstance(x, bool):
+            raise IRError("bool is not an operand; use a predicate register")
+        if isinstance(x, (int, float)):
+            return Imm(x)
+        if isinstance(x, str):
+            return Reg(x)
+        raise IRError(f"cannot use {x!r} as an operand")
+
+    def reg(self, name: str) -> Reg:
+        return Reg(name)
+
+    def tmp(self, hint: str = "t") -> Reg:
+        return Reg(f"{hint}{next(self._fresh)}")
+
+    def pred(self, hint: str = "") -> Reg:
+        return Reg(f"p${hint}{next(self._fresh)}")
+
+    def param(self, name: str) -> Param:
+        if name not in self.params:
+            raise IRError(f"kernel {self.name!r} has no parameter {name!r}")
+        return Param(name)
+
+    def sreg(self, which: str) -> SReg:
+        return SReg(Special(which))
+
+    # -- shared memory --------------------------------------------------------
+
+    def alloc_shared(self, words: int) -> int:
+        """Reserve ``words`` 4-byte words of shared memory; returns the
+        byte offset of the allocation within the block's shared space."""
+        if words <= 0:
+            raise IRError("shared allocation must be positive")
+        base = self._shared_words * 4
+        self._shared_words += int(words)
+        return base
+
+    # -- emission core ----------------------------------------------------------
+
+    def emit(self, instr: Instr) -> None:
+        self._stack[-1].stmts.append(RawStmt(instr))
+
+    def _alu(self, op: Op, dst, *srcs, comment: str = "") -> Reg:
+        dst = self._coerce(dst)
+        if not isinstance(dst, Reg):
+            raise IRError(f"destination must be a register, got {dst!r}")
+        self.emit(
+            Instr(
+                op,
+                dsts=(dst,),
+                srcs=tuple(self._coerce(s) for s in srcs),
+                comment=comment,
+            )
+        )
+        return dst
+
+    # -- float ALU ---------------------------------------------------------------
+
+    def mov(self, dst, a, **kw) -> Reg:
+        return self._alu(Op.MOV, dst, a, **kw)
+
+    def add(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.ADD, dst, a, b, **kw)
+
+    def sub(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.SUB, dst, a, b, **kw)
+
+    def mul(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.MUL, dst, a, b, **kw)
+
+    def mad(self, dst, a, b, c, **kw) -> Reg:
+        """dst = a * b + c (single-issue fused multiply-add)."""
+        return self._alu(Op.MAD, dst, a, b, c, **kw)
+
+    def div(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.DIV, dst, a, b, **kw)
+
+    def rsqrt(self, dst, a, **kw) -> Reg:
+        return self._alu(Op.RSQRT, dst, a, **kw)
+
+    def sqrt(self, dst, a, **kw) -> Reg:
+        return self._alu(Op.SQRT, dst, a, **kw)
+
+    def fmin(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.MIN, dst, a, b, **kw)
+
+    def fmax(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.MAX, dst, a, b, **kw)
+
+    def neg(self, dst, a, **kw) -> Reg:
+        return self._alu(Op.NEG, dst, a, **kw)
+
+    def fabs(self, dst, a, **kw) -> Reg:
+        return self._alu(Op.ABS, dst, a, **kw)
+
+    # -- integer ALU -------------------------------------------------------------
+
+    def iadd(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.IADD, dst, a, b, **kw)
+
+    def isub(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.ISUB, dst, a, b, **kw)
+
+    def imul(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.IMUL, dst, a, b, **kw)
+
+    def imad(self, dst, a, b, c, **kw) -> Reg:
+        return self._alu(Op.IMAD, dst, a, b, c, **kw)
+
+    def shl(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.SHL, dst, a, b, **kw)
+
+    def shr(self, dst, a, b, **kw) -> Reg:
+        return self._alu(Op.SHR, dst, a, b, **kw)
+
+    def f2i(self, dst, a, **kw) -> Reg:
+        return self._alu(Op.F2I, dst, a, **kw)
+
+    def i2f(self, dst, a, **kw) -> Reg:
+        return self._alu(Op.I2F, dst, a, **kw)
+
+    # -- predicates ---------------------------------------------------------------
+
+    def setp(self, cmp: str, dst, a, b, **kw) -> Reg:
+        if cmp not in CMP_OPS:
+            raise IRError(f"bad comparison {cmp!r}")
+        dst = self._coerce(dst)
+        self.emit(
+            Instr(
+                Op.SETP,
+                dsts=(dst,),
+                srcs=(self._coerce(a), self._coerce(b)),
+                cmp=cmp,
+                **kw,
+            )
+        )
+        return dst
+
+    def selp(self, dst, a, b, pred: Reg, **kw) -> Reg:
+        dst = self._coerce(dst)
+        self.emit(
+            Instr(
+                Op.SELP,
+                dsts=(dst,),
+                srcs=(self._coerce(a), self._coerce(b), pred),
+                **kw,
+            )
+        )
+        return dst
+
+    # -- memory ------------------------------------------------------------------
+
+    def _mem(self, op: Op, dsts, addr, offset: int, srcs=(), comment="") -> None:
+        if isinstance(dsts, (Reg, str)):
+            dsts = (dsts,)
+        dsts = tuple(Reg(d) if isinstance(d, str) else d for d in dsts)
+        self.emit(
+            Instr(
+                op,
+                dsts=tuple(dsts),
+                srcs=(self._coerce(addr), *map(self._coerce, srcs)),
+                offset=int(offset),
+                comment=comment,
+            )
+        )
+
+    def ld_global(self, dsts, addr, offset: int = 0, **kw):
+        """Load 1/2/4 words from global memory at ``addr + offset``."""
+        self._mem(Op.LD_GLOBAL, dsts, addr, offset, **kw)
+        return dsts
+
+    def st_global(self, addr, srcs, offset: int = 0, **kw) -> None:
+        if isinstance(srcs, (Reg, str)):
+            srcs = (srcs,)
+        self._mem(Op.ST_GLOBAL, (), addr, offset, srcs=tuple(srcs), **kw)
+
+    def ld_shared(self, dsts, addr, offset: int = 0, **kw):
+        self._mem(Op.LD_SHARED, dsts, addr, offset, **kw)
+        return dsts
+
+    def ld_tex(self, dsts, addr, offset: int = 0, **kw):
+        """Read-only fetch through the texture cache (tex1Dfetch)."""
+        self._mem(Op.LD_TEX, dsts, addr, offset, **kw)
+        return dsts
+
+    def st_shared(self, addr, srcs, offset: int = 0, **kw) -> None:
+        if isinstance(srcs, (Reg, str)):
+            srcs = (srcs,)
+        self._mem(Op.ST_SHARED, (), addr, offset, srcs=tuple(srcs), **kw)
+
+    # -- control -----------------------------------------------------------------
+
+    def bar_sync(self) -> None:
+        self.emit(Instr(Op.BAR_SYNC))
+
+    def clock(self, dst) -> Reg:
+        dst = self._coerce(dst)
+        self.emit(Instr(Op.CLOCK, dsts=(dst,)))
+        return dst
+
+    def exit(self, pred: Reg | None = None, pred_neg: bool = False) -> None:
+        self.emit(Instr(Op.EXIT, pred=pred, pred_neg=pred_neg))
+
+    @contextmanager
+    def loop(
+        self,
+        start,
+        stop,
+        step: int = 1,
+        var: Reg | None = None,
+        unroll: Union[int, str, None] = None,
+    ):
+        """Structured counted loop; yields the induction register."""
+        var = var or self.tmp("j")
+        body = Seq()
+        self._stack.append(body)
+        try:
+            yield var
+        finally:
+            self._stack.pop()
+        self._stack[-1].stmts.append(
+            LoopStmt(
+                var=var,
+                start=self._coerce(start),
+                stop=self._coerce(stop),
+                step=step,
+                body=body,
+                unroll=unroll,
+            )
+        )
+
+    @contextmanager
+    def if_(self, pred: Reg, negate: bool = False):
+        body = Seq()
+        self._stack.append(body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+        self._stack[-1].stmts.append(IfStmt(pred=pred, body=body, negate=negate))
+
+    # -- finalization -------------------------------------------------------------
+
+    def build(self, shared_words: int | None = None) -> Kernel:
+        if len(self._stack) != 1:
+            raise IRError("unbalanced loop/if contexts at build time")
+        return Kernel(
+            name=self.name,
+            params=self.params,
+            body=self._root,
+            shared_words=(
+                self._shared_words if shared_words is None else int(shared_words)
+            ),
+        )

@@ -1,0 +1,311 @@
+"""Instruction set of the simulated SIMT machine.
+
+A deliberately PTX-flavoured register ISA, rich enough to express the
+paper's kernels (O(n²) force kernel, the Sec. III memory microbenchmark)
+and the transformations studied (loop unrolling with address folding,
+invariant code motion, register re-allocation):
+
+* 32-bit registers, float and integer ALU ops, ``RSQRT`` on the SFU;
+* vector global/shared loads and stores of 1, 2 or 4 words (the 64/128-bit
+  accesses of Sec. II-C);
+* predicate registers, compare/select, conditional branches;
+* ``BAR_SYNC`` block barriers, ``CLOCK`` cycle-counter reads (Sec. III),
+  ``EXIT``.
+
+Instructions are plain dataclasses; semantics live in the executor,
+timing classification in :data:`ISSUE_CLASS`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Union
+
+from .errors import IRError
+
+__all__ = [
+    "Op",
+    "IssueClass",
+    "Reg",
+    "Imm",
+    "Param",
+    "SReg",
+    "Special",
+    "Operand",
+    "Instr",
+    "CMP_OPS",
+    "ISSUE_CLASS",
+    "SFU_OPS",
+    "MEMORY_OPS",
+    "format_instr",
+]
+
+
+class Op(enum.Enum):
+    # float ALU
+    MOV = enum.auto()
+    ADD = enum.auto()
+    SUB = enum.auto()
+    MUL = enum.auto()
+    MAD = enum.auto()  # dst = a * b + c
+    DIV = enum.auto()
+    MIN = enum.auto()
+    MAX = enum.auto()
+    NEG = enum.auto()
+    ABS = enum.auto()
+    # SFU
+    RSQRT = enum.auto()
+    SQRT = enum.auto()
+    # integer ALU
+    IADD = enum.auto()
+    ISUB = enum.auto()
+    IMUL = enum.auto()
+    IMAD = enum.auto()
+    SHL = enum.auto()
+    SHR = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    # conversions
+    F2I = enum.auto()
+    I2F = enum.auto()
+    # predicates
+    SETP = enum.auto()  # cmp attr: lt le gt ge eq ne
+    SELP = enum.auto()  # dst = pred ? a : b
+    # control
+    BRA = enum.auto()
+    LABEL = enum.auto()  # pseudo
+    EXIT = enum.auto()
+    NOP = enum.auto()
+    # memory
+    LD_GLOBAL = enum.auto()
+    ST_GLOBAL = enum.auto()
+    LD_SHARED = enum.auto()
+    ST_SHARED = enum.auto()
+    LD_TEX = enum.auto()  # read-only fetch through the texture cache
+    # misc
+    BAR_SYNC = enum.auto()
+    CLOCK = enum.auto()
+
+
+class IssueClass(enum.Enum):
+    """Which issue pipeline an instruction occupies (→ issue cycles)."""
+
+    ALU = "alu"
+    SFU = "sfu"
+    MEM_GLOBAL = "mem_global"
+    MEM_SHARED = "mem_shared"
+    TEX = "tex"
+    BARRIER = "barrier"
+    CONTROL = "control"
+    FREE = "free"  # pseudo-instructions: labels
+
+
+SFU_OPS = frozenset({Op.RSQRT, Op.SQRT, Op.DIV})
+MEMORY_OPS = frozenset(
+    {Op.LD_GLOBAL, Op.ST_GLOBAL, Op.LD_SHARED, Op.ST_SHARED, Op.LD_TEX}
+)
+
+ISSUE_CLASS: dict[Op, IssueClass] = {
+    **{op: IssueClass.ALU for op in Op},
+    **{op: IssueClass.SFU for op in SFU_OPS},
+    Op.LD_GLOBAL: IssueClass.MEM_GLOBAL,
+    Op.ST_GLOBAL: IssueClass.MEM_GLOBAL,
+    Op.LD_TEX: IssueClass.TEX,
+    Op.LD_SHARED: IssueClass.MEM_SHARED,
+    Op.ST_SHARED: IssueClass.MEM_SHARED,
+    Op.BAR_SYNC: IssueClass.BARRIER,
+    Op.BRA: IssueClass.CONTROL,
+    Op.EXIT: IssueClass.CONTROL,
+    Op.LABEL: IssueClass.FREE,
+}
+
+CMP_OPS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual (pre-allocation) or named register.
+
+    Predicate registers carry the reserved ``p$`` prefix (the builder's
+    ``pred()`` produces them); the register allocator maps data registers
+    to the physical register file and predicates to the separate,
+    plentiful predicate file — predicates do not count against the
+    occupancy-relevant register budget, matching nvcc.
+    """
+
+    name: str
+
+    @property
+    def is_predicate(self) -> bool:
+        return self.name.startswith("p$")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate operand (python int or float)."""
+
+    value: Union[int, float]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Param:
+    """Kernel parameter: uniform, read-only, held in constant space.
+
+    Reading a parameter costs nothing extra (constant cache hit), exactly
+    like PTX ``ld.param`` folded into the consuming instruction.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"param:{self.name}"
+
+
+class Special(enum.Enum):
+    """Special read-only per-thread values."""
+
+    TID = "tid"  # thread index within the block (x dimension)
+    CTAID = "ctaid"  # block index within the grid
+    NTID = "ntid"  # block dimension
+    NCTAID = "nctaid"  # grid dimension
+    LANEID = "laneid"  # thread index within the warp
+
+
+@dataclass(frozen=True)
+class SReg:
+    special: Special
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"%{self.special.value}"
+
+
+Operand = Union[Reg, Imm, Param, SReg]
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One machine instruction.
+
+    ``dsts``/``srcs`` hold register/operand tuples.  Memory instructions
+    use ``srcs[0]`` as the byte-address operand plus a static ``offset``
+    (what full unrolling hard-codes, Sec. IV-A); loads write
+    ``len(dsts)`` consecutive words, stores read ``srcs[1:]``.
+    ``pred``/``pred_neg`` guard the instruction (and ``BRA``).
+    """
+
+    op: Op
+    dsts: tuple[Reg, ...] = ()
+    srcs: tuple[Operand, ...] = ()
+    offset: int = 0
+    cmp: str | None = None  # SETP comparison
+    target: str | None = None  # BRA label / LABEL name
+    pred: Reg | None = None
+    pred_neg: bool = False
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op is Op.SETP and self.cmp not in CMP_OPS:
+            raise IRError(f"SETP needs cmp in {CMP_OPS}, got {self.cmp!r}")
+        if self.op in (Op.BRA, Op.LABEL) and not self.target:
+            raise IRError(f"{self.op.name} requires a target label")
+        if self.op in (Op.LD_GLOBAL, Op.LD_SHARED, Op.LD_TEX):
+            if len(self.dsts) not in (1, 2, 4):
+                raise IRError("vector loads write 1, 2 or 4 registers")
+            if not self.srcs:
+                raise IRError("loads need an address operand")
+        if self.op in (Op.ST_GLOBAL, Op.ST_SHARED):
+            if len(self.srcs) - 1 not in (1, 2, 4):
+                raise IRError("vector stores read 1, 2 or 4 registers")
+        if self.pred is not None and not isinstance(self.pred, Reg):
+            raise IRError("pred must be a Reg")
+
+    # -- dataflow views ---------------------------------------------------
+
+    @property
+    def width_bytes(self) -> int:
+        """Bytes accessed per thread (memory ops only)."""
+        if self.op in (Op.LD_GLOBAL, Op.LD_SHARED, Op.LD_TEX):
+            return 4 * len(self.dsts)
+        if self.op in (Op.ST_GLOBAL, Op.ST_SHARED):
+            return 4 * (len(self.srcs) - 1)
+        raise IRError(f"{self.op.name} has no memory width")
+
+    def reads(self) -> tuple[Reg, ...]:
+        """Registers whose values this instruction consumes."""
+        regs = [s for s in self.srcs if isinstance(s, Reg)]
+        if self.pred is not None:
+            regs.append(self.pred)
+        return tuple(regs)
+
+    def writes(self) -> tuple[Reg, ...]:
+        return self.dsts
+
+    @property
+    def issue_class(self) -> IssueClass:
+        return ISSUE_CLASS[self.op]
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in (Op.LD_GLOBAL, Op.LD_SHARED, Op.LD_TEX)
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in (Op.ST_GLOBAL, Op.ST_SHARED)
+
+    @property
+    def is_real(self) -> bool:
+        """Counts toward the dynamic instruction count (not a pseudo-op)."""
+        return self.op not in (Op.LABEL, Op.NOP)
+
+    def with_(self, **kw) -> "Instr":
+        return replace(self, **kw)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return format_instr(self)
+
+
+def format_instr(ins: Instr) -> str:
+    """Readable one-line rendering (used by the disassembler and tests)."""
+    parts: list[str] = []
+    if ins.pred is not None:
+        parts.append(f"@{'!' if ins.pred_neg else ''}{ins.pred.name}")
+    name = ins.op.name.lower()
+    if ins.op is Op.SETP:
+        name += f".{ins.cmp}"
+    if ins.op in MEMORY_OPS:
+        name += f".v{max(len(ins.dsts), len(ins.srcs) - 1)}"
+    parts.append(name)
+    if ins.op is Op.LABEL:
+        return f"{ins.target}:"
+    operands: list[str] = [repr(d) for d in ins.dsts]
+    if ins.is_load:
+        addr = ins.srcs[0]
+        operands.append(f"[{addr!r}+{ins.offset}]")
+    elif ins.is_store:
+        operands.append(f"[{ins.srcs[0]!r}+{ins.offset}]")
+        operands.extend(repr(s) for s in ins.srcs[1:])
+    else:
+        operands.extend(repr(s) for s in ins.srcs)
+    if ins.target and ins.op is Op.BRA:
+        operands.append(ins.target)
+    text = " ".join(parts) + " " + ", ".join(operands)
+    if ins.comment:
+        text += f"  # {ins.comment}"
+    return text.strip()
+
+
+def registers_used(instructions: Iterable[Instr]) -> set[Reg]:
+    """All registers referenced by a program (data and predicate)."""
+    regs: set[Reg] = set()
+    for ins in instructions:
+        regs.update(ins.reads())
+        regs.update(ins.writes())
+    return regs

@@ -1,0 +1,205 @@
+"""Host-side driver API: compile, allocate, copy, launch.
+
+:class:`Device` is the simulator's answer to the CUDA runtime: it owns the
+global memory, the toolchain (whose coalescing policy the paper varies),
+and kernel launches.  :func:`compile_kernel` is the "nvcc" stage — it runs
+the transform pipeline (LICM, unrolling, peephole), lowers, and allocates
+registers, producing the per-thread register count that the occupancy
+calculator consumes at launch time.
+
+Example::
+
+    dev = Device(toolchain=Toolchain.CUDA_1_0)
+    lk = compile_kernel(kernel, unroll="full", licm=True)
+    buf = dev.malloc(layout.size_bytes)
+    dev.memcpy_htod(buf, layout.pack(arrays))
+    result = dev.launch(lk, grid=313, block=128, params={"pos": buf, "n": n})
+    print(result.stats.summary(), result.time_ms)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+import numpy as np
+
+from ..core.coalescing import CoalescingPolicy, policy_for
+from .device import DeviceProperties, G8800GTX, Toolchain
+from .errors import LaunchError
+from .executor import SMExecutor
+from .ir import Kernel
+from .lower import LoweredKernel, lower
+from .memory import DevicePtr, GlobalMemory
+from .occupancy import OccupancyResult, occupancy
+from .profiler import KernelStats
+from .regalloc import allocate
+from .transforms import (
+    eliminate_dead_code,
+    fold_constants,
+    hoist_invariants,
+    unroll_loops,
+)
+
+__all__ = ["Device", "LaunchResult", "compile_kernel"]
+
+#: Default simulated heap: big enough for a million 32-byte records plus
+#: headroom, small enough to allocate instantly on the host.
+DEFAULT_HEAP_BYTES = 192 * 1024 * 1024
+
+
+def compile_kernel(
+    kernel: Kernel,
+    unroll: Union[int, str, None] = None,
+    licm: bool = False,
+    dce: bool = True,
+    max_registers: int | None = None,
+    validate: bool = False,
+) -> LoweredKernel:
+    """Lower a kernel through the optimization pipeline.
+
+    ``unroll`` overrides the innermost-loop pragma (``"full"`` or a
+    factor); ``licm`` enables invariant code motion (the paper's manual
+    optimization); ``dce`` runs constant folding + dead-code elimination
+    afterwards; ``validate`` runs the static checker first
+    (:mod:`repro.cudasim.validation`) and raises on error-level issues.
+    Register allocation runs last so ``reg_count`` reflects the
+    optimized code.
+    """
+    if validate:
+        from .validation import check_or_raise
+
+        check_or_raise(kernel)
+    k = kernel
+    if licm:
+        k = hoist_invariants(k)
+    k = unroll_loops(k, override=unroll)
+    lk = lower(k)
+    if dce:
+        fold_constants(lk)
+        eliminate_dead_code(lk)
+    allocate(lk, max_registers=max_registers)
+    return lk
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one simulated kernel launch."""
+
+    kernel_name: str
+    grid: int
+    block: int
+    cycles: float
+    stats: KernelStats
+    occupancy: OccupancyResult
+    device: DeviceProperties = field(repr=False, default=G8800GTX)
+
+    @property
+    def time_s(self) -> float:
+        return self.device.cycles_to_seconds(self.cycles)
+
+    @property
+    def time_ms(self) -> float:
+        return 1e3 * self.time_s
+
+
+class Device:
+    """A simulated GPU + driver of a given CUDA toolchain revision."""
+
+    def __init__(
+        self,
+        props: DeviceProperties = G8800GTX,
+        toolchain: Toolchain = Toolchain.CUDA_1_0,
+        heap_bytes: int = DEFAULT_HEAP_BYTES,
+    ) -> None:
+        self.props = props
+        self.toolchain = toolchain
+        self.policy: CoalescingPolicy = policy_for(toolchain)
+        self.gmem = GlobalMemory(min(heap_bytes, props.global_mem_bytes))
+
+    # -- memory management ---------------------------------------------------
+
+    def malloc(self, nbytes: int) -> DevicePtr:
+        return self.gmem.alloc(nbytes)
+
+    def free(self, ptr: DevicePtr) -> None:
+        self.gmem.free(ptr)
+
+    def reset(self) -> None:
+        self.gmem.reset()
+
+    def memcpy_htod(self, ptr: DevicePtr | int, data: np.ndarray) -> None:
+        self.gmem.write(ptr, data)
+
+    def memcpy_dtoh(self, ptr: DevicePtr | int, nwords: int) -> np.ndarray:
+        return self.gmem.read(ptr, nwords)
+
+    # -- launching ---------------------------------------------------------------
+
+    def launch(
+        self,
+        lk: LoweredKernel,
+        grid: int,
+        block: int,
+        params: Mapping[str, object] | None = None,
+        sm_count: int | None = None,
+        max_resident_blocks: int | None = None,
+        trace=None,
+    ) -> LaunchResult:
+        """Cycle-simulate a 1-D launch.
+
+        ``sm_count`` restricts the simulation to that many SMs (used by
+        the hybrid timing mode to measure one representative SM);
+        ``max_resident_blocks`` overrides the occupancy calculator (for
+        what-if experiments); ``trace`` is an optional
+        :class:`repro.cudasim.trace.TraceRecorder`-style hook invoked on
+        every global access.  Launch time is ``max`` over the SMs'
+        finish cycles.
+        """
+        if grid <= 0:
+            raise LaunchError(f"grid must be positive, got {grid}")
+        occ = occupancy(
+            self.props, block, max(1, lk.reg_count), 4 * lk.shared_words
+        )
+        resident = max_resident_blocks or occ.blocks_per_sm
+        n_sms = min(sm_count or self.props.num_sms, self.props.num_sms, grid)
+
+        values = dict(params or {})
+        missing = set(lk.kernel.params) - set(values)
+        if missing:
+            raise LaunchError(f"missing kernel parameters: {sorted(missing)}")
+        for name, v in values.items():
+            if isinstance(v, DevicePtr):
+                values[name] = int(v)
+
+        stats = KernelStats()
+        end = 0.0
+        for sm in range(n_sms):
+            block_ids = list(range(sm, grid, n_sms))
+            if not block_ids:
+                continue
+            sm_stats = KernelStats()
+            ex = SMExecutor(
+                device=self.props,
+                policy=self.policy,
+                gmem=self.gmem,
+                lk=lk,
+                params=values,
+                block_dim=block,
+                grid_dim=grid,
+                stats=sm_stats,
+                trace=trace,
+            )
+            end = max(end, ex.run(block_ids, resident))
+            sm_stats.memory.merge(ex.pipeline.stats)
+            stats.merge(sm_stats)
+        stats.cycles = end
+        return LaunchResult(
+            kernel_name=lk.name,
+            grid=grid,
+            block=block,
+            cycles=end,
+            stats=stats,
+            occupancy=occ,
+            device=self.props,
+        )

@@ -1,0 +1,147 @@
+"""Liveness dataflow analysis on lowered instruction streams.
+
+Classic backward may-analysis over the basic-block CFG, producing:
+
+* per-instruction live-out sets,
+* the maximum register pressure (the quantity nvcc's ``-maxrregcount``
+  fights with, and the paper's Sec. IV-A lever: unrolling frees the loop
+  iterator, invariant code motion frees one more),
+* live-in at kernel entry (non-empty live-in means use-before-def, which
+  the register allocator reports as an IR bug).
+
+Predicate registers are analyzed in the same framework but reported
+separately — they live in the predicate file and do not count against the
+occupancy register budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .isa import Instr, Op, Reg
+from .lower import LoweredKernel
+
+__all__ = ["BasicBlock", "LivenessInfo", "build_blocks", "analyze"]
+
+
+@dataclass
+class BasicBlock:
+    start: int  # index of first instruction
+    end: int  # one past last instruction
+    succs: list[int]  # successor block start indices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BB[{self.start}:{self.end}]->{self.succs}"
+
+
+def build_blocks(lk: LoweredKernel) -> dict[int, BasicBlock]:
+    """Partition the instruction stream into basic blocks keyed by start."""
+    n = len(lk.instructions)
+    leaders = {0, n}
+    for i, ins in enumerate(lk.instructions):
+        if ins.op is Op.BRA:
+            leaders.add(lk.targets[ins.target])
+            leaders.add(i + 1)
+        elif ins.op is Op.EXIT:
+            leaders.add(i + 1)
+    starts = sorted(s for s in leaders if s < n)
+    blocks: dict[int, BasicBlock] = {}
+    bounds = starts + [n]
+    for bi, start in enumerate(starts):
+        end = bounds[bi + 1]
+        last = lk.instructions[end - 1]
+        succs: list[int] = []
+        if last.op is Op.BRA:
+            succs.append(lk.targets[last.target])
+            if last.pred is not None and end < n:
+                succs.append(end)
+        elif last.op is Op.EXIT:
+            if last.pred is not None and end < n:
+                succs.append(end)
+        elif end < n:
+            succs.append(end)
+        # A branch target of len(instructions) means "branch to end": no succ.
+        succs = [s for s in succs if s < n]
+        blocks[start] = BasicBlock(start, end, succs)
+    return blocks
+
+
+@dataclass
+class LivenessInfo:
+    """Results of the dataflow analysis."""
+
+    live_out: list[frozenset[Reg]]  # per instruction index
+    live_in_entry: frozenset[Reg]
+    max_pressure: int  # peak simultaneously-live data registers
+    max_pred_pressure: int
+
+    def pressure_at(self, index: int) -> int:
+        return sum(1 for r in self.live_out[index] if not r.is_predicate)
+
+
+def _use_def(ins: Instr) -> tuple[set[Reg], set[Reg]]:
+    uses = set(ins.reads())
+    defs = set(ins.writes())
+    # A predicated instruction may leave its destination unchanged, so the
+    # old value stays live: model the def as also being a use.
+    if ins.pred is not None and defs:
+        uses |= defs
+    return uses, defs
+
+
+def analyze(lk: LoweredKernel) -> LivenessInfo:
+    """Iterate block-level liveness to a fixed point, then expand."""
+    blocks = build_blocks(lk)
+    ins_list = lk.instructions
+
+    # Block-local use (upward-exposed) and def summaries.
+    block_use: dict[int, set[Reg]] = {}
+    block_def: dict[int, set[Reg]] = {}
+    for start, bb in blocks.items():
+        use: set[Reg] = set()
+        defs: set[Reg] = set()
+        for i in range(bb.start, bb.end):
+            u, d = _use_def(ins_list[i])
+            use |= u - defs
+            defs |= d
+        block_use[start] = use
+        block_def[start] = defs
+
+    live_in: dict[int, set[Reg]] = {s: set() for s in blocks}
+    live_out_blk: dict[int, set[Reg]] = {s: set() for s in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for start in sorted(blocks, reverse=True):
+            bb = blocks[start]
+            out: set[Reg] = set()
+            for s in bb.succs:
+                out |= live_in[s]
+            new_in = block_use[start] | (out - block_def[start])
+            if out != live_out_blk[start] or new_in != live_in[start]:
+                live_out_blk[start] = out
+                live_in[start] = new_in
+                changed = True
+
+    # Per-instruction live-out by backward walk inside each block.
+    live_out: list[frozenset[Reg]] = [frozenset()] * len(ins_list)
+    max_pressure = 0
+    max_pred = 0
+    for start, bb in blocks.items():
+        live = set(live_out_blk[start])
+        for i in range(bb.end - 1, bb.start - 1, -1):
+            live_out[i] = frozenset(live)
+            u, d = _use_def(ins_list[i])
+            live -= d
+            live |= u
+            data = sum(1 for r in live if not r.is_predicate)
+            preds = len(live) - data
+            max_pressure = max(max_pressure, data)
+            max_pred = max(max_pred, preds)
+    entry = frozenset(live_in.get(0, set()))
+    return LivenessInfo(
+        live_out=live_out,
+        live_in_entry=entry,
+        max_pressure=max_pressure,
+        max_pred_pressure=max_pred,
+    )

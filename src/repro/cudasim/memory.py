@@ -1,0 +1,236 @@
+"""Device memory: the global heap and per-block shared memory.
+
+Global memory is a flat word-addressed ``float32`` store with a simple
+first-fit allocator (``cudaMalloc``-style 256-byte aligned).  All kernel
+data is 32-bit words, matching the G80's register width; integer data is
+stored via its bit pattern-free float value (the simulator's kernels only
+ever store f32 data and integer *addresses* never round-trip through
+memory).
+
+Shared memory is a per-block word array plus the CC 1.x bank-conflict
+rule: 16 banks, 4 bytes wide, conflicts counted per half-warp with the
+broadcast exception (all lanes hitting the *same word* are serviced in
+one cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import AccessViolation, AllocationError, MisalignedAccess
+from .device import DeviceProperties
+
+__all__ = [
+    "DevicePtr",
+    "GlobalMemory",
+    "SharedMemory",
+    "bank_conflict_degree",
+]
+
+
+@dataclass(frozen=True)
+class DevicePtr:
+    """An address in simulated global memory (byte granularity)."""
+
+    addr: int
+    nbytes: int
+
+    def __int__(self) -> int:
+        return self.addr
+
+    def offset(self, nbytes: int) -> "DevicePtr":
+        if not 0 <= nbytes <= self.nbytes:
+            raise AccessViolation(
+                f"offset {nbytes} outside allocation of {self.nbytes} bytes"
+            )
+        return DevicePtr(self.addr + nbytes, self.nbytes - nbytes)
+
+
+class GlobalMemory:
+    """Flat device heap with allocation tracking and bounds checking."""
+
+    ALLOC_ALIGN = 256  # cudaMalloc alignment guarantee
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes % 4:
+            raise AllocationError("global memory size must be word aligned")
+        self.size_bytes = int(size_bytes)
+        self.words = np.zeros(self.size_bytes // 4, dtype=np.float32)
+        self._allocs: dict[int, int] = {}  # addr -> nbytes
+        self._cursor = 0
+
+    # -- allocator ---------------------------------------------------------
+
+    def alloc(self, nbytes: int) -> DevicePtr:
+        if nbytes <= 0:
+            raise AllocationError(f"allocation size must be positive, got {nbytes}")
+        aligned = -(-nbytes // 4) * 4
+        addr = -(-self._cursor // self.ALLOC_ALIGN) * self.ALLOC_ALIGN
+        if addr + aligned > self.size_bytes:
+            raise AllocationError(
+                f"out of device memory: need {aligned} bytes at {addr}, "
+                f"capacity {self.size_bytes}"
+            )
+        self._allocs[addr] = aligned
+        self._cursor = addr + aligned
+        return DevicePtr(addr, aligned)
+
+    def free(self, ptr: DevicePtr) -> None:
+        if self._allocs.pop(ptr.addr, None) is None:
+            raise AllocationError(f"double free / unknown pointer {ptr.addr:#x}")
+        # Bump-allocator rewind: reclaim the tail of the heap.
+        self._cursor = max(
+            (a + n for a, n in self._allocs.items()), default=0
+        )
+
+    def reset(self) -> None:
+        """Free everything (used between experiment runs)."""
+        self._allocs.clear()
+        self._cursor = 0
+        self.words[:] = 0.0
+
+    @property
+    def bytes_in_use(self) -> int:
+        return sum(self._allocs.values())
+
+    # -- host transfers -------------------------------------------------------
+
+    def write(self, ptr: DevicePtr | int, data: np.ndarray) -> None:
+        """memcpy host→device of a float32 word array."""
+        addr = int(ptr)
+        data = np.ascontiguousarray(data, dtype=np.float32).ravel()
+        self._check_range(addr, 4 * data.size)
+        self.words[addr // 4 : addr // 4 + data.size] = data
+
+    def read(self, ptr: DevicePtr | int, nwords: int) -> np.ndarray:
+        """memcpy device→host; returns a copy."""
+        addr = int(ptr)
+        self._check_range(addr, 4 * nwords)
+        return self.words[addr // 4 : addr // 4 + nwords].copy()
+
+    # -- kernel-side access -------------------------------------------------
+
+    def gather(self, byte_addrs: np.ndarray, lanes: int) -> np.ndarray:
+        """Vector gather: returns array of shape (lanes, len(addrs)).
+
+        ``byte_addrs`` are the per-thread base addresses of a ``lanes``-word
+        vector load; natural alignment is enforced like real hardware.
+        """
+        addrs = np.asarray(byte_addrs, dtype=np.int64)
+        self._check_access(addrs, lanes)
+        word = addrs // 4
+        out = np.empty((lanes, addrs.size), dtype=np.float64)
+        for k in range(lanes):
+            out[k] = self.words[word + k]
+        return out
+
+    def scatter(self, byte_addrs: np.ndarray, values: np.ndarray) -> None:
+        """Vector scatter of shape (lanes, n) values to per-thread bases."""
+        addrs = np.asarray(byte_addrs, dtype=np.int64)
+        lanes = values.shape[0]
+        self._check_access(addrs, lanes)
+        word = addrs // 4
+        for k in range(lanes):
+            self.words[word + k] = values[k].astype(np.float32)
+
+    def _check_access(self, addrs: np.ndarray, lanes: int) -> None:
+        width = 4 * lanes
+        if np.any(addrs % width):
+            bad = int(addrs[addrs % width != 0][0])
+            raise MisalignedAccess(
+                f"{width}-byte access at {bad:#x} is not naturally aligned"
+            )
+        if np.any(addrs < 0) or np.any(addrs + width > self.size_bytes):
+            bad = int(addrs[(addrs < 0) | (addrs + width > self.size_bytes)][0])
+            raise AccessViolation(f"global access at {bad:#x} out of bounds")
+
+    def _check_range(self, addr: int, nbytes: int) -> None:
+        if addr % 4:
+            raise MisalignedAccess(f"transfer address {addr:#x} not word aligned")
+        if addr < 0 or addr + nbytes > self.size_bytes:
+            raise AccessViolation(
+                f"transfer [{addr:#x}, {addr + nbytes:#x}) out of bounds"
+            )
+
+
+class SharedMemory:
+    """One block's shared memory."""
+
+    def __init__(self, words: int, device: DeviceProperties) -> None:
+        self.device = device
+        self.size_bytes = 4 * words
+        self.words = np.zeros(max(words, 1), dtype=np.float64)
+
+    def gather(self, byte_addrs: np.ndarray, lanes: int) -> np.ndarray:
+        addrs = np.asarray(byte_addrs, dtype=np.int64)
+        self._check(addrs, lanes)
+        word = addrs // 4
+        out = np.empty((lanes, addrs.size), dtype=np.float64)
+        for k in range(lanes):
+            out[k] = self.words[word + k]
+        return out
+
+    def scatter(self, byte_addrs: np.ndarray, values: np.ndarray) -> None:
+        addrs = np.asarray(byte_addrs, dtype=np.int64)
+        lanes = values.shape[0]
+        self._check(addrs, lanes)
+        word = addrs // 4
+        for k in range(lanes):
+            self.words[word + k] = np.asarray(values[k], dtype=np.float32)
+
+    def _check(self, addrs: np.ndarray, lanes: int) -> None:
+        width = 4 * lanes
+        if np.any(addrs % 4):
+            raise MisalignedAccess("shared access not word aligned")
+        if np.any(addrs < 0) or np.any(addrs + width > self.size_bytes):
+            raise AccessViolation(
+                f"shared access out of the block's {self.size_bytes} bytes"
+            )
+
+    def conflict_degree(self, byte_addrs: np.ndarray, lanes: int,
+                        active: np.ndarray) -> int:
+        """Worst bank-conflict serialization over the warp's half-warps."""
+        return bank_conflict_degree(
+            np.asarray(byte_addrs, dtype=np.int64),
+            active,
+            lanes,
+            banks=self.device.shared_banks,
+        )
+
+
+def bank_conflict_degree(
+    byte_addrs: np.ndarray,
+    active: np.ndarray,
+    lanes: int = 1,
+    banks: int = 16,
+) -> int:
+    """CC 1.x bank-conflict degree of one warp access (max over halves).
+
+    Each thread's ``lanes``-word access touches ``lanes`` consecutive
+    banks.  Within a half-warp, the degree of a bank is the number of
+    *distinct words* requested from it (identical words broadcast).
+    The instruction serializes by the worst bank; a vector access also
+    serializes by its own width (a float4 read is 4 shared accesses).
+    """
+    half = 16
+    worst = 1
+    addrs = np.asarray(byte_addrs, dtype=np.int64)
+    active = np.asarray(active, dtype=bool)
+    for h in range(0, addrs.size, half):
+        sel = active[h : h + half]
+        base_words = (addrs[h : h + half][sel]) // 4
+        if base_words.size == 0:
+            continue
+        degree = 0
+        for k in range(lanes):
+            words = base_words + k
+            bank = words % banks
+            # distinct words per bank
+            per_bank: dict[int, set[int]] = {}
+            for b, w in zip(bank.tolist(), words.tolist()):
+                per_bank.setdefault(b, set()).add(w)
+            degree += max(len(v) for v in per_bank.values())
+        worst = max(worst, degree)
+    return worst

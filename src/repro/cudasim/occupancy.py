@@ -1,0 +1,168 @@
+"""CUDA occupancy calculator for the simulated device.
+
+A faithful port of NVIDIA's occupancy spreadsheet for compute capability
+1.0, which is all the paper's argument needs: with 8192 registers and 768
+threads per SM, a 128-thread block at 17–18 registers/thread fits 3 blocks
+(12 warps, **50 %**) while 16 registers/thread fits 4 blocks (16 warps,
+**67 %**) — the Sec. IV-A numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceProperties
+from .errors import LaunchError
+
+__all__ = ["OccupancyResult", "occupancy", "occupancy_table"]
+
+
+def _round_up(value: int, unit: int) -> int:
+    return -(-value // unit) * unit
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    block_size: int
+    regs_per_thread: int
+    shared_per_block: int
+    blocks_per_sm: int
+    limiter: str  # 'registers' | 'threads' | 'blocks' | 'shared'
+
+    @property
+    def active_threads(self) -> int:
+        return self.blocks_per_sm * self.block_size
+
+    @property
+    def active_warps(self) -> int:
+        return self.active_threads // 32
+
+    def occupancy(self, device: DeviceProperties) -> float:
+        return self.active_warps / device.max_warps_per_sm
+
+    def describe(self, device: DeviceProperties) -> str:
+        return (
+            f"block={self.block_size} regs={self.regs_per_thread} "
+            f"shared={self.shared_per_block}B -> {self.blocks_per_sm} "
+            f"blocks/SM, {self.active_warps} warps, "
+            f"{100 * self.occupancy(device):.0f}% (limited by {self.limiter})"
+        )
+
+
+def occupancy(
+    device: DeviceProperties,
+    block_size: int,
+    regs_per_thread: int,
+    shared_per_block: int = 0,
+) -> OccupancyResult:
+    """Resident blocks per SM and the limiting resource."""
+    if block_size <= 0 or block_size % device.warp_size:
+        raise LaunchError(
+            f"block size {block_size} must be a positive multiple of "
+            f"the warp size ({device.warp_size})"
+        )
+    if block_size > device.max_threads_per_block:
+        raise LaunchError(
+            f"block size {block_size} exceeds device limit "
+            f"{device.max_threads_per_block}"
+        )
+    if regs_per_thread > device.max_registers_per_thread:
+        raise LaunchError(
+            f"{regs_per_thread} registers/thread exceeds the CC 1.x "
+            f"limit of {device.max_registers_per_thread}"
+        )
+
+    limits: dict[str, int] = {}
+    limits["threads"] = device.max_threads_per_sm // block_size
+    limits["blocks"] = device.max_blocks_per_sm
+    regs_per_block = _round_up(
+        max(regs_per_thread, 1) * block_size, device.register_alloc_unit
+    )
+    limits["registers"] = device.registers_per_sm // regs_per_block
+    shared_total = _round_up(
+        shared_per_block + device.shared_mem_base_usage,
+        device.shared_alloc_unit,
+    )
+    limits["shared"] = device.shared_mem_per_sm // shared_total
+
+    limiter = min(limits, key=lambda k: (limits[k], k))
+    blocks = limits[limiter]
+    if blocks <= 0:
+        raise LaunchError(
+            f"kernel cannot launch: zero blocks fit an SM "
+            f"(limited by {limiter}: {limits})"
+        )
+    return OccupancyResult(
+        block_size=block_size,
+        regs_per_thread=regs_per_thread,
+        shared_per_block=shared_per_block,
+        blocks_per_sm=blocks,
+        limiter=limiter,
+    )
+
+
+def occupancy_table(
+    device: DeviceProperties,
+    regs_per_thread: int,
+    shared_per_block: int = 0,
+    block_sizes: tuple[int, ...] = (32, 64, 96, 128, 192, 256, 384, 512),
+) -> list[OccupancyResult]:
+    """Occupancy across block sizes (the tuning sweep of Sec. IV-A)."""
+    return [
+        occupancy(device, bs, regs_per_thread, shared_per_block)
+        for bs in block_sizes
+    ]
+
+
+def suggest_block_size(
+    device: DeviceProperties,
+    regs_per_thread: int,
+    shared_per_thread: int = 0,
+    block_sizes: tuple[int, ...] = (32, 64, 96, 128, 160, 192, 256, 320, 384, 448, 512),
+    per_slice_cost: float = 25.0,
+    per_iter_cost: float = 16.0,
+    amortization_tolerance: float = 0.01,
+) -> OccupancyResult:
+    """The launch-config advisor behind "switching to a block size of 128".
+
+    Two-step rule grounded in the paper's own model:
+
+    1. maximize occupancy (candidates that cannot launch are skipped);
+    2. among the peak-occupancy blocks, a tiled kernel pays the B-phase
+       (slice fetch + barriers, ≈ ``per_slice_cost`` instructions) once
+       per K interactions (Eq. 2), so bigger K amortizes it — but with
+       diminishing returns.  Pick the *smallest* K whose remaining
+       amortization headroom, ``per_slice_cost · (1/K − 1/K_max) /
+       per_iter_cost``, is below ``amortization_tolerance`` — smaller
+       blocks schedule more flexibly and keep full unrolling affordable.
+
+    For the paper's optimized kernel (16 registers, 16 B/thread tile)
+    this lands on exactly 128 — the equally-occupied 64 still wastes
+    ~2 % on slice overhead, while 256/512 buy under 1 %.
+    """
+    candidates: list[OccupancyResult] = []
+    for bs in block_sizes:
+        try:
+            candidates.append(
+                occupancy(device, bs, regs_per_thread, shared_per_thread * bs)
+            )
+        except LaunchError:
+            continue
+    if not candidates:
+        raise LaunchError(
+            f"no candidate block size can launch with {regs_per_thread} "
+            f"registers/thread on {device.name}"
+        )
+    peak = max(r.occupancy(device) for r in candidates)
+    peak_set = sorted(
+        (r for r in candidates if r.occupancy(device) == peak),
+        key=lambda r: r.block_size,
+    )
+    k_max = peak_set[-1].block_size
+    for r in peak_set:
+        headroom = (
+            per_slice_cost * (1.0 / r.block_size - 1.0 / k_max) / per_iter_cost
+        )
+        if headroom <= amortization_tolerance:
+            return r
+    return peak_set[-1]  # pragma: no cover - the k_max entry always passes

@@ -1,0 +1,92 @@
+"""Per-SM global-memory pipeline: a latency + bandwidth queue.
+
+Each SM owns one pipeline.  A load/store instruction hands it the
+transactions produced by the coalescing policy; each transaction occupies
+the pipe for ``transaction_overhead + size / bytes_per_cycle`` cycles
+(back-to-back requests queue), and load data becomes visible ``latency``
+cycles after the last transaction drains — the base latency and the
+wide-access factor come from the toolchain's coalescing policy
+(64/128-bit loads are slower on the G80, and each CUDA revision behaves
+differently; see :class:`repro.core.coalescing.CoalescingPolicy`).
+
+This single mechanism yields both regimes of Fig. 10: a lone warp sees
+pure latency, many warps pushing uncoalesced traffic see the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.coalescing import CoalescingPolicy
+from ..core.transactions import MemoryTransaction
+from .device import DeviceProperties
+
+__all__ = ["PipelineStats", "MemoryPipeline"]
+
+
+@dataclass
+class PipelineStats:
+    transactions: int = 0
+    bytes_moved: int = 0
+    requests: int = 0
+    busy_cycles: float = 0.0
+    queue_delay_cycles: float = 0.0
+    by_size: dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "PipelineStats") -> None:
+        self.transactions += other.transactions
+        self.bytes_moved += other.bytes_moved
+        self.requests += other.requests
+        self.busy_cycles += other.busy_cycles
+        self.queue_delay_cycles += other.queue_delay_cycles
+        for size, count in other.by_size.items():
+            self.by_size[size] = self.by_size.get(size, 0) + count
+
+
+class MemoryPipeline:
+    """One SM's path to DRAM."""
+
+    def __init__(self, device: DeviceProperties, policy: CoalescingPolicy) -> None:
+        self.device = device
+        self.policy = policy
+        self.timings = device.memory
+        self.next_free = 0.0
+        self.stats = PipelineStats()
+
+    def _tx_cycles(self, tx: MemoryTransaction) -> float:
+        t = self.timings
+        return t.transaction_overhead + tx.size / t.bytes_per_cycle
+
+    def request(
+        self,
+        transactions: list[MemoryTransaction],
+        now: float,
+        access_size: int,
+        is_load: bool,
+    ) -> float:
+        """Enqueue ``transactions``; returns the data-ready cycle.
+
+        Stores return the cycle the pipe accepts the last transaction
+        (fire-and-forget); loads add the DRAM latency.
+        """
+        if not transactions:
+            return now
+        start_of_first = max(now, self.next_free)
+        t = self.next_free
+        for tx in transactions:
+            begin = max(now, t)
+            t = begin + self._tx_cycles(tx)
+            self.stats.transactions += 1
+            self.stats.bytes_moved += tx.size
+            self.stats.busy_cycles += t - begin
+            self.stats.by_size[tx.size] = self.stats.by_size.get(tx.size, 0) + 1
+        self.next_free = t
+        self.stats.requests += 1
+        self.stats.queue_delay_cycles += max(0.0, start_of_first - now)
+        if not is_load:
+            return t
+        return t + self.policy.load_latency(self.timings, access_size)
+
+    def reset(self) -> None:
+        self.next_free = 0.0
+        self.stats = PipelineStats()

@@ -1,0 +1,77 @@
+"""Execution counters collected during kernel simulation.
+
+The counters mirror what the paper reasons about: dynamic warp-instruction
+counts (the unrolling argument is literally about shrinking this number),
+memory transactions and bytes (the layout argument), idle/stall cycles
+(the occupancy argument), and wall cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import IssueClass, Op
+from .pipeline import PipelineStats
+
+__all__ = ["KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Aggregated counters for one kernel launch (summed over SMs)."""
+
+    cycles: float = 0.0
+    warp_instructions: int = 0
+    thread_instructions: int = 0  # warp instructions × active lanes
+    by_class: dict[IssueClass, int] = field(default_factory=dict)
+    by_op: dict[Op, int] = field(default_factory=dict)
+    idle_cycles: float = 0.0  # no warp issuable on the SM
+    scoreboard_stalls: int = 0  # issue attempts blocked on pending regs
+    barrier_waits: int = 0
+    memory: PipelineStats = field(default_factory=PipelineStats)
+    blocks_executed: int = 0
+    warps_executed: int = 0
+    sm_cycles: list[float] = field(default_factory=list)  # per-SM finish time
+
+    def count(self, op: Op, issue_class: IssueClass, active_lanes: int) -> None:
+        self.warp_instructions += 1
+        self.thread_instructions += active_lanes
+        self.by_class[issue_class] = self.by_class.get(issue_class, 0) + 1
+        self.by_op[op] = self.by_op.get(op, 0) + 1
+
+    def merge(self, other: "KernelStats") -> None:
+        self.cycles = max(self.cycles, other.cycles)
+        self.warp_instructions += other.warp_instructions
+        self.thread_instructions += other.thread_instructions
+        for k, v in other.by_class.items():
+            self.by_class[k] = self.by_class.get(k, 0) + v
+        for k, v in other.by_op.items():
+            self.by_op[k] = self.by_op.get(k, 0) + v
+        self.idle_cycles += other.idle_cycles
+        self.scoreboard_stalls += other.scoreboard_stalls
+        self.barrier_waits += other.barrier_waits
+        self.memory.merge(other.memory)
+        self.blocks_executed += other.blocks_executed
+        self.warps_executed += other.warps_executed
+        self.sm_cycles.extend(other.sm_cycles)
+
+    @property
+    def loads(self) -> int:
+        return self.by_op.get(Op.LD_GLOBAL, 0) + self.by_op.get(Op.LD_SHARED, 0)
+
+    @property
+    def stores(self) -> int:
+        return self.by_op.get(Op.ST_GLOBAL, 0) + self.by_op.get(Op.ST_SHARED, 0)
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles             : {self.cycles:,.0f}",
+            f"warp instructions  : {self.warp_instructions:,}",
+            f"thread instructions: {self.thread_instructions:,}",
+            f"blocks / warps     : {self.blocks_executed} / {self.warps_executed}",
+            f"global transactions: {self.memory.transactions:,} "
+            f"({self.memory.bytes_moved:,} B)",
+            f"idle cycles        : {self.idle_cycles:,.0f}",
+            f"scoreboard stalls  : {self.scoreboard_stalls:,}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Per-SM texture cache (the read-only path of Sec. I-A's footnote).
+
+The G80's only cached access to DRAM is through the texture (and
+constant) units — "caches aren't existent except for a small texture-
+and constant cache", as the paper puts it.  2008-era n-body codes used
+``tex1Dfetch`` as the alternative to shared-memory staging, which is why
+the ablation experiment models it.
+
+Model: a direct-mapped cache of ``tex_cache_bytes`` with
+``tex_line_bytes`` lines.  A warp access checks its unique lines; hits
+cost ``tex_hit_latency`` (the texture unit is pipelined but long), each
+miss fetches one line through the SM's DRAM pipeline at full latency and
+fills the cache.  No coherence: texture reads in real CC 1.x are
+undefined with respect to same-kernel writes, and the simulator's
+functional read goes straight to global memory (writes-then-tex-reads
+within one launch behave "coherently" functionally but carry a
+validation warning — see :mod:`repro.cudasim.validation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.transactions import MemoryTransaction
+from .device import DeviceProperties
+from .pipeline import MemoryPipeline
+
+__all__ = ["TextureCacheStats", "TextureCache"]
+
+
+@dataclass
+class TextureCacheStats:
+    accesses: int = 0
+    line_lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.line_lookups == 0:
+            return 0.0
+        return self.hits / self.line_lookups
+
+    def merge(self, other: "TextureCacheStats") -> None:
+        self.accesses += other.accesses
+        self.line_lookups += other.line_lookups
+        self.hits += other.hits
+        self.misses += other.misses
+
+
+class TextureCache:
+    """Direct-mapped, per-SM, read-only."""
+
+    def __init__(self, device: DeviceProperties, pipeline: MemoryPipeline):
+        self.device = device
+        self.pipeline = pipeline
+        self.line_bytes = device.tex_line_bytes
+        self.n_lines = max(1, device.tex_cache_bytes // self.line_bytes)
+        self.hit_latency = device.tex_hit_latency
+        # tag[i] = base address of the line cached in slot i, or -1.
+        self.tags = np.full(self.n_lines, -1, dtype=np.int64)
+        self.stats = TextureCacheStats()
+
+    def _slot(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.n_lines
+
+    def access(
+        self, byte_addrs: np.ndarray, width: int, now: float
+    ) -> float:
+        """One warp texture fetch; returns the data-ready cycle."""
+        self.stats.accesses += 1
+        lines: set[int] = set()
+        for a in np.asarray(byte_addrs, dtype=np.int64):
+            first = (int(a) // self.line_bytes) * self.line_bytes
+            last = ((int(a) + width - 1) // self.line_bytes) * self.line_bytes
+            lines.add(first)
+            if last != first:
+                lines.add(last)
+        ready = now + self.hit_latency
+        misses: list[int] = []
+        for line in sorted(lines):
+            self.stats.line_lookups += 1
+            slot = self._slot(line)
+            if self.tags[slot] == line:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+                misses.append(line)
+                self.tags[slot] = line
+        if misses:
+            txs = [
+                MemoryTransaction(line, self.line_bytes)
+                if self.line_bytes in (32, 64, 128)
+                else MemoryTransaction(line, 32)
+                for line in misses
+            ]
+            # Miss fill: DRAM round trip through the ordinary pipe, plus
+            # the texture unit's own pipeline on top.
+            fill = self.pipeline.request(txs, now, 4, is_load=True)
+            ready = max(ready, fill + self.hit_latency)
+        return ready
+
+    def invalidate(self) -> None:
+        self.tags[:] = -1

@@ -1,0 +1,169 @@
+"""Memory-access trace capture and offline analysis.
+
+A :class:`TraceRecorder` hooks a launch and records every global-memory
+warp access (pc, warp, addresses, width, load/store).  The offline
+analyzers replay a trace through any coalescing policy — so one can ask
+"what would this exact kernel's traffic cost under CUDA 2.2?" without
+re-simulating — and compute the bandwidth-efficiency figures the paper's
+Sec. II reasons about (useful bytes ÷ moved bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..core.access import HALFWARP, HalfWarpAccess
+from ..core.coalescing import CoalescingPolicy
+from ..core.transactions import total_bytes
+from .errors import TraceError
+
+__all__ = ["AccessRecord", "MemoryTrace", "TraceRecorder", "TrafficReport"]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One warp-wide global access."""
+
+    pc: int
+    block: int
+    warp: int
+    is_load: bool
+    width: int  # bytes per thread
+    addresses: tuple[int, ...]  # per active lane
+    active: tuple[bool, ...]
+
+    def halfwarp_accesses(self) -> list[HalfWarpAccess]:
+        addrs = np.asarray(self.addresses, dtype=np.int64)
+        act = np.asarray(self.active, dtype=bool)
+        out = []
+        for h in (0, 1):
+            sel = slice(h * HALFWARP, (h + 1) * HALFWARP)
+            out.append(HalfWarpAccess(addrs[sel], self.width, act[sel]))
+        return out
+
+
+@dataclass
+class MemoryTrace:
+    """An ordered list of access records plus bookkeeping."""
+
+    kernel_name: str = ""
+    records: list[AccessRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def loads(self) -> list[AccessRecord]:
+        return [r for r in self.records if r.is_load]
+
+    def stores(self) -> list[AccessRecord]:
+        return [r for r in self.records if not r.is_load]
+
+    def useful_bytes(self) -> int:
+        return sum(
+            r.width * sum(r.active) for r in self.records
+        )
+
+    def replay(self, policy: CoalescingPolicy) -> "TrafficReport":
+        """Re-coalesce every access under ``policy``."""
+        transactions = 0
+        moved = 0
+        per_pc: dict[int, int] = {}
+        for rec in self.records:
+            for acc in rec.halfwarp_accesses():
+                txs = policy.transactions(acc)
+                transactions += len(txs)
+                moved += total_bytes(txs)
+                per_pc[rec.pc] = per_pc.get(rec.pc, 0) + len(txs)
+        useful = self.useful_bytes()
+        return TrafficReport(
+            policy_name=policy.name,
+            accesses=len(self.records),
+            transactions=transactions,
+            bytes_moved=moved,
+            bytes_useful=useful,
+            transactions_per_pc=per_pc,
+        )
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Coalescing-efficiency summary of one trace under one policy."""
+
+    policy_name: str
+    accesses: int
+    transactions: int
+    bytes_moved: int
+    bytes_useful: int
+    transactions_per_pc: dict[int, int]
+
+    @property
+    def efficiency(self) -> float:
+        """Useful bytes ÷ moved bytes (1.0 = perfectly coalesced &
+        unpadded; the paper's AoS layout scores ~0.11 under CUDA 1.0)."""
+        if self.bytes_moved == 0:
+            return 1.0
+        return self.bytes_useful / self.bytes_moved
+
+    @property
+    def transactions_per_access(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.transactions / self.accesses
+
+    def describe(self) -> str:
+        return (
+            f"{self.policy_name}: {self.accesses} accesses -> "
+            f"{self.transactions} transactions, "
+            f"{self.bytes_moved:,} B moved for {self.bytes_useful:,} B "
+            f"useful ({100 * self.efficiency:.0f}% efficiency)"
+        )
+
+
+class TraceRecorder:
+    """Callable hook the executor invokes per global access.
+
+    Wire it up via ``Device.launch(..., trace=recorder)``; afterwards the
+    trace is available as ``recorder.trace``.  ``limit`` guards against
+    runaway memory for large launches.
+    """
+
+    def __init__(self, kernel_name: str = "", limit: int = 1_000_000) -> None:
+        self.trace = MemoryTrace(kernel_name=kernel_name)
+        self.limit = int(limit)
+        self.dropped = 0
+
+    def __call__(
+        self,
+        pc: int,
+        block: int,
+        warp: int,
+        is_load: bool,
+        width: int,
+        addresses: np.ndarray,
+        active: np.ndarray,
+    ) -> None:
+        if len(self.trace.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.trace.records.append(
+            AccessRecord(
+                pc=pc,
+                block=block,
+                warp=warp,
+                is_load=is_load,
+                width=width,
+                addresses=tuple(int(a) for a in addresses),
+                active=tuple(bool(a) for a in active),
+            )
+        )
+
+    def report(self, policy: CoalescingPolicy) -> TrafficReport:
+        if self.dropped:
+            raise TraceError(
+                f"trace truncated ({self.dropped} accesses dropped); "
+                f"raise the recorder limit"
+            )
+        return self.trace.replay(policy)

@@ -1,0 +1,20 @@
+"""Kernel IR transformations.
+
+* :mod:`repro.cudasim.transforms.unroll` — loop unrolling with induction-
+  variable folding (Sec. IV-A of the paper).
+* :mod:`repro.cudasim.transforms.licm` — loop-invariant code motion (the
+  paper's "manual invariant code motion" that frees one more register).
+* :mod:`repro.cudasim.transforms.peephole` — constant folding and dead-code
+  elimination used to tidy up after the structural passes.
+"""
+
+from .licm import hoist_invariants
+from .peephole import eliminate_dead_code, fold_constants
+from .unroll import unroll_loops
+
+__all__ = [
+    "unroll_loops",
+    "hoist_invariants",
+    "eliminate_dead_code",
+    "fold_constants",
+]

@@ -1,0 +1,35 @@
+"""``repro.experiments`` — harness regenerating every evaluation artifact.
+
+===========  ============================================================
+id           reproduces
+===========  ============================================================
+fig10        Fig. 10: avg cycles per 4-byte read, layouts × CUDA revisions
+fig11        Fig. 11: layout speedups over the AoS baseline
+fig12        Fig. 12: Gravit runtime per optimization level, 40 k – 1 M
+unroll       Sec. IV-A text: unroll sweep, 18 % claim, Eq. 3 prediction
+occupancy    Sec. IV-A text: 18/17/16 registers, 50 % → 67 %, +6 %
+diagrams     Figs. 3/5/7/9: access-pattern diagrams, mechanically
+model        validation: Eq. 2 predictions vs the cycle simulator
+ablation     extension: tiled vs raw-global vs texture interaction loop
+warps        extension: layout gap vs resident warps (regimes)
+portability  extension: 8600 GT / GTX 280 (the paper's future work)
+bh           Sec. I-C: Barnes-Hut accuracy/work trade-off
+bhgpu        Sec. I-D: the GPU tree code vs the O(n²) kernel
+===========  ============================================================
+
+CLI: ``gravit-repro run all`` (installed via the project script), or
+``python -m repro.experiments.registry run fig10``.
+"""
+
+from .registry import EXPERIMENTS, main, run_experiment
+from .report import ExperimentResult, ascii_bars, format_table, write_dat
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "main",
+    "ExperimentResult",
+    "format_table",
+    "ascii_bars",
+    "write_dat",
+]

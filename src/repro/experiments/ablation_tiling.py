@@ -1,0 +1,154 @@
+"""ABL-T — ablation: shared-memory tiling (the design choice of Sec. I-D).
+
+The paper's kernel stages K particles in shared memory per outer-loop
+iteration (the "B" phase).  This experiment quantifies what that buys:
+the same physics with the inner loop reading every particle straight
+from global memory — where a warp's threads all request the *same*
+record, an uncoalescible pattern on CC 1.x — is cycle-simulated against
+the tiled kernel at identical N.
+
+Expected shape: an order-of-magnitude gap, dominated by exposed DRAM
+latency in the dependent chain plus the per-thread transaction storm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.layouts import make_layout
+from ..cudasim.device import Toolchain
+from ..cudasim.launch import Device, compile_kernel
+from ..gravit.forces_cpu import direct_forces
+from ..gravit.gpu_kernels import (
+    POSMASS_FIELDS,
+    build_force_kernel,
+    build_force_kernel_notile,
+)
+from ..gravit.particles import ParticleSystem
+from .report import ExperimentResult, format_table
+
+__all__ = ["run", "measure"]
+
+
+def _system(n: int, seed: int = 31) -> ParticleSystem:
+    rng = np.random.default_rng(seed)
+    return ParticleSystem.from_arrays(
+        rng.standard_normal((n, 3)).astype(np.float32),
+        masses=np.full(n, 1.0 / n, dtype=np.float32),
+    )
+
+
+def measure(
+    tiled: bool,
+    layout_kind: str = "soaoas",
+    n: int = 256,
+    block: int = 64,
+    toolchain: Toolchain = Toolchain.CUDA_1_0,
+    check_forces: bool = True,
+    via_texture: bool = False,
+) -> dict:
+    """Cycle-simulate one variant; returns cycles + verification."""
+    if tiled and via_texture:
+        raise ValueError("texture path applies to the untiled variant")
+    system = _system(n)
+    layout = make_layout(layout_kind, n)
+    if tiled:
+        kernel, plan = build_force_kernel(layout, block_size=block)
+    else:
+        kernel, plan = build_force_kernel_notile(
+            layout, block_size=block, via_texture=via_texture
+        )
+    lk = compile_kernel(kernel)
+    dev = Device(toolchain=toolchain, heap_bytes=1 << 23)
+    buf = dev.malloc(layout.size_bytes)
+    dev.memcpy_htod(buf, system.pack(layout))
+    out = dev.malloc(16 * n)
+    steps = layout.read_plan(POSMASS_FIELDS)
+    params = {
+        name: buf.addr + step.base
+        for name, step in zip(plan.param_for_step, steps)
+    }
+    params.update(out=out, eps=1e-2)
+    if tiled:
+        params["nslices"] = n // block
+    else:
+        params["n"] = n
+    result = dev.launch(lk, grid=n // block, block=block, params=params)
+    record = {
+        "variant": "tiled" if tiled else (
+            "no-tile-tex" if via_texture else "no-tile"
+        ),
+        "cycles": result.cycles,
+        "transactions": result.stats.memory.transactions,
+        "bytes_moved": result.stats.memory.bytes_moved,
+        "registers": lk.reg_count,
+    }
+    if check_forces:
+        words = dev.memcpy_dtoh(out, 4 * n).reshape(-1, 4)
+        forces = words[:, :3].astype(np.float64)
+        ref = direct_forces(system, eps=1e-2)
+        scale = np.abs(ref).max()
+        record["max_error"] = float(np.abs(forces - ref).max() / scale)
+    return record
+
+
+def run(
+    n: int = 256,
+    block: int = 64,
+    layout_kinds: tuple[str, ...] = ("soaoas", "soa"),
+) -> ExperimentResult:
+    rows = []
+    data = {}
+    for kind in layout_kinds:
+        tiled = measure(True, kind, n, block)
+        untiled = measure(False, kind, n, block)
+        textured = measure(False, kind, n, block, via_texture=True)
+        slowdown = untiled["cycles"] / tiled["cycles"]
+        tex_slowdown = textured["cycles"] / tiled["cycles"]
+        data[kind] = {
+            "tiled": tiled,
+            "no_tile": untiled,
+            "no_tile_tex": textured,
+            "slowdown": slowdown,
+            "tex_slowdown": tex_slowdown,
+        }
+        rows.append(
+            [
+                kind,
+                f"{tiled['cycles']:,.0f}",
+                f"{untiled['cycles']:,.0f}",
+                f"{textured['cycles']:,.0f}",
+                f"{slowdown:.1f}x",
+                f"{tex_slowdown:.1f}x",
+            ]
+        )
+    table = format_table(
+        ["layout", "tiled cycles", "global cycles", "texture cycles",
+         "global slowdown", "texture slowdown"],
+        rows,
+    )
+    worst = min(d["slowdown"] for d in data.values())
+    return ExperimentResult(
+        experiment_id="abl-tiling",
+        title="Ablation: shared-memory tiling of the interaction loop "
+        f"(N={n}, block={block})",
+        data=data,
+        table=table,
+        paper_claims={
+            "tiling matters": "implicit — the kernel stages slices in "
+            "shared memory like GPU Gems 3 ch. 31",
+        },
+        measured_claims={
+            "tiling matters": f"removing it costs ≥{worst:.1f}x "
+            f"(texture fetch recovers part of it: "
+            f"{min(d['tex_slowdown'] for d in data.values()):.1f}x)",
+        },
+        notes=[
+            "All threads of a warp read the same record in the no-tile "
+            "variant; CC 1.x cannot coalesce that, and the DRAM latency "
+            "lands inside the dependent chain every iteration.",
+            "The texture variant is the era's other mitigation: the "
+            "same-address fetch hits the per-SM texture cache after the "
+            "first line fill.",
+        ],
+    )

@@ -1,0 +1,124 @@
+"""FIG3579 — the access-pattern diagrams of Figs. 3, 5, 7 and 9, as text.
+
+The paper's Figures 3/5/7/9 illustrate, for each layout, which memory a
+half-warp's threads touch and how those touches become reads.  This
+module regenerates that information mechanically from the layout
+definitions: per load step, a thread→address map, the transaction list
+under a chosen CUDA revision, and a byte-map strip showing requested vs
+fetched bytes.
+
+Example (SoAoaS, one step)::
+
+    step 0: f32x4 [px,py,pz,mass] @ 0 + 16*i   -- coalesced
+      t00:0x000 t01:0x010 t02:0x020 ... t15:0x0f0
+      transactions: Tx(0x0,128B) Tx(0x80,128B)
+      bytes: [################################] 100% useful
+"""
+
+from __future__ import annotations
+
+from ..core.access import warp_accesses
+from ..core.coalescing import CoalescingPolicy, policy_for
+from ..core.layouts import LAYOUT_KINDS, MemoryLayout, make_layout
+from ..core.transactions import total_bytes
+from ..cudasim.device import Toolchain
+from .report import ExperimentResult
+
+__all__ = ["diagram_for_layout", "run"]
+
+#: Paper figure number per layout kind.
+PAPER_FIGURE = {"aos": 3, "unopt": 3, "soa": 5, "aoas": 7, "soaoas": 9}
+
+
+def diagram_for_layout(
+    layout: MemoryLayout,
+    policy: CoalescingPolicy,
+    fields: tuple[str, ...] | None = None,
+    lanes_shown: int = 8,
+) -> str:
+    """Render one layout's half-warp access pattern as text."""
+    lines = [f"{type(layout).__name__} under {policy.name}:"]
+    useful_total = 0
+    moved_total = 0
+    for k, step in enumerate(layout.read_plan(fields)):
+        half = warp_accesses(step, 0)[0]
+        txs = policy.transactions(half)
+        coalesced = policy.is_coalesced(half)
+        names = ",".join(f or "pad" for f in step.fields)
+        lines.append(
+            f"  step {k}: {step.vector} [{names}] @ {step.base} + "
+            f"{step.stride}*i   -- "
+            f"{'coalesced' if coalesced else 'NOT coalesced'}"
+        )
+        shown = " ".join(
+            f"t{t:02d}:{int(half.addresses[t]):#05x}"
+            for t in range(lanes_shown)
+        )
+        lines.append(f"    {shown} ...")
+        tx_text = " ".join(f"Tx({t.address:#x},{t.size}B)" for t in txs[:6])
+        if len(txs) > 6:
+            tx_text += f" ... ({len(txs)} total)"
+        lines.append(f"    transactions: {tx_text}")
+        useful = 16 * step.vector.nbytes
+        moved = total_bytes(txs)
+        useful_total += useful
+        moved_total += moved
+        lines.append(
+            f"    traffic: {moved} B fetched for {useful} B requested "
+            f"({100 * useful / max(moved, 1):.0f}% useful)"
+        )
+    lines.append(
+        f"  per half-warp record read: {moved_total} B moved, "
+        f"{useful_total} B useful"
+    )
+    return "\n".join(lines)
+
+
+def run(
+    toolchain: Toolchain = Toolchain.CUDA_1_0,
+    kinds: tuple[str, ...] = ("unopt", "soa", "aoas", "soaoas"),
+) -> ExperimentResult:
+    policy = policy_for(toolchain)
+    diagrams = {}
+    efficiency = {}
+    blocks = []
+    for kind in kinds:
+        layout = make_layout(kind, 1024)
+        text = diagram_for_layout(layout, policy)
+        diagrams[kind] = text
+        fig = PAPER_FIGURE.get(kind)
+        blocks.append(
+            (f"--- paper Fig. {fig} ({kind}) ---\n" if fig else "") + text
+        )
+        moved = 0
+        useful = 0
+        for step in layout.steps:
+            half = warp_accesses(step, 0)[0]
+            moved += total_bytes(policy.transactions(half))
+            useful += 16 * step.vector.nbytes
+        efficiency[kind] = useful / moved
+    # Checks mirroring the figures' messages:
+    ok_aos = efficiency["unopt"] < 0.25  # Fig. 3: wasteful
+    ok_soa = efficiency["soa"] > 0.9  # Fig. 5: coalesced
+    ok_soaoas = efficiency["soaoas"] > 0.9  # Fig. 9: coalesced + few reads
+    return ExperimentResult(
+        experiment_id="fig3579",
+        title=f"Access-pattern diagrams (CUDA {toolchain.value})",
+        data={"diagrams": diagrams, "efficiency": efficiency},
+        table="\n\n".join(blocks),
+        paper_claims={
+            "Fig. 3 (AoS)": "7 reads, none coalesced",
+            "Fig. 5 (SoA)": "7 reads, each coalesced",
+            "Fig. 7 (AoaS)": "two 128-bit reads, not coalesced",
+            "Fig. 9 (SoAoaS)": "two 128-bit coalesced reads",
+        },
+        measured_claims={
+            "Fig. 3 (AoS)": f"{100 * efficiency['unopt']:.0f}% useful traffic"
+            + (" (wasteful ✓)" if ok_aos else " (?)"),
+            "Fig. 5 (SoA)": f"{100 * efficiency['soa']:.0f}% useful"
+            + (" ✓" if ok_soa else " (?)"),
+            "Fig. 7 (AoaS)": f"{100 * efficiency['aoas']:.0f}% useful",
+            "Fig. 9 (SoAoaS)": f"{100 * efficiency['soaoas']:.0f}% useful"
+            + (" ✓" if ok_soaoas else " (?)"),
+        },
+    )

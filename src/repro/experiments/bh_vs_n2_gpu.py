@@ -1,0 +1,138 @@
+"""BHGPU — GPU tree code vs the GPU O(n²) kernel (Sec. I-D, resolved).
+
+The paper argues the O(n²) kernel is "a perfect algorithm to be
+implemented on a GPU" while Barnes-Hut "has to be transformed into an
+iterative equivalent" — and leaves the comparison unexplored.  With the
+simulator's divergent-loop support the iterative tree code actually
+runs (:mod:`repro.gravit.gpu_barneshut`), so the question is answerable:
+
+* cycle-simulate both kernels at several N,
+* fit the asymptotics (``α·n·ln n`` for the tree walk, ``β·n²`` for the
+  direct kernel — both per-chip),
+* report the measured ratio at each N and the extrapolated crossover.
+
+Expected shape: the O(n²) kernel wins comfortably at the paper's small-N
+end (coalesced tile traffic, zero divergence), while the tree code's
+asymptotics take over somewhere in the 10³–10⁵ range — vindicating both
+the paper's choice for 2009-era sizes *and* the eventual move of
+production n-body codes to GPU tree walks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..cudasim.device import Toolchain
+from ..gravit.gpu_barneshut import bh_forces_gpu
+from ..gravit.gpu_driver import GpuConfig, GpuForceBackend
+from ..gravit.spawn import plummer
+from .report import ExperimentResult, format_table
+
+__all__ = ["run", "measure_pair"]
+
+
+def measure_pair(
+    n: int,
+    theta: float = 0.6,
+    block: int = 64,
+    toolchain: Toolchain = Toolchain.CUDA_1_0,
+    seed: int = 23,
+) -> dict:
+    system = plummer(n, seed=seed)
+    _, bh_result = bh_forces_gpu(
+        system, theta=theta, block_size=block, toolchain=toolchain
+    )
+    backend = GpuForceBackend(
+        GpuConfig(
+            layout_kind="soaoas", block_size=block,
+            unroll="full", licm=True, toolchain=toolchain,
+        )
+    )
+    _, n2_result = backend.forces_cycle(system)
+    return {
+        "n": n,
+        "bh_cycles": bh_result.cycles,
+        "n2_cycles": n2_result.cycles,
+        "ratio": bh_result.cycles / n2_result.cycles,
+    }
+
+
+def _fit_crossover(points: list[dict]) -> float:
+    """Least-squares α, β for α·n·ln n and β·n², then solve equality."""
+    n = np.array([p["n"] for p in points], dtype=np.float64)
+    bh = np.array([p["bh_cycles"] for p in points], dtype=np.float64)
+    n2 = np.array([p["n2_cycles"] for p in points], dtype=np.float64)
+    basis_bh = n * np.log(n)
+    alpha = float((basis_bh * bh).sum() / (basis_bh * basis_bh).sum())
+    basis_n2 = n * n
+    beta = float((basis_n2 * n2).sum() / (basis_n2 * basis_n2).sum())
+    # Solve alpha · x ln x = beta · x²  →  x = (alpha/beta) · ln x.
+    x = 1e4
+    for _ in range(60):
+        x = max((alpha / beta) * math.log(max(x, 2.0)), 2.0)
+    return x
+
+
+def run(
+    sizes: tuple[int, ...] = (256, 512, 1024),
+    theta: float = 0.6,
+    block: int = 64,
+) -> ExperimentResult:
+    points = [measure_pair(n, theta=theta, block=block) for n in sizes]
+    crossover = _fit_crossover(points)
+    rows = [
+        [
+            f"{p['n']:,}",
+            f"{p['bh_cycles']:,.0f}",
+            f"{p['n2_cycles']:,.0f}",
+            f"{p['ratio']:.2f}x",
+        ]
+        for p in points
+    ]
+    table = format_table(
+        ["N", "GPU Barnes-Hut cycles", "GPU O(n²) cycles",
+         "BH / O(n²)"],
+        rows,
+    )
+    ratios = [p["ratio"] for p in points]
+    return ExperimentResult(
+        experiment_id="bh-vs-n2-gpu",
+        title=f"GPU tree code vs GPU O(n²) kernel (theta={theta})",
+        data={
+            "points": points,
+            "crossover_estimate": crossover,
+            "series": {
+                "gpu_compare": {
+                    "n": [float(p["n"]) for p in points],
+                    "bh_cycles": [p["bh_cycles"] for p in points],
+                    "n2_cycles": [p["n2_cycles"] for p in points],
+                }
+            },
+        },
+        table=table + f"\n\nextrapolated crossover: N ≈ {crossover:,.0f}",
+        paper_claims={
+            "O(n²) is the right 2009 GPU algorithm": "asserted in "
+            "Sec. I-D without measurement",
+        },
+        measured_claims={
+            "O(n²) is the right 2009 GPU algorithm": (
+                f"at N={sizes[0]} the tree walk costs {ratios[0]:.1f}x "
+                f"the direct kernel; the ratio falls to {ratios[-1]:.1f}x "
+                f"by N={sizes[-1]:,} and the fit crosses at "
+                f"N ≈ {crossover:,.0f}"
+            ),
+        },
+        notes=[
+            "The GPU tree walk pays for gathered (uncoalesced) node "
+            "fetches and divergent loop trips; the texture cache absorbs "
+            "the shared upper levels.",
+            "Caveats on the crossover: the host-side tree build/upload "
+            "(O(n log n) CPU work per step) is excluded, and the direct "
+            "kernel's tiling is as good as it gets while the tree walk "
+            "is unoptimized — both push the real crossover higher.  The "
+            "shape still matches history: production GPU n-body moved to "
+            "tree walks (e.g. Bonsai, 2012) once n grew past ~10^4-10^5.",
+        ],
+    )

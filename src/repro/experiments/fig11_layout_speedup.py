@@ -1,0 +1,82 @@
+"""FIG11 — speedup of each optimized layout over the AoS baseline.
+
+Derived from the Fig. 10 measurements exactly as the paper derives its
+Fig. 11: ``speedup(L, rev) = cycles(AoS, rev) / cycles(L, rev)``.
+
+Paper claims checked: SoA ≈ +10 % and SoAoaS ≈ +50 % under CUDA 1.0;
+SoAoaS ≈ +30 % under CUDA 2.2; CUDA 1.1 shows a different, flatter
+pattern (all gains compressed).
+"""
+
+from __future__ import annotations
+
+from ..cudasim.device import Toolchain
+from . import fig10_memory_cycles
+from .report import ExperimentResult, format_table
+
+__all__ = ["run", "speedups_from_fig10"]
+
+SPEEDUP_KINDS = ("soa", "aoas", "soaoas")
+
+
+def speedups_from_fig10(fig10: ExperimentResult) -> dict[str, dict[str, float]]:
+    """``{layout: {cuda_version: speedup_vs_aos}}``."""
+    meas = fig10.data["measurements"]
+    toolchains = fig10.data["toolchains"]
+    out: dict[str, dict[str, float]] = {}
+    for kind in SPEEDUP_KINDS:
+        out[kind] = {}
+        for tc in toolchains:
+            base = meas[f"aos/{tc}"]["cycles_per_element"]
+            opt = meas[f"{kind}/{tc}"]["cycles_per_element"]
+            out[kind][tc] = base / opt
+    return out
+
+
+def run(fig10: ExperimentResult | None = None, **kwargs) -> ExperimentResult:
+    if fig10 is None:
+        fig10 = fig10_memory_cycles.run(**kwargs)
+    speedups = speedups_from_fig10(fig10)
+    toolchains = fig10.data["toolchains"]
+
+    headers = ["layout"] + [f"CUDA {tc}" for tc in toolchains]
+    rows = [
+        [kind] + [speedups[kind][tc] for tc in toolchains]
+        for kind in SPEEDUP_KINDS
+    ]
+    table = format_table(headers, rows, float_fmt="{:.2f}x")
+
+    tc10, tc11, tc22 = "1.0", "1.1", "2.2"
+    measured = {
+        "SoA speedup (CUDA 1.0)": f"{speedups['soa'][tc10]:.2f}x",
+        "SoAoaS speedup (CUDA 1.0)": f"{speedups['soaoas'][tc10]:.2f}x",
+        "SoAoaS speedup (CUDA 2.2)": f"{speedups['soaoas'][tc22]:.2f}x",
+        "CUDA 1.1 pattern": (
+            "compressed (max "
+            f"{max(speedups[k][tc11] for k in SPEEDUP_KINDS):.2f}x)"
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Speedup of the optimized memory layouts over AoS",
+        data={"speedups": speedups, "toolchains": toolchains,
+              "series": {
+                  "speedup": {
+                      "layout_index": list(range(len(SPEEDUP_KINDS))),
+                      **{
+                          f"cuda_{tc.replace('.', '_')}": [
+                              speedups[k][tc] for k in SPEEDUP_KINDS
+                          ]
+                          for tc in toolchains
+                      },
+                  }
+              }},
+        table=table,
+        paper_claims={
+            "SoA speedup (CUDA 1.0)": "~1.10x (\"roughly 10%\")",
+            "SoAoaS speedup (CUDA 1.0)": "~1.50x (\"approximately 50%\")",
+            "SoAoaS speedup (CUDA 2.2)": "~1.30x (\"roughly 30%\")",
+            "CUDA 1.1 pattern": "completely different / flattened",
+        },
+        measured_claims=measured,
+    )

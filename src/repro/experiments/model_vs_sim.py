@@ -1,0 +1,139 @@
+"""MODEL — the paper's Eq. 2 against the cycle simulator.
+
+The unrolling argument of Sec. IV-A rests on the S/B/P instruction model.
+This experiment closes the loop: for each optimization state it
+
+1. extracts S/B/P statically from the kernel IR, weighted by issue
+   cycles (:func:`repro.core.model.sbp_counts`),
+2. converts them to predicted per-SM cycles for a given N via Eq. 2
+   (divided by resident warps — the issue port is the bottleneck for
+   this compute-bound kernel),
+3. compares against the hybrid calibration (which *measures* one SM).
+
+Expected shape: predictions within ~15 % for every state, and the
+predicted speedups (the quantity Eq. 3 is actually used for in the
+paper) within a few percent.
+"""
+
+from __future__ import annotations
+
+from ..core.model import sbp_counts
+from ..cudasim.device import G8800GTX, Toolchain
+from ..core.layouts import make_layout
+from ..cudasim.launch import compile_kernel
+from ..gravit.gpu_driver import GpuConfig, GpuForceBackend
+from ..gravit.gpu_kernels import build_force_kernel
+from .report import ExperimentResult, format_table
+
+__all__ = ["run", "predict_cycles_per_slice"]
+
+STATES: tuple[tuple[str, dict], ...] = (
+    ("rolled", {}),
+    ("unrolled", {"unroll": "full"}),
+    ("unrolled+icm", {"unroll": "full", "licm": True}),
+)
+
+
+def predict_cycles_per_slice(
+    block: int = 128,
+    layout_kind: str = "soaoas",
+    unroll=None,
+    licm: bool = False,
+) -> float:
+    """Eq. 2 issue-cycle prediction for one slice of one block.
+
+    The rolled kernel's counts come straight from the IR; for the
+    transformed states the per-iteration cost is adjusted by what the
+    passes remove (4 bookkeeping instructions on full unroll, the
+    invariant multiply with ICM) — i.e. the *model's* view, independent
+    of the simulator.
+    """
+    layout = make_layout(layout_kind, block)
+    kernel, _ = build_force_kernel(layout, block_size=block)
+    counts = sbp_counts(kernel, device=G8800GTX, weight="cycles")
+    per_iter = counts.per_iteration
+    alu = G8800GTX.alu_issue_cycles
+    if unroll == "full":
+        per_iter -= 4 * alu  # iadd saddr + iadd j + setp + bra
+    if licm:
+        per_iter -= 1 * alu  # the hoisted eps·eps
+    warps = block // 32
+    # Per block per slice: every warp issues the inner loop K times
+    # through one port, plus the slice fetch (B).
+    return warps * (block * per_iter + counts.per_slice)
+
+
+def run(
+    block: int = 128,
+    toolchain: Toolchain = Toolchain.CUDA_1_0,
+    slice_counts: tuple[int, int] = (2, 6),
+) -> ExperimentResult:
+    rows = []
+    data = {}
+    speedup_pred = {}
+    speedup_meas = {}
+    base_pred = base_meas = None
+    for label, kw in STATES:
+        predicted = predict_cycles_per_slice(block=block, **kw)
+        backend = GpuForceBackend(
+            GpuConfig(
+                layout_kind="soaoas",
+                block_size=block,
+                unroll=kw.get("unroll"),
+                licm=kw.get("licm", False),
+                toolchain=toolchain,
+            )
+        )
+        model = backend.calibrate(slice_counts)
+        measured = model.cycles_per_slice / model.resident_blocks
+        if base_pred is None:
+            base_pred, base_meas = predicted, measured
+        speedup_pred[label] = base_pred / predicted
+        speedup_meas[label] = base_meas / measured
+        error = predicted / measured - 1.0
+        data[label] = {
+            "predicted_cycles_per_slice": predicted,
+            "measured_cycles_per_slice": measured,
+            "relative_error": error,
+        }
+        rows.append(
+            [
+                label,
+                f"{predicted:,.0f}",
+                f"{measured:,.0f}",
+                f"{100 * error:+.1f}%",
+                f"{speedup_pred[label]:.3f}x",
+                f"{speedup_meas[label]:.3f}x",
+            ]
+        )
+    table = format_table(
+        ["state", "Eq.2 predicted cyc/slice/blk", "simulated",
+         "error", "predicted speedup", "simulated speedup"],
+        rows,
+    )
+    worst_abs = max(abs(d["relative_error"]) for d in data.values())
+    worst_speedup_gap = max(
+        abs(speedup_pred[l] - speedup_meas[l]) for l, _ in STATES
+    )
+    return ExperimentResult(
+        experiment_id="model-vs-sim",
+        title="Eq. 2 instruction model vs the cycle simulator",
+        data={"states": data, "speedup_pred": speedup_pred,
+              "speedup_meas": speedup_meas},
+        table=table,
+        paper_claims={
+            "Eq. 2/3 is a usable predictor": "the paper derives its 18% "
+            "expectation from it",
+        },
+        measured_claims={
+            "Eq. 2/3 is a usable predictor": (
+                f"absolute cycles within {100 * worst_abs:.0f}%, "
+                f"speedups within {worst_speedup_gap:.3f}"
+            ),
+        },
+        notes=[
+            "Eq. 2 ignores memory stalls and barrier bubbles, so it "
+            "under-predicts absolute time; the *ratios* — which are what "
+            "the paper uses it for — track closely.",
+        ],
+    )

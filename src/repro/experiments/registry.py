@@ -1,0 +1,209 @@
+"""Experiment registry and command-line entry point.
+
+``gravit-repro list`` shows the available experiments; ``gravit-repro
+run fig10 [fig11 …]`` executes them, prints the paper-vs-measured
+summaries, and (with ``--dat DIR``) writes gnuplot-ready data files.
+``gravit-repro run all --quick`` uses the reduced problem sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .report import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _fig10(quick: bool) -> ExperimentResult:
+    from . import fig10_memory_cycles
+
+    return fig10_memory_cycles.run()
+
+
+def _fig11(quick: bool) -> ExperimentResult:
+    from . import fig11_layout_speedup
+
+    return fig11_layout_speedup.run()
+
+
+def _fig12(quick: bool) -> ExperimentResult:
+    from . import fig12_gravit_levels
+
+    sizes = (
+        fig12_gravit_levels.QUICK_SIZES
+        if quick
+        else fig12_gravit_levels.PAPER_SIZES
+    )
+    return fig12_gravit_levels.run(sizes=sizes)
+
+
+def _unroll(quick: bool) -> ExperimentResult:
+    from . import unrolling_sweep
+
+    factors = (1, 4, 128) if quick else (1, 2, 4, 8, 16, 32, 64, 128)
+    return unrolling_sweep.run(factors=factors)
+
+
+def _occupancy(quick: bool) -> ExperimentResult:
+    from . import occupancy_table
+
+    return occupancy_table.run()
+
+
+def _diagrams(quick: bool) -> ExperimentResult:
+    from . import access_diagrams
+
+    return access_diagrams.run()
+
+
+def _ablation(quick: bool) -> ExperimentResult:
+    from . import ablation_tiling
+
+    return ablation_tiling.run(
+        layout_kinds=("soaoas",) if quick else ("soaoas", "soa")
+    )
+
+
+def _portability(quick: bool) -> ExperimentResult:
+    from . import portability
+
+    return portability.run()
+
+
+def _bh_vs_n2(quick: bool) -> ExperimentResult:
+    from . import bh_vs_n2_gpu
+
+    sizes = (256, 512) if quick else (256, 512, 1024)
+    return bh_vs_n2_gpu.run(sizes=sizes)
+
+
+def _bh_tradeoff(quick: bool) -> ExperimentResult:
+    from . import bh_tradeoff
+
+    if quick:
+        return bh_tradeoff.run(n=600, thetas=(0.0, 0.6, 1.0))
+    return bh_tradeoff.run()
+
+
+def _model_vs_sim(quick: bool) -> ExperimentResult:
+    from . import model_vs_sim
+
+    return model_vs_sim.run()
+
+
+def _warp_scaling(quick: bool) -> ExperimentResult:
+    from . import warp_scaling
+
+    counts = (1, 4, 16) if quick else (1, 2, 4, 8, 12, 16)
+    return warp_scaling.run(warp_counts=counts)
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
+    "fig10": ("memory microbenchmark: cycles per 4-byte read", _fig10),
+    "fig11": ("layout speedups over AoS", _fig11),
+    "fig12": ("Gravit runtime per optimization level vs N", _fig12),
+    "unroll": ("unroll-factor sweep with Eq.3 prediction", _unroll),
+    "occupancy": ("registers / occupancy / +6% table", _occupancy),
+    "diagrams": ("access-pattern diagrams of Figs. 3/5/7/9", _diagrams),
+    "ablation": ("ablation: shared-memory tiling", _ablation),
+    "portability": ("optimizations across GPU models (future work)", _portability),
+    "warps": ("layout gap vs resident warps (regime study)", _warp_scaling),
+    "model": ("Eq. 2 instruction model vs the cycle simulator", _model_vs_sim),
+    "bh": ("Barnes-Hut opening-angle trade-off (Sec. I-C)", _bh_tradeoff),
+    "bhgpu": ("GPU tree code vs GPU O(n²) kernel (Sec. I-D)", _bh_vs_n2),
+}
+
+
+def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+    try:
+        _, fn = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(quick)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gravit-repro",
+        description="Reproduce the evaluation of 'CUDA Memory Optimizations "
+        "for Large Data-Structures in the Gravit Simulator' (ICPP 2009).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one or more experiments")
+    runp.add_argument(
+        "names",
+        nargs="+",
+        help="experiment ids (or 'all')",
+    )
+    runp.add_argument(
+        "--quick", action="store_true", help="reduced sweeps for smoke runs"
+    )
+    runp.add_argument(
+        "--dat",
+        metavar="DIR",
+        default=None,
+        help="also write gnuplot .dat series into DIR",
+    )
+    runp.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="append machine-readable results to FILE (JSON lines)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, (desc, _) in EXPERIMENTS.items():
+            print(f"{name:10s} {desc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.names == ["all"] else args.names
+    status = 0
+    for name in names:
+        t0 = time.perf_counter()
+        try:
+            result = run_experiment(name, quick=args.quick)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - t0
+        print(result.summary())
+        print(f"({elapsed:.1f}s)\n")
+        if args.dat:
+            for path in result.save_dat(args.dat):
+                print(f"wrote {path}")
+        if args.json:
+            _append_json(args.json, result, elapsed)
+            print(f"appended {result.experiment_id} to {args.json}")
+    return status
+
+
+def _append_json(path: str, result: ExperimentResult, elapsed: float) -> None:
+    """One JSON object per line; non-serializable leaves are repr()'d."""
+    import json
+
+    def default(obj):
+        return repr(obj)
+
+    record = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "elapsed_s": round(elapsed, 3),
+        "paper_claims": result.paper_claims,
+        "measured_claims": result.measured_claims,
+        "data": result.data,
+        "notes": result.notes,
+    }
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, default=default) + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Result containers and terminal/file reporting for experiments.
+
+Every experiment returns an :class:`ExperimentResult`: a structured data
+dict (consumed by tests, benchmarks and EXPERIMENTS.md), a formatted
+table, and optional gnuplot-ready ``.dat`` series.  No plotting
+dependencies — figures are reproduced as aligned tables and ASCII charts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "ascii_bars",
+    "write_dat",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Plain aligned-column table (markdown-ish, no dependencies)."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    cells = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart for terminal output."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    peak = max(values, default=0.0)
+    lw = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        n = 0 if peak <= 0 else round(width * value / peak)
+        lines.append(f"{label:<{lw}}  {'█' * n}{'' if n else '·'} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def write_dat(
+    path: str,
+    columns: Mapping[str, Sequence[float]],
+    comment: str = "",
+) -> None:
+    """Write a gnuplot-style whitespace table with a header comment."""
+    names = list(columns)
+    length = {len(v) for v in columns.values()}
+    if len(length) != 1:
+        raise ValueError("all columns must have the same length")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"# {line}\n")
+        fh.write("# " + " ".join(names) + "\n")
+        for i in range(length.pop()):
+            fh.write(
+                " ".join(f"{columns[name][i]:.6g}" for name in names) + "\n"
+            )
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform experiment output."""
+
+    experiment_id: str
+    title: str
+    data: dict = field(default_factory=dict)
+    table: str = ""
+    notes: list[str] = field(default_factory=list)
+    paper_claims: dict = field(default_factory=dict)
+    measured_claims: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.table]
+        if self.paper_claims:
+            parts.append("")
+            parts.append("paper vs measured:")
+            for key, paper_value in self.paper_claims.items():
+                measured = self.measured_claims.get(key, "—")
+                parts.append(f"  {key}: paper {paper_value} | measured {measured}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def save_dat(self, directory: str) -> list[str]:
+        """Write each series in ``data['series']`` to a .dat file."""
+        written = []
+        for name, columns in self.data.get("series", {}).items():
+            path = os.path.join(directory, f"{self.experiment_id}_{name}.dat")
+            write_dat(path, columns, comment=self.title)
+            written.append(path)
+        return written

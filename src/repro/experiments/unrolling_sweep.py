@@ -1,0 +1,168 @@
+"""TXT-U — the unroll-factor sweep of Sec. IV-A.
+
+Sweeps the inner-loop unroll factor 1, 2, 4, …, K on the SoAoaS force
+kernel and reports, per factor:
+
+* registers/thread (full unroll frees the iterator: 18 → 17),
+* static instructions per original iteration,
+* dynamic warp instructions and cycles from a small full cycle
+  simulation,
+* the Eq. 3 prediction next to the measured speedup.
+
+Paper claims checked: the inner loop is ~20 instructions of which the
+bookkeeping removed by full unrolling is ~20 % ("reduced the number of
+instructions of one single iteration by roughly 18%"), and the measured
+speedup tracks that instruction reduction ("we gained an overall speedup
+of 18% by doing so").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.layouts import make_layout
+from ..core.unrolling import estimate_unroll
+from ..cudasim.device import Toolchain
+from ..cudasim.launch import Device, compile_kernel
+from ..gravit.gpu_kernels import POSMASS_FIELDS, build_force_kernel
+from ..gravit.particles import ParticleSystem
+from .report import ExperimentResult, format_table
+
+__all__ = ["run", "measure_factor", "BODY_INSTRS", "REMOVABLE_INSTRS"]
+
+#: Static composition of the kernel's inner loop (see gpu_kernels.py):
+#: 16 body instructions + 1 foldable induction add + 3 loop bookkeeping.
+BODY_INSTRS = 16
+FOLDABLE_ADDS = 1
+LOOP_BOOKKEEPING = 3
+REMOVABLE_INSTRS = FOLDABLE_ADDS + LOOP_BOOKKEEPING
+
+
+def measure_factor(
+    factor: int | str | None,
+    layout_kind: str = "soaoas",
+    block: int = 128,
+    n: int = 512,
+    toolchain: Toolchain = Toolchain.CUDA_1_0,
+    licm: bool = False,
+    seed: int = 5,
+) -> dict:
+    """Compile and cycle-simulate the force kernel at one unroll factor."""
+    layout = make_layout(layout_kind, n)
+    kernel, plan = build_force_kernel(layout, block_size=block)
+    lk = compile_kernel(kernel, unroll=factor, licm=licm)
+    dev = Device(toolchain=toolchain, heap_bytes=1 << 23)
+    rng = np.random.default_rng(seed)
+    system = ParticleSystem.from_arrays(
+        rng.standard_normal((n, 3)).astype(np.float32),
+        masses=np.full(n, 1.0 / n, dtype=np.float32),
+    )
+    buf = dev.malloc(layout.size_bytes)
+    dev.memcpy_htod(buf, system.pack(layout))
+    out = dev.malloc(16 * n)
+    steps = layout.read_plan(POSMASS_FIELDS)
+    params = {
+        name: buf.addr + step.base
+        for name, step in zip(plan.param_for_step, steps)
+    }
+    params.update(out=out, nslices=n // block, eps=1e-2)
+    result = dev.launch(lk, grid=n // block, block=block, params=params)
+    interactions = (n // block) * block  # per thread
+    return {
+        "factor": factor,
+        "registers": lk.reg_count,
+        "static_instructions": lk.static_instruction_count,
+        "warp_instructions": result.stats.warp_instructions,
+        "cycles": result.cycles,
+        "warp_instr_per_iteration": result.stats.warp_instructions
+        / (result.stats.warps_executed * interactions),
+    }
+
+
+def run(
+    factors: tuple[int | str, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
+    block: int = 128,
+    **kwargs,
+) -> ExperimentResult:
+    rows = []
+    measurements = {}
+    base = None
+    for f in factors:
+        compile_factor = None if f == 1 else ("full" if f == block else f)
+        m = measure_factor(compile_factor, block=block, **kwargs)
+        m["factor"] = f
+        measurements[f] = m
+        if base is None:
+            base = m
+        est = estimate_unroll(
+            BODY_INSTRS, block, int(f), LOOP_BOOKKEEPING, FOLDABLE_ADDS
+        )
+        m["eq3_prediction"] = est.speedup_vs_rolled
+        m["measured_speedup"] = base["cycles"] / m["cycles"]
+        m["instr_reduction"] = 1.0 - (
+            m["warp_instructions"] / base["warp_instructions"]
+        )
+        rows.append(
+            [
+                f,
+                m["registers"],
+                m["warp_instr_per_iteration"],
+                f"{100 * m['instr_reduction']:.1f}%",
+                m["eq3_prediction"],
+                m["measured_speedup"],
+            ]
+        )
+    table = format_table(
+        [
+            "factor",
+            "regs",
+            "warp instr/iter",
+            "instr reduction",
+            "Eq.3 predicted",
+            "measured speedup",
+        ],
+        rows,
+    )
+
+    full = measurements[factors[-1]]
+    measured = {
+        "instruction reduction at full unroll": f"{100 * full['instr_reduction']:.1f}%",
+        "speedup at full unroll": f"{full['measured_speedup']:.2f}x",
+        "iterator register freed": (
+            "yes (18 -> 17)"
+            if full["registers"] == base["registers"] - 1
+            else f"{base['registers']} -> {full['registers']}"
+        ),
+        "inner loop size (rolled)": f"{base['warp_instr_per_iteration']:.1f} "
+        "warp instructions/iteration",
+    }
+    return ExperimentResult(
+        experiment_id="txt-unroll",
+        title="Unroll-factor sweep on the SoAoaS force kernel (Sec. IV-A)",
+        data={
+            "measurements": measurements,
+            "series": {
+                "sweep": {
+                    "factor": [float(f) for f in factors],
+                    "speedup": [
+                        measurements[f]["measured_speedup"] for f in factors
+                    ],
+                    "eq3": [
+                        measurements[f]["eq3_prediction"] for f in factors
+                    ],
+                    "registers": [
+                        float(measurements[f]["registers"]) for f in factors
+                    ],
+                }
+            },
+        },
+        table=table,
+        paper_claims={
+            "inner loop size (rolled)": "\"a little more than 25 instructions\" "
+            "(ours: 20 by construction)",
+            "instruction reduction at full unroll": "~18-20%",
+            "speedup at full unroll": "~1.18x",
+            "iterator register freed": "yes (18 -> 17)",
+        },
+        measured_claims=measured,
+    )

@@ -1,0 +1,119 @@
+"""``repro.gravit`` — the Gravit n-body simulator, reimplemented.
+
+Particles, initial conditions, CPU force algorithms (the paper's Fig. 1
+O(n²) loop, a vectorized reference, and the Barnes-Hut tree code), time
+integration, and the simulated-GPU force backend at every optimization
+level of Sec. IV.
+"""
+
+from .diagnostics import (
+    SystemReport,
+    lagrangian_radii,
+    radial_density_profile,
+    system_report,
+    velocity_dispersion,
+    virial_ratio,
+)
+from .barneshut import barnes_hut_forces, barnes_hut_forces_iterative, bh_accuracy
+from .forces_cpu import (
+    accelerations,
+    direct_forces,
+    direct_forces_f32_tiled,
+    naive_forces,
+)
+from .forces_ext import (
+    ExternalField,
+    direct_forces_parallel,
+    external_forces,
+    nearest_neighbor_forces,
+    total_forces,
+)
+from .gpu_barneshut import bh_forces_gpu, build_bh_kernel, pack_tree
+from .gpu_driver import GpuConfig, GpuForceBackend, GpuSimulation, HybridTiming
+from .gpu_kernels import (
+    ALL_FIELDS,
+    POSMASS_FIELDS,
+    KernelPlan,
+    build_force_kernel,
+    build_force_kernel_notile,
+    build_membench_kernel,
+)
+from .integrator import euler_step, integrate, leapfrog_step
+from .octree import Octree, build_octree
+from .particles import ParticleSystem
+from .render import render_ascii, render_pgm
+from .simulator import GravitSimulator
+from .snapshots import (
+    TrajectoryWriter,
+    load_csv,
+    load_npz,
+    load_trajectory,
+    save_csv,
+    save_npz,
+)
+from .spawn import (
+    cold_shell,
+    disc_galaxy,
+    plummer,
+    two_galaxies,
+    uniform_cube,
+    uniform_sphere,
+)
+from .timing_cpu import CORE2DUO_2_4GHZ, CpuTimingModel
+
+__all__ = [
+    "ParticleSystem",
+    "GravitSimulator",
+    "GpuConfig",
+    "GpuForceBackend",
+    "GpuSimulation",
+    "bh_forces_gpu",
+    "build_bh_kernel",
+    "pack_tree",
+    "HybridTiming",
+    "KernelPlan",
+    "build_force_kernel",
+    "build_force_kernel_notile",
+    "build_membench_kernel",
+    "POSMASS_FIELDS",
+    "ALL_FIELDS",
+    "naive_forces",
+    "direct_forces",
+    "direct_forces_f32_tiled",
+    "accelerations",
+    "ExternalField",
+    "external_forces",
+    "nearest_neighbor_forces",
+    "total_forces",
+    "direct_forces_parallel",
+    "barnes_hut_forces",
+    "barnes_hut_forces_iterative",
+    "bh_accuracy",
+    "Octree",
+    "build_octree",
+    "euler_step",
+    "leapfrog_step",
+    "integrate",
+    "uniform_cube",
+    "uniform_sphere",
+    "plummer",
+    "disc_galaxy",
+    "two_galaxies",
+    "cold_shell",
+    "render_ascii",
+    "render_pgm",
+    "CpuTimingModel",
+    "CORE2DUO_2_4GHZ",
+    "SystemReport",
+    "system_report",
+    "virial_ratio",
+    "lagrangian_radii",
+    "radial_density_profile",
+    "velocity_dispersion",
+    "save_npz",
+    "load_npz",
+    "save_csv",
+    "load_csv",
+    "TrajectoryWriter",
+    "load_trajectory",
+]

@@ -1,0 +1,125 @@
+"""Physical diagnostics for particle systems.
+
+Standard n-body analysis quantities used by the examples and the test
+suite's physics checks: virial ratio, Lagrangian radii, radial density
+profiles, and velocity dispersion.  All computations are O(n) or
+O(n log n) except the potential (delegated to
+:meth:`repro.gravit.particles.ParticleSystem.potential_energy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .particles import ParticleSystem
+
+__all__ = [
+    "virial_ratio",
+    "lagrangian_radii",
+    "radial_density_profile",
+    "velocity_dispersion",
+    "SystemReport",
+    "system_report",
+]
+
+
+def _radii(system: ParticleSystem, center: np.ndarray | None = None) -> np.ndarray:
+    pos = system.positions.astype(np.float64)
+    if center is None:
+        center = system.center_of_mass()
+    return np.linalg.norm(pos - center, axis=1)
+
+
+def virial_ratio(
+    system: ParticleSystem, g: float = 1.0, eps: float = 1e-2
+) -> float:
+    """−2K/U: 1.0 for a system in virial equilibrium."""
+    u = system.potential_energy(g=g, eps=eps)
+    if u == 0:
+        raise ValueError("potential energy is zero; ratio undefined")
+    return -2.0 * system.kinetic_energy() / u
+
+
+def lagrangian_radii(
+    system: ParticleSystem,
+    fractions: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9),
+) -> dict[float, float]:
+    """Radii enclosing the given mass fractions (about the COM)."""
+    if not fractions or any(not 0 < f <= 1 for f in fractions):
+        raise ValueError("fractions must lie in (0, 1]")
+    r = _radii(system)
+    order = np.argsort(r)
+    m = system.mass.astype(np.float64)[order]
+    cum = np.cumsum(m)
+    total = cum[-1]
+    if total <= 0:
+        raise ValueError("system has no mass")
+    out = {}
+    for f in fractions:
+        idx = int(np.searchsorted(cum, f * total))
+        idx = min(idx, len(r) - 1)
+        out[f] = float(r[order][idx])
+    return out
+
+
+def radial_density_profile(
+    system: ParticleSystem, bins: int = 24, r_max: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """(bin centers, mass density) in spherical shells about the COM."""
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    r = _radii(system)
+    r_max = r_max or float(r.max()) * 1.0001 + 1e-12
+    edges = np.linspace(0.0, r_max, bins + 1)
+    mass, _ = np.histogram(r, bins=edges, weights=system.mass.astype(np.float64))
+    volume = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    centers = 0.5 * (edges[1:] + edges[:-1])
+    return centers, mass / volume
+
+
+def velocity_dispersion(system: ParticleSystem) -> float:
+    """Mass-weighted 3-D velocity dispersion about the mean flow."""
+    m = system.mass.astype(np.float64)
+    total = m.sum()
+    if total <= 0:
+        raise ValueError("system has no mass")
+    vel = system.velocities.astype(np.float64)
+    mean = (vel * m[:, None]).sum(axis=0) / total
+    dv = vel - mean
+    return float(np.sqrt((m * (dv * dv).sum(axis=1)).sum() / total))
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    n: int
+    total_mass: float
+    kinetic: float
+    potential: float
+    virial: float
+    half_mass_radius: float
+    dispersion: float
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n}  M={self.total_mass:.3g}  K={self.kinetic:.3g}  "
+            f"U={self.potential:.3g}  -2K/U={self.virial:.2f}  "
+            f"r_half={self.half_mass_radius:.3g}  "
+            f"sigma={self.dispersion:.3g}"
+        )
+
+
+def system_report(
+    system: ParticleSystem, g: float = 1.0, eps: float = 1e-2
+) -> SystemReport:
+    """One-stop summary (O(n²) in the potential term — keep n moderate)."""
+    return SystemReport(
+        n=system.n,
+        total_mass=system.total_mass(),
+        kinetic=system.kinetic_energy(),
+        potential=system.potential_energy(g=g, eps=eps),
+        virial=virial_ratio(system, g=g, eps=eps),
+        half_mass_radius=lagrangian_radii(system, (0.5,))[0.5],
+        dispersion=velocity_dispersion(system),
+    )

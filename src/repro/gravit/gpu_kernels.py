@@ -1,0 +1,443 @@
+"""CUDA kernels of the paper, written in the simulator's kernel IR.
+
+Four kernels:
+
+* :func:`build_force_kernel` — the O(n²) far-field force kernel of
+  Sec. IV, parameterized by memory layout.  Structure follows the paper's
+  S/B/P decomposition:
+
+  - **S** (thread setup): compute the global index, load *this* thread's
+    position+mass through the layout's read plan, zero the accumulators;
+  - **B** (block data fetch): each outer-loop iteration loads one
+    K-particle slice through the layout into shared memory (one float4
+    per thread), with barriers around it;
+  - **P** (inner loop): K iterations of the ~20-instruction interaction
+    body — shared float4 read, softened inverse-cube law, three MAD
+    accumulations — carrying the loop bookkeeping the unroller removes.
+
+  The inner loop carries an ``unroll`` pragma so
+  :func:`repro.cudasim.launch.compile_kernel` can sweep factors, and the
+  softening term is written the naive way (``eps`` held in a register,
+  ``eps·eps`` recomputed every iteration) so invariant code motion has
+  exactly the register-pressure effect the paper reports (18 → 17 via
+  full unroll freeing the iterator, → 16 via ICM).
+
+* :func:`build_force_kernel_notile` — the ablation variant whose inner
+  loop reads global memory directly (no shared-memory staging).
+
+* :func:`build_integrate_kernel` — the per-particle update kernel that
+  touches the velocity group (the other half of the access-frequency
+  grouping argument).
+
+* :func:`build_membench_kernel` — the Sec. III microbenchmark: clock(),
+  one full record read through the layout with a dependent-use sum
+  forcing load serialization, clock(), store the deltas.
+
+Both kernels take one base-pointer parameter per layout load step
+(``pb0``, ``pb1``, …): the host passes ``buffer_base + step.base``, and
+the kernel's address math is ``pbK + stride·index`` — a single IMAD, so
+layouts differ *only* in their memory behaviour, never in ALU cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.layouts import LoadStep, MemoryLayout
+from ..cudasim.ir import Kernel, KernelBuilder
+from ..cudasim.isa import Reg
+
+__all__ = [
+    "POSMASS_FIELDS",
+    "ALL_FIELDS",
+    "KernelPlan",
+    "build_force_kernel",
+    "build_force_kernel_notile",
+    "build_integrate_kernel",
+    "build_membench_kernel",
+    "step_param_names",
+]
+
+#: Fields the force kernel needs — the access-frequency group of Sec. IV.
+POSMASS_FIELDS = ("px", "py", "pz", "mass")
+
+#: Fields the microbenchmark reads (the whole structure).
+ALL_FIELDS = ("px", "py", "pz", "vx", "vy", "vz", "mass")
+
+#: Bytes per shared-memory tile entry (one float4 posmass record).
+TILE_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """What the host must pass for a kernel built against a layout plan.
+
+    ``param_for_step[k]`` names the kernel parameter that must receive
+    ``buffer_base + steps[k].base`` at launch time.
+    """
+
+    steps: tuple[LoadStep, ...]
+    param_for_step: tuple[str, ...]
+
+    @property
+    def loads_per_record(self) -> int:
+        return len(self.steps)
+
+    @property
+    def elements_per_record(self) -> int:
+        return sum(s.vector.lanes for s in self.steps)
+
+
+def step_param_names(steps: tuple[LoadStep, ...]) -> tuple[str, ...]:
+    return tuple(f"pb{k}" for k in range(len(steps)))
+
+
+def _load_record(
+    b: KernelBuilder,
+    steps: tuple[LoadStep, ...],
+    index_reg: Reg,
+    wanted: tuple[str, ...],
+    prefix: str,
+    via_texture: bool = False,
+) -> dict[str, Reg]:
+    """Emit the layout's loads for record ``index_reg``; return the
+    registers holding each wanted field.  ``via_texture`` routes the
+    fetches through the read-only texture path (tex1Dfetch-style)."""
+    out: dict[str, Reg] = {}
+    emit = b.ld_tex if via_texture else b.ld_global
+    for k, step in enumerate(steps):
+        addr = b.tmp(f"{prefix}a")
+        b.imad(addr, index_reg, step.stride, b.param(f"pb{k}"),
+               comment=f"addr of step {k}")
+        lanes = [b.tmp(f"{prefix}q") for _ in range(step.vector.lanes)]
+        emit(tuple(lanes), addr, comment=f"layout step {k}")
+        for lane, fname in enumerate(step.fields):
+            if fname in wanted:
+                out[fname] = lanes[lane]
+    missing = set(wanted) - set(out)
+    if missing:
+        raise ValueError(
+            f"layout plan does not cover fields {sorted(missing)}"
+        )
+    return out
+
+
+def build_force_kernel(
+    layout: MemoryLayout,
+    block_size: int = 128,
+    unroll=None,
+    name: str | None = None,
+) -> tuple[Kernel, KernelPlan]:
+    """The far-field force kernel for ``layout`` (paper Sec. IV).
+
+    Grid/launch contract: particle count padded to a multiple of
+    ``block_size`` (zero-mass padding), one thread per particle,
+    ``nslices = n_pad / block_size`` passed as a parameter.  Output is an
+    array of 16-byte records ``(fx, fy, fz, 0)`` at ``out + 16·i`` where
+    ``F_i = m_i · Σ_j m_j d / (|d|² + ε²)^{3/2}`` (G applied host-side).
+    """
+    if block_size % 32:
+        raise ValueError("block size must be a multiple of the warp size")
+    steps = layout.read_plan(POSMASS_FIELDS)
+    params = (*step_param_names(steps), "out", "nslices", "eps")
+    b = KernelBuilder(
+        name or f"gravit_forces_{layout.kind}_b{block_size}", params=params
+    )
+
+    # ---- S: thread setup -------------------------------------------------
+    i = b.reg("i")
+    b.imad(i, b.sreg("ctaid"), b.sreg("ntid"), b.sreg("tid"),
+           comment="global particle index")
+    mine = _load_record(b, steps, i, POSMASS_FIELDS, "my")
+    px, py, pz = b.reg("px_i"), b.reg("py_i"), b.reg("pz_i")
+    m_i = b.reg("m_i")
+    b.mov(px, mine["px"])
+    b.mov(py, mine["py"])
+    b.mov(pz, mine["pz"])
+    b.mov(m_i, mine["mass"])
+    fx, fy, fz = b.reg("fx"), b.reg("fy"), b.reg("fz")
+    b.mov(fx, 0.0)
+    b.mov(fy, 0.0)
+    b.mov(fz, 0.0)
+    # The naive kernel keeps the softening length in a register, the way
+    # "float soft = eps;" compiles — the ICM pass later eliminates it
+    # together with the per-iteration square (the paper's freed register).
+    soft = b.reg("soft")
+    b.mov(soft, b.param("eps"), comment="softening length (naive residency)")
+
+    tile_words = block_size * TILE_ENTRY_BYTES // 4
+    b.alloc_shared(tile_words)
+
+    # ---- outer loop over slices -------------------------------------------
+    with b.loop(0, b.param("nslices"), var=b.reg("s")) as s:
+        # B: fetch this block's slice into shared memory.
+        jg = b.tmp("jg")
+        b.imad(jg, s, block_size, b.sreg("tid"), comment="slice particle")
+        theirs = _load_record(b, steps, jg, POSMASS_FIELDS, "sl")
+        st_addr = b.tmp("st")
+        b.shl(st_addr, b.sreg("tid"), 4, comment="my tile slot")
+        b.st_shared(
+            st_addr,
+            (theirs["px"], theirs["py"], theirs["pz"], theirs["mass"]),
+            comment="tile posmass",
+        )
+        b.bar_sync()
+        saddr = b.reg("saddr")
+        b.mov(saddr, 0, comment="tile cursor")
+        # P: the interaction loop (the paper's ~20-instruction body).
+        with b.loop(0, block_size, var=b.reg("j"), unroll=unroll):
+            jx, jy, jz, jm = (b.tmp("jx"), b.tmp("jy"), b.tmp("jz"), b.tmp("jm"))
+            b.ld_shared((jx, jy, jz, jm), saddr, comment="tile particle")
+            e = b.tmp("e")
+            b.mul(e, soft, soft, comment="eps^2 (invariant, naively in-loop)")
+            dx, dy, dz = b.tmp("dx"), b.tmp("dy"), b.tmp("dz")
+            b.sub(dx, jx, px)
+            b.sub(dy, jy, py)
+            b.sub(dz, jz, pz)
+            t = b.tmp("t")
+            b.mul(t, dx, dx)
+            b.mad(t, dy, dy, t)
+            b.mad(t, dz, dz, t)
+            b.add(t, t, e, comment="softened r^2")
+            inv = b.tmp("inv")
+            b.rsqrt(inv, t)
+            w = b.tmp("w")
+            b.mul(w, jm, inv)
+            b.mul(w, w, inv)
+            b.mul(w, w, inv, comment="m_j / r^3")
+            b.mad(fx, dx, w, fx)
+            b.mad(fy, dy, w, fy)
+            b.mad(fz, dz, w, fz)
+            b.iadd(saddr, saddr, TILE_ENTRY_BYTES, comment="tile cursor++")
+        b.bar_sync()
+
+    # ---- epilogue: F = m_i * acc, store ------------------------------------
+    b.mul(fx, fx, m_i)
+    b.mul(fy, fy, m_i)
+    b.mul(fz, fz, m_i)
+    oaddr = b.tmp("oaddr")
+    b.imad(oaddr, i, 16, b.param("out"))
+    zero = b.tmp("z")
+    b.mov(zero, 0.0)
+    b.st_global(oaddr, (fx, fy, fz, zero), comment="force record")
+    kernel = b.build()
+    return kernel, KernelPlan(steps=steps, param_for_step=step_param_names(steps))
+
+
+def build_force_kernel_notile(
+    layout: MemoryLayout,
+    block_size: int = 128,
+    name: str | None = None,
+    via_texture: bool = False,
+) -> tuple[Kernel, KernelPlan]:
+    """Ablation: the force kernel *without* shared-memory tiling.
+
+    The inner loop reads particle ``j`` straight from global memory every
+    iteration.  All threads of a warp request the *same* record — which
+    on CC 1.x is **not** a coalescible pattern (thread k must access
+    element k), so every iteration degenerates to per-thread transactions
+    *and* exposes the full DRAM latency inside the dependency chain.
+
+    This is the design choice DESIGN.md calls out: the paper's kernel
+    (like the GPU Gems 3 implementation it cites) stages a K-particle
+    slice in shared memory precisely to avoid this.  The ablation
+    experiment quantifies the cost of skipping it.
+
+    ``via_texture`` reads the inner-loop particle through the texture
+    cache instead — the era's other mitigation (the warp's same-address
+    fetch hits the cache after the first line fill), sitting between the
+    raw-global and shared-tiled variants.
+    """
+    if block_size % 32:
+        raise ValueError("block size must be a multiple of the warp size")
+    steps = layout.read_plan(POSMASS_FIELDS)
+    params = (*step_param_names(steps), "out", "n", "eps")
+    b = KernelBuilder(
+        name
+        or f"gravit_forces_notile{'_tex' if via_texture else ''}_{layout.kind}",
+        params=params,
+    )
+
+    i = b.reg("i")
+    b.imad(i, b.sreg("ctaid"), b.sreg("ntid"), b.sreg("tid"))
+    mine = _load_record(b, steps, i, POSMASS_FIELDS, "my")
+    px, py, pz, m_i = (b.reg("px_i"), b.reg("py_i"), b.reg("pz_i"),
+                       b.reg("m_i"))
+    b.mov(px, mine["px"])
+    b.mov(py, mine["py"])
+    b.mov(pz, mine["pz"])
+    b.mov(m_i, mine["mass"])
+    fx, fy, fz = b.reg("fx"), b.reg("fy"), b.reg("fz")
+    b.mov(fx, 0.0)
+    b.mov(fy, 0.0)
+    b.mov(fz, 0.0)
+    soft = b.reg("soft")
+    b.mov(soft, b.param("eps"))
+
+    with b.loop(0, b.param("n"), var=b.reg("j")) as j:
+        theirs = _load_record(
+            b, steps, j, POSMASS_FIELDS, "g", via_texture=via_texture
+        )
+        e = b.tmp("e")
+        b.mul(e, soft, soft)
+        dx, dy, dz = b.tmp("dx"), b.tmp("dy"), b.tmp("dz")
+        b.sub(dx, theirs["px"], px)
+        b.sub(dy, theirs["py"], py)
+        b.sub(dz, theirs["pz"], pz)
+        t = b.tmp("t")
+        b.mul(t, dx, dx)
+        b.mad(t, dy, dy, t)
+        b.mad(t, dz, dz, t)
+        b.add(t, t, e)
+        inv = b.tmp("inv")
+        b.rsqrt(inv, t)
+        w = b.tmp("w")
+        b.mul(w, theirs["mass"], inv)
+        b.mul(w, w, inv)
+        b.mul(w, w, inv)
+        b.mad(fx, dx, w, fx)
+        b.mad(fy, dy, w, fy)
+        b.mad(fz, dz, w, fz)
+
+    b.mul(fx, fx, m_i)
+    b.mul(fy, fy, m_i)
+    b.mul(fz, fz, m_i)
+    oaddr = b.tmp("oaddr")
+    b.imad(oaddr, i, 16, b.param("out"))
+    zero = b.tmp("z")
+    b.mov(zero, 0.0)
+    b.st_global(oaddr, (fx, fy, fz, zero))
+    kernel = b.build()
+    return kernel, KernelPlan(steps=steps, param_for_step=step_param_names(steps))
+
+
+def build_integrate_kernel(
+    layout: MemoryLayout,
+    block_size: int = 128,
+    name: str | None = None,
+) -> tuple[Kernel, KernelPlan]:
+    """The per-particle update kernel: semi-implicit Euler on the device.
+
+    This is the *other* half of the paper's access-frequency argument:
+    the force kernel touches only the posmass group every inner-loop
+    iteration, while the velocities live in their own array and are read
+    and written exactly once per step — by this kernel.
+
+    Per thread: load the full record through the layout, load the force
+    record ``(fx, fy, fz, _)`` written by the force kernel, apply
+
+        v += (F / m) · kick_dt;   p += v · drift_dt
+
+    (zero-mass padding particles get zero acceleration), and store the
+    record back through the layout's steps.  The split ``kick_dt`` /
+    ``drift_dt`` parameters let the host compose either semi-implicit
+    Euler (kick = drift = dt) or kick-drift-kick leapfrog (two dt/2
+    kicks around one dt drift) from the same kernel.
+    """
+    if block_size % 32:
+        raise ValueError("block size must be a multiple of the warp size")
+    steps = layout.read_plan(ALL_FIELDS)
+    params = (*step_param_names(steps), "forces", "kick_dt", "drift_dt")
+    b = KernelBuilder(
+        name or f"gravit_integrate_{layout.kind}", params=params
+    )
+
+    i = b.reg("i")
+    b.imad(i, b.sreg("ctaid"), b.sreg("ntid"), b.sreg("tid"))
+    # Load the whole record; remember per-step address and lane registers
+    # so the store below reuses them (pad lanes round-trip untouched).
+    step_addrs: list[Reg] = []
+    step_lanes: list[list[Reg]] = []
+    regs: dict[str, Reg] = {}
+    for k, step in enumerate(steps):
+        addr = b.reg(f"sa{k}")
+        b.imad(addr, i, step.stride, b.param(f"pb{k}"))
+        lanes = [b.tmp(f"q{k}_") for _ in range(step.vector.lanes)]
+        b.ld_global(tuple(lanes), addr)
+        step_addrs.append(addr)
+        step_lanes.append(lanes)
+        for lane, fname in enumerate(step.fields):
+            if fname is not None:
+                regs[fname] = lanes[lane]
+
+    faddr = b.tmp("fa")
+    b.imad(faddr, i, 16, b.param("forces"))
+    fx, fy, fz, fpad = b.tmp("fx"), b.tmp("fy"), b.tmp("fz"), b.tmp("fp")
+    b.ld_global((fx, fy, fz, fpad), faddr)
+
+    # acceleration = F/m, with the zero-mass (padding) guard: divide by a
+    # safe mass, then zero the result where the mass was zero.
+    nonzero = b.pred("m")
+    b.setp("gt", nonzero, regs["mass"], 0.0)
+    m_safe = b.tmp("msafe")
+    b.selp(m_safe, regs["mass"], 1.0, nonzero)
+    adt = b.tmp("adt")
+    b.div(adt, b.param("kick_dt"), m_safe, comment="kick_dt / m")
+    b.selp(adt, adt, 0.0, nonzero)
+
+    for f_reg, v_name in ((fx, "vx"), (fy, "vy"), (fz, "vz")):
+        b.mad(regs[v_name], f_reg, adt, regs[v_name])
+    for v_name, p_name in (("vx", "px"), ("vy", "py"), ("vz", "pz")):
+        b.mad(regs[p_name], regs[v_name], b.param("drift_dt"), regs[p_name])
+
+    for addr, lanes in zip(step_addrs, step_lanes):
+        b.st_global(addr, tuple(lanes))
+    kernel = b.build()
+    return kernel, KernelPlan(steps=steps, param_for_step=step_param_names(steps))
+
+
+def build_membench_kernel(
+    layout: MemoryLayout,
+    name: str | None = None,
+    records_per_thread: int = 1,
+) -> tuple[Kernel, KernelPlan]:
+    """The Sec. III memory microbenchmark for ``layout``.
+
+    Protocol exactly as the paper describes: set up, read ``clock()``,
+    load one full record through the layout, *use* every loaded element
+    (a dependent sum, preventing both dead-code elimination and load
+    overlap), read ``clock()`` again, store the difference (and the sum,
+    keeping it observable) to ``out + 8·i``.
+
+    ``records_per_thread > 1`` repeats the read for consecutive records
+    (amortizing the clock overhead), dividing the reported delta.
+    """
+    if records_per_thread < 1:
+        raise ValueError("records_per_thread must be >= 1")
+    steps = layout.read_plan(ALL_FIELDS)
+    params = (*step_param_names(steps), "out")
+    b = KernelBuilder(name or f"membench_{layout.kind}", params=params)
+
+    i = b.reg("i")
+    b.imad(i, b.sreg("ctaid"), b.sreg("ntid"), b.sreg("tid"))
+    total = b.reg("sum")
+    b.mov(total, 0.0)
+    c0 = b.reg("c0")
+    b.clock(c0)
+    rec = b.reg("rec")
+    b.mov(rec, i)
+    for r in range(records_per_thread):
+        # Load and use step by step: summing a step's lanes *before* the
+        # next load means the in-order warp cannot overlap the loads'
+        # latencies — the serialization the paper's protocol enforces by
+        # "add[ing] instructions that use the loaded values".
+        for k, step in enumerate(steps):
+            addr = b.tmp(f"r{r}a")
+            b.imad(addr, rec, step.stride, b.param(f"pb{k}"))
+            lanes = [b.tmp(f"r{r}q") for _ in range(step.vector.lanes)]
+            b.ld_global(tuple(lanes), addr, comment=f"layout step {k}")
+            for lane in lanes:
+                b.add(total, total, lane)
+        if r + 1 < records_per_thread:
+            b.iadd(rec, rec, b.sreg("ntid"), comment="next record")
+    c1 = b.reg("c1")
+    b.clock(c1)
+    diff = b.reg("diff")
+    b.isub(diff, c1, c0)
+    fdiff = b.reg("fdiff")
+    b.i2f(fdiff, diff)
+    oaddr = b.tmp("oaddr")
+    b.imad(oaddr, i, 8, b.param("out"))
+    b.st_global(oaddr, (fdiff, total), comment="cycles, checksum")
+    kernel = b.build()
+    return kernel, KernelPlan(steps=steps, param_for_step=step_param_names(steps))

@@ -1,0 +1,84 @@
+"""Time integrators for the particle system.
+
+Gravit advances particles with simple Newtonian kinematics; we provide
+the two standard schemes:
+
+* :func:`euler_step` — semi-implicit (symplectic) Euler, Gravit's own
+  scheme: kick then drift;
+* :func:`leapfrog_step` — kick-drift-kick, second order, used by the
+  examples because it conserves energy far better over long runs.
+
+Both mutate the system in place and take a ``forces_fn`` returning
+*forces* (the paper's kernel output), which is divided by mass here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from .particles import ParticleSystem
+
+__all__ = ["ForcesFn", "euler_step", "leapfrog_step", "integrate"]
+
+
+class ForcesFn(Protocol):
+    def __call__(self, system: ParticleSystem) -> np.ndarray: ...
+
+
+def _accel(system: ParticleSystem, forces: np.ndarray) -> np.ndarray:
+    m = system.mass.astype(np.float64)
+    safe = np.where(m > 0, m, 1.0)
+    return np.where(m[:, None] > 0, forces / safe[:, None], 0.0)
+
+
+def euler_step(
+    system: ParticleSystem, forces_fn: ForcesFn, dt: float
+) -> None:
+    """Semi-implicit Euler: v += a·dt, then x += v·dt."""
+    a = _accel(system, forces_fn(system))
+    system.vx += np.float32(dt) * a[:, 0].astype(np.float32)
+    system.vy += np.float32(dt) * a[:, 1].astype(np.float32)
+    system.vz += np.float32(dt) * a[:, 2].astype(np.float32)
+    system.px += np.float32(dt) * system.vx
+    system.py += np.float32(dt) * system.vy
+    system.pz += np.float32(dt) * system.vz
+
+
+def leapfrog_step(
+    system: ParticleSystem, forces_fn: ForcesFn, dt: float
+) -> None:
+    """Kick-drift-kick leapfrog (velocity Verlet)."""
+    half = np.float32(dt / 2.0)
+    a = _accel(system, forces_fn(system))
+    system.vx += half * a[:, 0].astype(np.float32)
+    system.vy += half * a[:, 1].astype(np.float32)
+    system.vz += half * a[:, 2].astype(np.float32)
+    system.px += np.float32(dt) * system.vx
+    system.py += np.float32(dt) * system.vy
+    system.pz += np.float32(dt) * system.vz
+    a = _accel(system, forces_fn(system))
+    system.vx += half * a[:, 0].astype(np.float32)
+    system.vy += half * a[:, 1].astype(np.float32)
+    system.vz += half * a[:, 2].astype(np.float32)
+
+
+def integrate(
+    system: ParticleSystem,
+    forces_fn: ForcesFn,
+    dt: float,
+    steps: int,
+    scheme: Callable[[ParticleSystem, ForcesFn, float], None] = leapfrog_step,
+    callback: Callable[[int, ParticleSystem], None] | None = None,
+) -> ParticleSystem:
+    """Advance ``steps`` steps; returns the (mutated) system."""
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    for k in range(steps):
+        scheme(system, forces_fn, dt)
+        if callback is not None:
+            callback(k, system)
+    return system

@@ -1,0 +1,250 @@
+"""Octree construction for the Barnes-Hut algorithm (paper Sec. I-C).
+
+The paper describes Gravit's tree code in three steps:
+
+1. build an octree over the particles,
+2. compute each cell's total mass and center of mass,
+3. traverse the tree per particle to approximate the far-field force.
+
+This module implements steps 1–2 with a flat, array-backed node pool
+(children as integer indices) so both the recursive and the iterative
+traversals of :mod:`repro.gravit.barneshut` can walk it cheaply — the
+iterative form being exactly the "transform recursion into an iterative
+equivalent" the paper says a GPU port of Barnes-Hut would require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .particles import ParticleSystem
+
+__all__ = ["Octree", "OctreeNode", "build_octree"]
+
+#: A node subdivides only when holding more than this many particles.
+LEAF_CAPACITY = 8
+
+#: Safety valve against pathological coincident-point recursion.
+MAX_DEPTH = 48
+
+
+@dataclass
+class OctreeNode:
+    """View of one node (materialized on demand from the pools)."""
+
+    index: int
+    center: np.ndarray  # geometric center of the cube
+    half: float  # half side length
+    mass: float
+    com: np.ndarray  # center of mass
+    first_child: int  # -1 for leaves
+    count: int  # particles under this node
+    particle_start: int  # leaves: slice into Octree.order
+    depth: int
+
+
+class Octree:
+    """Array-backed octree with per-node mass and center of mass.
+
+    Attributes (all numpy arrays indexed by node id):
+
+    ``center`` (m, 3), ``half`` (m,), ``mass`` (m,), ``com`` (m, 3),
+    ``first_child`` (m,) — index of the first of 8 contiguous children or
+    −1, ``count`` (m,), ``pstart``/``pcount`` — leaf particle slices into
+    ``order`` (a permutation of particle indices).
+    """
+
+    def __init__(self, system: ParticleSystem):
+        self.system = system
+        n = system.n
+        self.order = np.arange(n, dtype=np.int64)
+        cap = 16
+        self.center = np.zeros((cap, 3))
+        self.half = np.zeros(cap)
+        self.mass = np.zeros(cap)
+        self.com = np.zeros((cap, 3))
+        self.first_child = np.full(cap, -1, dtype=np.int64)
+        self.count = np.zeros(cap, dtype=np.int64)
+        self.pstart = np.zeros(cap, dtype=np.int64)
+        self.pcount = np.zeros(cap, dtype=np.int64)
+        self.depth_of = np.zeros(cap, dtype=np.int64)
+        self.n_nodes = 0
+
+    # -- pool plumbing -----------------------------------------------------
+
+    def _grow(self, need: int) -> None:
+        cap = self.center.shape[0]
+        if need <= cap:
+            return
+        new = max(need, 2 * cap)
+        for name in ("center", "com"):
+            arr = getattr(self, name)
+            grown = np.zeros((new, 3))
+            grown[: self.n_nodes] = arr[: self.n_nodes]
+            setattr(self, name, grown)
+        for name, fill in (
+            ("half", 0.0),
+            ("mass", 0.0),
+        ):
+            arr = getattr(self, name)
+            grown = np.full(new, fill)
+            grown[: self.n_nodes] = arr[: self.n_nodes]
+            setattr(self, name, grown)
+        for name, fill in (
+            ("first_child", -1),
+            ("count", 0),
+            ("pstart", 0),
+            ("pcount", 0),
+            ("depth_of", 0),
+        ):
+            arr = getattr(self, name)
+            grown = np.full(new, fill, dtype=np.int64)
+            grown[: self.n_nodes] = arr[: self.n_nodes]
+            setattr(self, name, grown)
+
+    def _new_node(
+        self, center: np.ndarray, half: float, depth: int
+    ) -> int:
+        self._grow(self.n_nodes + 1)
+        i = self.n_nodes
+        self.n_nodes += 1
+        self.center[i] = center
+        self.half[i] = half
+        self.first_child[i] = -1
+        self.depth_of[i] = depth
+        return i
+
+    # -- views ----------------------------------------------------------------
+
+    def node(self, index: int) -> OctreeNode:
+        return OctreeNode(
+            index=index,
+            center=self.center[index].copy(),
+            half=float(self.half[index]),
+            mass=float(self.mass[index]),
+            com=self.com[index].copy(),
+            first_child=int(self.first_child[index]),
+            count=int(self.count[index]),
+            particle_start=int(self.pstart[index]),
+            depth=int(self.depth_of[index]),
+        )
+
+    @property
+    def root(self) -> OctreeNode:
+        return self.node(0)
+
+    def is_leaf(self, index: int) -> bool:
+        return self.first_child[index] < 0
+
+    def leaf_particles(self, index: int) -> np.ndarray:
+        """Particle indices stored under a leaf node."""
+        s, c = int(self.pstart[index]), int(self.pcount[index])
+        return self.order[s : s + c]
+
+    def max_depth(self) -> int:
+        return int(self.depth_of[: self.n_nodes].max(initial=0))
+
+    def compute_ropes(self) -> np.ndarray:
+        """Skip pointers for stackless ("rope") traversal.
+
+        ``skip[v]`` is the next node in depth-first order when ``v``'s
+        subtree is *not* descended: child ``o``'s rope points at sibling
+        ``o+1``, the last child inherits its parent's rope, and the
+        root's rope is −1 (traversal done).  With ropes, the recursive
+        Barnes-Hut walk becomes the loop the paper's Sec. I-D calls for::
+
+            node = root
+            while node != -1:
+                node = skip[node] if accepted(node) else first_child[node]
+
+        which is exactly the control structure a CUDA kernel can run.
+        """
+        skip = np.full(self.n_nodes, -1, dtype=np.int64)
+        stack = [(0, -1)]
+        while stack:
+            node, rope = stack.pop()
+            skip[node] = rope
+            first = int(self.first_child[node])
+            if first >= 0:
+                for o in range(8):
+                    child = first + o
+                    child_rope = first + o + 1 if o < 7 else rope
+                    stack.append((child, child_rope))
+        return skip
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Octree nodes={self.n_nodes} particles={self.system.n}>"
+
+
+def build_octree(
+    system: ParticleSystem, leaf_capacity: int = LEAF_CAPACITY
+) -> Octree:
+    """Build the tree and fill per-node total mass / center of mass."""
+    tree = Octree(system)
+    pos = system.positions.astype(np.float64)
+    m = system.mass.astype(np.float64)
+
+    lo = pos.min(axis=0)
+    hi = pos.max(axis=0)
+    center = (lo + hi) / 2.0
+    half = float(np.max(hi - lo) / 2.0) * 1.0001 + 1e-9
+
+    root = tree._new_node(center, half, 0)
+
+    def build(node: int, start: int, stop: int, depth: int) -> None:
+        count = stop - start
+        tree.count[node] = count
+        idx = tree.order[start:stop]
+        total = m[idx].sum()
+        tree.mass[node] = total
+        if total > 0:
+            tree.com[node] = (pos[idx] * m[idx, None]).sum(axis=0) / total
+        else:
+            tree.com[node] = pos[idx].mean(axis=0) if count else tree.center[node]
+        if count <= leaf_capacity or depth >= MAX_DEPTH:
+            tree.pstart[node] = start
+            tree.pcount[node] = count
+            return
+        c = tree.center[node]
+        octant = (
+            (pos[idx, 0] > c[0]).astype(np.int64)
+            | ((pos[idx, 1] > c[1]).astype(np.int64) << 1)
+            | ((pos[idx, 2] > c[2]).astype(np.int64) << 2)
+        )
+        sort = np.argsort(octant, kind="stable")
+        tree.order[start:stop] = idx[sort]
+        octant = octant[sort]
+        bounds = np.searchsorted(octant, np.arange(9))
+        first = tree.n_nodes
+        tree._grow(first + 8)
+        quarter = tree.half[node] / 2.0
+        for o in range(8):
+            offset = np.array(
+                [
+                    quarter if o & 1 else -quarter,
+                    quarter if o & 2 else -quarter,
+                    quarter if o & 4 else -quarter,
+                ]
+            )
+            child = tree._new_node(c + offset, quarter, depth + 1)
+            assert child == first + o
+        tree.first_child[node] = first
+        for o in range(8):
+            build(
+                first + o,
+                start + int(bounds[o]),
+                start + int(bounds[o + 1]),
+                depth + 1,
+            )
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10 * MAX_DEPTH + 1000))
+    try:
+        build(root, 0, system.n, 0)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return tree

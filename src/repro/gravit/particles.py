@@ -1,0 +1,197 @@
+"""Particle system: the data the Gravit simulator evolves.
+
+A :class:`ParticleSystem` holds the seven per-particle scalars of the
+paper's ``particle_t`` (position, velocity, mass) as float32 numpy arrays,
+plus conversions to/from the device layouts of :mod:`repro.core.layouts`
+and the conserved-quantity diagnostics used by the test suite (total
+momentum, kinetic/potential energy, center of mass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..core.fields import particle_struct
+from ..core.layouts import MemoryLayout, make_layout
+
+__all__ = ["ParticleSystem"]
+
+_FIELDS = ("px", "py", "pz", "vx", "vy", "vz", "mass")
+
+
+@dataclass
+class ParticleSystem:
+    """``n`` particles in a closed Newtonian system (float32 storage)."""
+
+    px: np.ndarray
+    py: np.ndarray
+    pz: np.ndarray
+    vx: np.ndarray
+    vy: np.ndarray
+    vz: np.ndarray
+    mass: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = None
+        for name in _FIELDS:
+            arr = np.ascontiguousarray(getattr(self, name), dtype=np.float32)
+            setattr(self, name, arr)
+            if arr.ndim != 1:
+                raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+            if n is None:
+                n = arr.size
+            elif arr.size != n:
+                raise ValueError(
+                    f"field {name} has {arr.size} entries, expected {n}"
+                )
+        if n == 0:
+            raise ValueError("a particle system needs at least one particle")
+        if np.any(self.mass < 0):
+            raise ValueError("negative particle masses are not physical")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        positions: np.ndarray,
+        velocities: np.ndarray | None = None,
+        masses: np.ndarray | float = 1.0,
+    ) -> "ParticleSystem":
+        """Build from an (n, 3) position array (+ optional velocities/masses)."""
+        pos = np.asarray(positions, dtype=np.float32)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError(f"positions must be (n, 3), got {pos.shape}")
+        n = pos.shape[0]
+        if velocities is None:
+            vel = np.zeros_like(pos)
+        else:
+            vel = np.asarray(velocities, dtype=np.float32)
+            if vel.shape != pos.shape:
+                raise ValueError("velocities must match positions' shape")
+        m = np.broadcast_to(np.asarray(masses, dtype=np.float32), (n,)).copy()
+        return cls(
+            px=pos[:, 0].copy(), py=pos[:, 1].copy(), pz=pos[:, 2].copy(),
+            vx=vel[:, 0].copy(), vy=vel[:, 1].copy(), vz=vel[:, 2].copy(),
+            mass=m,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, np.ndarray]) -> "ParticleSystem":
+        return cls(**{name: data[name] for name in _FIELDS})
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.px.size
+
+    @property
+    def positions(self) -> np.ndarray:
+        """(n, 3) float32 view-copy of the positions."""
+        return np.stack([self.px, self.py, self.pz], axis=1)
+
+    @property
+    def velocities(self) -> np.ndarray:
+        return np.stack([self.vx, self.vy, self.vz], axis=1)
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        return {name: getattr(self, name) for name in _FIELDS}
+
+    def copy(self) -> "ParticleSystem":
+        return ParticleSystem(**{k: v.copy() for k, v in self.as_dict().items()})
+
+    # -- layout interop --------------------------------------------------------
+
+    def device_layout(self, kind: str) -> MemoryLayout:
+        """A device layout of the paper's ``particle_t`` sized for ``self``."""
+        return make_layout(kind, self.n, particle_struct())
+
+    def pack(self, layout: MemoryLayout) -> np.ndarray:
+        if layout.n != self.n:
+            raise ValueError(
+                f"layout holds {layout.n} records, system has {self.n}"
+            )
+        return layout.pack(self.as_dict())
+
+    @classmethod
+    def unpack(cls, layout: MemoryLayout, words: np.ndarray) -> "ParticleSystem":
+        return cls.from_dict(layout.unpack(words))
+
+    def padded(self, multiple: int) -> "ParticleSystem":
+        """Pad with zero-mass particles to a count multiple (GPU tiling).
+
+        Zero-mass padding particles exert no force (``m_j = 0``) and their
+        own computed forces are discarded by the driver, so padding never
+        changes the physics — the property tests assert this.
+        """
+        if multiple <= 0:
+            raise ValueError("padding multiple must be positive")
+        pad = (-self.n) % multiple
+        if pad == 0:
+            return self.copy()
+        out = {}
+        for name in _FIELDS:
+            arr = getattr(self, name)
+            out[name] = np.concatenate(
+                [arr, np.zeros(pad, dtype=np.float32)]
+            )
+        return ParticleSystem(**out)
+
+    def take(self, n: int) -> "ParticleSystem":
+        """First ``n`` particles (drops padding)."""
+        if not 0 < n <= self.n:
+            raise ValueError(f"cannot take {n} of {self.n} particles")
+        return ParticleSystem(
+            **{name: getattr(self, name)[:n].copy() for name in _FIELDS}
+        )
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def total_mass(self) -> float:
+        return float(self.mass.sum(dtype=np.float64))
+
+    def center_of_mass(self) -> np.ndarray:
+        m = self.mass.astype(np.float64)
+        total = m.sum()
+        if total == 0:
+            return np.zeros(3)
+        return np.array(
+            [
+                (m * self.px).sum() / total,
+                (m * self.py).sum() / total,
+                (m * self.pz).sum() / total,
+            ]
+        )
+
+    def momentum(self) -> np.ndarray:
+        m = self.mass.astype(np.float64)
+        return np.array(
+            [(m * self.vx).sum(), (m * self.vy).sum(), (m * self.vz).sum()]
+        )
+
+    def kinetic_energy(self) -> float:
+        m = self.mass.astype(np.float64)
+        v2 = (
+            self.vx.astype(np.float64) ** 2
+            + self.vy.astype(np.float64) ** 2
+            + self.vz.astype(np.float64) ** 2
+        )
+        return float(0.5 * (m * v2).sum())
+
+    def potential_energy(self, g: float = 1.0, eps: float = 1e-2) -> float:
+        """Pairwise softened potential (O(n²); intended for small n)."""
+        pos = self.positions.astype(np.float64)
+        m = self.mass.astype(np.float64)
+        total = 0.0
+        for i in range(self.n - 1):
+            d = pos[i + 1 :] - pos[i]
+            r = np.sqrt((d * d).sum(axis=1) + eps * eps)
+            total -= g * m[i] * (m[i + 1 :] / r).sum()
+        return float(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ParticleSystem n={self.n} mass={self.total_mass():.3g}>"

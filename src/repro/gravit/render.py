@@ -1,0 +1,95 @@
+"""Minimal particle renderers (Gravit's "beautiful looking gravity
+patterns", terminal edition).
+
+* :func:`render_ascii` — density-mapped character art for terminal demos;
+* :func:`render_pgm` — a grayscale PGM image (max-value 255, plain text
+  header, binary payload) for anyone who wants actual pictures without
+  a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .particles import ParticleSystem
+
+__all__ = ["render_ascii", "render_pgm", "density_grid"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def density_grid(
+    system: ParticleSystem,
+    width: int = 64,
+    height: int = 32,
+    extent: float | None = None,
+    plane: str = "xy",
+) -> np.ndarray:
+    """2-D mass histogram of the particle projection, shape (height, width)."""
+    axes = {"xy": ("px", "py"), "xz": ("px", "pz"), "yz": ("py", "pz")}
+    try:
+        ax, ay = axes[plane]
+    except KeyError:
+        raise ValueError(f"plane must be one of {sorted(axes)}") from None
+    x = getattr(system, ax).astype(np.float64)
+    y = getattr(system, ay).astype(np.float64)
+    if extent is None:
+        extent = float(max(np.abs(x).max(), np.abs(y).max(), 1e-9)) * 1.05
+    grid, _, _ = np.histogram2d(
+        y,
+        x,
+        bins=(height, width),
+        range=[[-extent, extent], [-extent, extent]],
+        weights=system.mass.astype(np.float64),
+    )
+    return grid
+
+
+def render_ascii(
+    system: ParticleSystem,
+    width: int = 64,
+    height: int = 32,
+    extent: float | None = None,
+    plane: str = "xy",
+) -> str:
+    """Log-scaled density as a block of text (top row = +y)."""
+    grid = density_grid(system, width, height, extent, plane)
+    peak = grid.max()
+    if peak <= 0:
+        return "\n".join(" " * width for _ in range(height))
+    # Log-scale between the smallest and largest nonzero cell so sparse
+    # outer regions stay visible next to a dense core.
+    floor = grid[grid > 0].min()
+    with np.errstate(divide="ignore"):
+        scaled = np.where(
+            grid > 0,
+            np.log(grid / floor + 1.0) / np.log(peak / floor + 1.0),
+            -1.0,
+        )
+    index = np.where(
+        scaled < 0,
+        0,
+        1 + np.minimum((scaled * (len(_RAMP) - 2)).astype(int), len(_RAMP) - 2),
+    )
+    rows = ["".join(_RAMP[i] for i in row) for row in index[::-1]]
+    return "\n".join(rows)
+
+
+def render_pgm(
+    system: ParticleSystem,
+    path: str,
+    width: int = 256,
+    height: int = 256,
+    extent: float | None = None,
+    plane: str = "xy",
+) -> None:
+    """Write a binary PGM (P5) density image to ``path``."""
+    grid = density_grid(system, width, height, extent, plane)
+    peak = grid.max()
+    if peak > 0:
+        img = (np.log1p(grid) / np.log1p(peak) * 255).astype(np.uint8)
+    else:
+        img = np.zeros((height, width), dtype=np.uint8)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{width} {height}\n255\n".encode())
+        fh.write(img[::-1].tobytes())

@@ -1,0 +1,166 @@
+"""Snapshot I/O: persist and reload particle systems and trajectories.
+
+Two formats:
+
+* ``.npz`` — lossless float32 archive of the seven field arrays plus a
+  metadata header (format version, particle count, optional user tags);
+* ``.csv`` — human-readable interchange (one row per particle).
+
+:class:`TrajectoryWriter` appends per-step snapshots into one ``.npz``
+so an example/benchmark run can be replayed or analyzed offline.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from .particles import ParticleSystem
+
+__all__ = [
+    "save_npz",
+    "load_npz",
+    "save_csv",
+    "load_csv",
+    "TrajectoryWriter",
+    "load_trajectory",
+]
+
+FORMAT_VERSION = 1
+_FIELDS = ("px", "py", "pz", "vx", "vy", "vz", "mass")
+
+
+def save_npz(path: str, system: ParticleSystem, **tags: str) -> None:
+    """Write one system; ``tags`` become string metadata entries."""
+    arrays = {f: getattr(system, f) for f in _FIELDS}
+    meta = {f"tag_{k}": np.array(str(v)) for k, v in tags.items()}
+    np.savez(
+        path,
+        format_version=np.array(FORMAT_VERSION),
+        n=np.array(system.n),
+        **arrays,
+        **meta,
+    )
+
+
+def load_npz(path: str) -> tuple[ParticleSystem, dict[str, str]]:
+    """Read a system plus its tag metadata."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"snapshot format {version} unsupported (expected "
+                f"{FORMAT_VERSION})"
+            )
+        system = ParticleSystem(**{f: data[f] for f in _FIELDS})
+        if system.n != int(data["n"]):
+            raise ValueError("snapshot is corrupt: count mismatch")
+        tags = {
+            key[4:]: str(data[key])
+            for key in data.files
+            if key.startswith("tag_")
+        }
+    return system, tags
+
+
+def save_csv(path: str, system: ParticleSystem) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_FIELDS)
+        for i in range(system.n):
+            writer.writerow(
+                [repr(float(getattr(system, f)[i])) for f in _FIELDS]
+            )
+
+
+def load_csv(path: str) -> ParticleSystem:
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        if tuple(header) != _FIELDS:
+            raise ValueError(
+                f"unexpected CSV header {header!r}; expected {_FIELDS}"
+            )
+        columns: list[list[float]] = [[] for _ in _FIELDS]
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(_FIELDS):
+                raise ValueError(f"malformed CSV row: {row!r}")
+            for col, cell in zip(columns, row):
+                col.append(float(cell))
+    return ParticleSystem(
+        **{
+            f: np.asarray(col, dtype=np.float32)
+            for f, col in zip(_FIELDS, columns)
+        }
+    )
+
+
+@dataclass
+class _Frame:
+    step: int
+    time: float
+
+
+class TrajectoryWriter:
+    """Accumulate per-step snapshots; ``save()`` writes one archive."""
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self._frames: list[tuple[_Frame, dict[str, np.ndarray]]] = []
+        self._n: int | None = None
+
+    def record(self, step: int, time: float, system: ParticleSystem) -> bool:
+        """Store the system if ``step`` matches the cadence."""
+        if step % self.every:
+            return False
+        if self._n is None:
+            self._n = system.n
+        elif system.n != self._n:
+            raise ValueError("particle count changed mid-trajectory")
+        self._frames.append(
+            (
+                _Frame(step, time),
+                {f: getattr(system, f).copy() for f in _FIELDS},
+            )
+        )
+        return True
+
+    @property
+    def n_frames(self) -> int:
+        return len(self._frames)
+
+    def save(self, path: str) -> None:
+        if not self._frames:
+            raise ValueError("no frames recorded")
+        arrays: dict[str, np.ndarray] = {
+            "format_version": np.array(FORMAT_VERSION),
+            "steps": np.array([f.step for f, _ in self._frames]),
+            "times": np.array([f.time for f, _ in self._frames]),
+        }
+        for field in _FIELDS:
+            arrays[field] = np.stack(
+                [data[field] for _, data in self._frames]
+            )
+        np.savez(path, **arrays)
+
+
+def load_trajectory(path: str) -> tuple[np.ndarray, list[ParticleSystem]]:
+    """Returns (times, [system per frame])."""
+    with np.load(path) as data:
+        if int(data["format_version"]) != FORMAT_VERSION:
+            raise ValueError("unsupported trajectory format")
+        times = data["times"].copy()
+        frames = []
+        for k in range(times.size):
+            frames.append(
+                ParticleSystem(**{f: data[f][k] for f in _FIELDS})
+            )
+    return times, frames

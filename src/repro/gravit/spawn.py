@@ -1,0 +1,174 @@
+"""Initial-condition generators ("spawn" functions, in Gravit's parlance).
+
+Gravit seeds its simulations with randomized particle clouds; these
+generators provide the standard n-body test configurations used by the
+examples and benchmarks.  All take an explicit seed so experiments are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .particles import ParticleSystem
+
+__all__ = [
+    "uniform_cube",
+    "uniform_sphere",
+    "plummer",
+    "disc_galaxy",
+    "two_galaxies",
+    "cold_shell",
+]
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(0xC0DA if seed is None else seed)
+
+
+def uniform_cube(
+    n: int, side: float = 2.0, mass: float = 1.0, seed: int | None = None
+) -> ParticleSystem:
+    """Cold uniform cube of side ``side`` centered at the origin."""
+    rng = _rng(seed)
+    pos = (rng.random((n, 3)) - 0.5) * side
+    return ParticleSystem.from_arrays(pos, masses=mass / n)
+
+
+def uniform_sphere(
+    n: int, radius: float = 1.0, mass: float = 1.0, seed: int | None = None
+) -> ParticleSystem:
+    """Cold homogeneous sphere (radius ``radius``, total mass ``mass``)."""
+    rng = _rng(seed)
+    # Rejection-free: direction × cbrt(u) radius scaling.
+    u = rng.random(n)
+    vec = rng.normal(size=(n, 3))
+    vec /= np.linalg.norm(vec, axis=1, keepdims=True)
+    pos = vec * (radius * np.cbrt(u))[:, None]
+    return ParticleSystem.from_arrays(pos, masses=mass / n)
+
+
+def plummer(
+    n: int,
+    scale: float = 1.0,
+    mass: float = 1.0,
+    g: float = 1.0,
+    seed: int | None = None,
+) -> ParticleSystem:
+    """Plummer (1911) sphere in approximate virial equilibrium.
+
+    The standard astrophysical benchmark distribution (Aarseth, Henon &
+    Wielen 1974 sampling): density ∝ (1 + r²/a²)^{-5/2} with isotropic
+    velocities drawn from the local escape-speed distribution.
+    """
+    rng = _rng(seed)
+    # Radii from the inverted cumulative mass profile.
+    m_frac = rng.random(n) * 0.99 + 0.005
+    r = scale / np.sqrt(m_frac ** (-2.0 / 3.0) - 1.0)
+    direction = rng.normal(size=(n, 3))
+    direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+    pos = direction * r[:, None]
+
+    # Velocity sampling: q = v / v_esc with pdf ∝ q² (1 - q²)^{7/2}.
+    q = np.empty(n)
+    got = 0
+    while got < n:
+        cand = rng.random(n - got)
+        y = rng.random(n - got) * 0.1
+        ok = y < cand * cand * (1.0 - cand * cand) ** 3.5
+        k = int(ok.sum())
+        q[got : got + k] = cand[ok]
+        got += k
+    v_esc = np.sqrt(2.0 * g * mass) * (r * r + scale * scale) ** -0.25
+    speed = q * v_esc
+    vdir = rng.normal(size=(n, 3))
+    vdir /= np.linalg.norm(vdir, axis=1, keepdims=True)
+    vel = vdir * speed[:, None]
+    return ParticleSystem.from_arrays(pos, vel, masses=mass / n)
+
+
+def disc_galaxy(
+    n: int,
+    radius: float = 1.0,
+    mass: float = 1.0,
+    g: float = 1.0,
+    center: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    bulk_velocity: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    thickness: float = 0.05,
+    seed: int | None = None,
+) -> ParticleSystem:
+    """Rotating exponential disc with a central bulge particle.
+
+    Particles orbit the enclosed mass on near-circular orbits — the
+    configuration Gravit's screenshots are famous for.  One heavy central
+    particle carries 25 % of the mass to stabilize the inner disc.
+    """
+    rng = _rng(seed)
+    n_disc = n - 1
+    r = -np.log(1.0 - rng.random(n_disc) * 0.95) * (radius / 3.0)
+    theta = rng.random(n_disc) * 2.0 * np.pi
+    z = rng.normal(scale=thickness * radius, size=n_disc)
+    pos = np.stack(
+        [r * np.cos(theta), r * np.sin(theta), z], axis=1
+    )
+    m_central = 0.25 * mass
+    m_each = (mass - m_central) / n_disc
+    # Circular speed from enclosed mass (central + disc fraction).
+    order = np.argsort(r)
+    enclosed = np.empty(n_disc)
+    enclosed[order] = m_central + m_each * np.arange(1, n_disc + 1)
+    v_circ = np.sqrt(g * enclosed / np.maximum(r, 1e-3))
+    vel = np.stack(
+        [-v_circ * np.sin(theta), v_circ * np.cos(theta), np.zeros(n_disc)],
+        axis=1,
+    )
+    pos = np.vstack([[[0.0, 0.0, 0.0]], pos])
+    vel = np.vstack([[[0.0, 0.0, 0.0]], vel])
+    masses = np.concatenate([[m_central], np.full(n_disc, m_each)])
+    pos += np.asarray(center, dtype=float)
+    vel += np.asarray(bulk_velocity, dtype=float)
+    return ParticleSystem.from_arrays(pos, vel, masses=masses)
+
+
+def two_galaxies(
+    n: int,
+    separation: float = 3.0,
+    approach_speed: float = 0.3,
+    mass_ratio: float = 1.0,
+    seed: int | None = None,
+) -> ParticleSystem:
+    """Two disc galaxies on a collision course (the classic demo)."""
+    n1 = n // 2
+    n2 = n - n1
+    m1 = 1.0 / (1.0 + mass_ratio)
+    m2 = 1.0 - m1
+    g1 = disc_galaxy(
+        n1,
+        mass=m1,
+        center=(-separation / 2, 0.0, 0.0),
+        bulk_velocity=(approach_speed / 2, 0.02, 0.0),
+        seed=seed,
+    )
+    g2 = disc_galaxy(
+        n2,
+        mass=m2,
+        center=(separation / 2, 0.0, 0.3),
+        bulk_velocity=(-approach_speed / 2, -0.02, 0.0),
+        seed=None if seed is None else seed + 1,
+    )
+    merged = {
+        k: np.concatenate([getattr(g1, k), getattr(g2, k)])
+        for k in ("px", "py", "pz", "vx", "vy", "vz", "mass")
+    }
+    return ParticleSystem.from_dict(merged)
+
+
+def cold_shell(
+    n: int, radius: float = 1.0, mass: float = 1.0, seed: int | None = None
+) -> ParticleSystem:
+    """Particles at rest on a spherical shell (collapses symmetrically —
+    a good stress test for force symmetry and energy tracking)."""
+    rng = _rng(seed)
+    vec = rng.normal(size=(n, 3))
+    vec /= np.linalg.norm(vec, axis=1, keepdims=True)
+    return ParticleSystem.from_arrays(vec * radius, masses=mass / n)

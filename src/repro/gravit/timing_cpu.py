@@ -1,0 +1,70 @@
+"""Timing model for the original serial CPU implementation.
+
+The paper's 87× headline compares the fully optimized GPU kernel against
+Gravit's original serial C loop on a 2.4 GHz Core 2 Duo (one core).  We
+cannot run that binary, so the CPU side is an analytic model with two
+documented constants:
+
+* ``clock_hz`` — the paper's testbed CPU, 2.4 GHz;
+* ``cycles_per_interaction`` — cost of one body-body interaction in the
+  serial inner loop (~19 flops including a sqrt and a divide, plus loads
+  and loop overhead).  26 cycles is consistent both with static analysis
+  of such a loop on the Core 2 (sqrt+div ≈ 6–20 cycles alone, partially
+  pipelined) and with the paper's end-to-end 87× ratio; EXPERIMENTS.md
+  reports how every headline number shifts per ±20 % of this constant.
+
+A measured-throughput helper is included so examples can calibrate the
+model against *this* machine's numpy implementation when absolute
+realism doesn't matter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .forces_cpu import direct_forces
+from .particles import ParticleSystem
+from .spawn import uniform_cube
+
+__all__ = ["CpuTimingModel", "CORE2DUO_2_4GHZ", "measure_numpy_interactions_per_s"]
+
+
+@dataclass(frozen=True)
+class CpuTimingModel:
+    """Serial O(n²) runtime: ``t(n) = (n²·cpi + n·per_particle) / f``."""
+
+    name: str = "Core 2 Duo @ 2.4 GHz (serial)"
+    clock_hz: float = 2.4e9
+    cycles_per_interaction: float = 26.0
+    cycles_per_particle: float = 150.0  # integration + bookkeeping
+
+    def predict_seconds(self, n: int) -> float:
+        if n <= 0:
+            raise ValueError("particle count must be positive")
+        return (
+            n * n * self.cycles_per_interaction
+            + n * self.cycles_per_particle
+        ) / self.clock_hz
+
+    def interactions_per_second(self) -> float:
+        return self.clock_hz / self.cycles_per_interaction
+
+
+#: The paper's testbed host.
+CORE2DUO_2_4GHZ = CpuTimingModel()
+
+
+def measure_numpy_interactions_per_s(n: int = 2048, repeats: int = 3) -> float:
+    """Measured pair-interaction throughput of this host's numpy path.
+
+    Not used for the paper's figures (numpy ≠ 2009 serial C); exists so
+    examples can show a live local baseline.
+    """
+    system = uniform_cube(n, seed=7)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        direct_forces(system)
+        best = min(best, time.perf_counter() - t0)
+    return n * n / best

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make_layout, particle_struct
+from repro.cudasim import Device, Toolchain
+from repro.gravit import ParticleSystem, plummer, uniform_cube
+
+
+@pytest.fixture
+def struct():
+    return particle_struct()
+
+
+@pytest.fixture
+def small_system() -> ParticleSystem:
+    """48 particles — big enough for interesting forces, tiny enough for
+    the pure-Python oracle."""
+    return plummer(48, seed=11)
+
+
+@pytest.fixture
+def medium_system() -> ParticleSystem:
+    return uniform_cube(400, seed=23)
+
+
+@pytest.fixture
+def device() -> Device:
+    return Device(toolchain=Toolchain.CUDA_1_0, heap_bytes=1 << 22)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xFEED)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (full-figure reproductions)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running reproduction tests"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

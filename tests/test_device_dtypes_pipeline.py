@@ -1,0 +1,145 @@
+"""Device descriptors, dtypes, the memory pipeline, and profiler stats."""
+
+import numpy as np
+import pytest
+
+from repro.core import MemoryTransaction, policy_for
+from repro.cudasim import (
+    F32,
+    G8800GTX,
+    I32,
+    PRED,
+    Toolchain,
+    VecType,
+    float2,
+    float4,
+)
+from repro.cudasim.dtypes import ScalarKind, vec
+from repro.cudasim.pipeline import MemoryPipeline
+from repro.cudasim.profiler import KernelStats
+from repro.cudasim.isa import IssueClass, Op
+
+
+class TestDtypes:
+    def test_scalar_sizes(self):
+        assert F32.nbytes == I32.nbytes == 4
+        assert PRED.nbytes == 0
+
+    def test_np_dtypes(self):
+        assert F32.np_dtype == np.float32
+        assert I32.np_dtype == np.int32
+        assert PRED.np_dtype == np.bool_
+
+    def test_vector_widths(self):
+        assert float4.nbytes == 16 and float4.alignment == 16
+        assert float2.nbytes == 8
+        with pytest.raises(ValueError):
+            vec(F32, 3)
+        with pytest.raises(ValueError):
+            VecType(PRED, 1)
+
+    def test_str_forms(self):
+        assert str(float4) == "f32x4"
+        assert str(F32) == "f32"
+        assert ScalarKind.U32.value == "u32"
+
+
+class TestDeviceProperties:
+    def test_paper_occupancy_limits(self):
+        assert G8800GTX.registers_per_sm == 8192
+        assert G8800GTX.max_threads_per_sm == 768
+        assert G8800GTX.max_warps_per_sm == 24
+        assert G8800GTX.warp_size == 32
+
+    def test_peak_gflops(self):
+        # 128 SPs × 1.35 GHz × 2 flops = 345.6 GFLOPS (the marketing
+        # number without the SFU co-issue).
+        assert G8800GTX.peak_gflops == pytest.approx(345.6)
+
+    def test_cycles_to_seconds(self):
+        assert G8800GTX.cycles_to_seconds(1.35e9) == pytest.approx(1.0)
+
+    def test_with_memory_override(self):
+        slow = G8800GTX.with_memory(latency=1000.0)
+        assert slow.memory.latency == 1000.0
+        assert G8800GTX.memory.latency != 1000.0  # original untouched
+        assert slow.num_sms == G8800GTX.num_sms
+
+    def test_toolchain_policy_names(self):
+        assert Toolchain.CUDA_1_0.coalescing_policy_name == "strict-halfwarp"
+        assert Toolchain.CUDA_1_1.coalescing_policy_name == "driver-merged"
+        assert Toolchain.CUDA_2_2.coalescing_policy_name == "segment-based"
+        assert str(Toolchain.CUDA_2_2) == "CUDA 2.2"
+
+
+class TestMemoryPipeline:
+    def _pipe(self, policy="1.0"):
+        return MemoryPipeline(G8800GTX, policy_for(policy))
+
+    def test_load_latency_added(self):
+        pipe = self._pipe()
+        ready = pipe.request([MemoryTransaction(0, 64)], now=100.0,
+                             access_size=4, is_load=True)
+        assert ready > 100.0 + G8800GTX.memory.latency
+
+    def test_store_no_latency(self):
+        pipe = self._pipe()
+        done = pipe.request([MemoryTransaction(0, 64)], now=100.0,
+                            access_size=4, is_load=False)
+        assert done < 100.0 + G8800GTX.memory.latency / 2
+
+    def test_queueing_serializes(self):
+        pipe = self._pipe()
+        first = pipe.request([MemoryTransaction(0, 128)], 0.0, 4, True)
+        second = pipe.request([MemoryTransaction(128, 128)], 0.0, 4, True)
+        assert second > first  # same-instant requests queue
+
+    def test_wide_access_latency_factor(self):
+        pipe = self._pipe()
+        narrow = pipe.request([MemoryTransaction(0, 64)], 0.0, 4, True)
+        pipe.reset()
+        wide = pipe.request([MemoryTransaction(0, 128)], 0.0, 16, True)
+        assert wide > 2 * narrow  # the calibrated float4 penalty
+
+    def test_stats_accumulate(self):
+        pipe = self._pipe()
+        pipe.request([MemoryTransaction(0, 32), MemoryTransaction(64, 64)],
+                     0.0, 4, True)
+        assert pipe.stats.transactions == 2
+        assert pipe.stats.bytes_moved == 96
+        assert pipe.stats.by_size == {32: 1, 64: 1}
+        pipe.reset()
+        assert pipe.stats.transactions == 0
+
+    def test_empty_request(self):
+        pipe = self._pipe()
+        assert pipe.request([], 42.0, 4, True) == 42.0
+
+    def test_policy_latency_override_used(self):
+        strict = self._pipe("1.0")
+        segment = self._pipe("2.2")
+        a = strict.request([MemoryTransaction(0, 64)], 0.0, 4, True)
+        b = segment.request([MemoryTransaction(0, 64)], 0.0, 4, True)
+        assert b < a  # CUDA 2.2's lower base latency
+
+
+class TestKernelStats:
+    def test_count_and_merge(self):
+        a = KernelStats()
+        a.count(Op.ADD, IssueClass.ALU, 32)
+        a.count(Op.LD_GLOBAL, IssueClass.MEM_GLOBAL, 16)
+        a.cycles = 100.0
+        b = KernelStats()
+        b.count(Op.ADD, IssueClass.ALU, 32)
+        b.cycles = 200.0
+        a.merge(b)
+        assert a.warp_instructions == 3
+        assert a.thread_instructions == 80
+        assert a.by_op[Op.ADD] == 2
+        assert a.cycles == 200.0  # max across SMs
+        assert a.loads == 1 and a.stores == 0
+
+    def test_summary_text(self):
+        s = KernelStats()
+        s.count(Op.ST_GLOBAL, IssueClass.MEM_GLOBAL, 32)
+        assert "warp instructions" in s.summary()

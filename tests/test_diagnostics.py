@@ -1,0 +1,109 @@
+"""Physics diagnostics: virial ratio, Lagrangian radii, profiles."""
+
+import numpy as np
+import pytest
+
+from repro.gravit import ParticleSystem, cold_shell, plummer, uniform_sphere
+from repro.gravit.diagnostics import (
+    lagrangian_radii,
+    radial_density_profile,
+    system_report,
+    velocity_dispersion,
+    virial_ratio,
+)
+
+
+class TestVirial:
+    def test_plummer_near_equilibrium(self):
+        ps = plummer(3000, seed=1)
+        assert virial_ratio(ps, eps=1e-3) == pytest.approx(1.0, abs=0.25)
+
+    def test_cold_system_is_zero(self):
+        ps = cold_shell(100, seed=2)
+        assert virial_ratio(ps) == 0.0
+
+
+class TestLagrangianRadii:
+    def test_monotone(self):
+        ps = plummer(1000, seed=3)
+        radii = lagrangian_radii(ps)
+        values = [radii[f] for f in sorted(radii)]
+        assert values == sorted(values)
+
+    def test_shell_degenerate(self):
+        # COM of a finite shell sample is offset by ~r/sqrt(n), which
+        # spreads the measured radii accordingly.
+        ps = cold_shell(500, radius=2.0, seed=4)
+        radii = lagrangian_radii(ps, (0.5, 0.9))
+        assert radii[0.5] == pytest.approx(2.0, rel=0.1)
+        assert radii[0.9] == pytest.approx(2.0, rel=0.1)
+
+    def test_full_mass_is_max_radius(self):
+        ps = uniform_sphere(200, radius=1.0, seed=5)
+        r = lagrangian_radii(ps, (1.0,))[1.0]
+        assert r == pytest.approx(
+            np.linalg.norm(
+                ps.positions.astype(np.float64)
+                - ps.center_of_mass(), axis=1
+            ).max(),
+            rel=1e-6,
+        )
+
+    def test_validation(self):
+        ps = uniform_sphere(10, seed=6)
+        with pytest.raises(ValueError):
+            lagrangian_radii(ps, (0.0,))
+        with pytest.raises(ValueError):
+            lagrangian_radii(ps, ())
+
+
+class TestDensityProfile:
+    def test_uniform_sphere_flat_profile(self):
+        ps = uniform_sphere(20000, radius=1.0, seed=7)
+        centers, density = radial_density_profile(ps, bins=8, r_max=1.0)
+        inner = density[1:5]
+        # Uniform density: inner shells agree within sampling noise.
+        assert inner.std() / inner.mean() < 0.15
+        expected = ps.total_mass() / (4.0 / 3.0 * np.pi)
+        assert inner.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_plummer_centrally_concentrated(self):
+        ps = plummer(5000, seed=8)
+        centers, density = radial_density_profile(ps, bins=12, r_max=3.0)
+        assert density[0] > 10 * density[-1]
+
+    def test_mass_conserved(self):
+        ps = plummer(500, seed=9)
+        centers, density = radial_density_profile(ps, bins=16)
+        edges = np.linspace(0, centers[-1] + (centers[1] - centers[0]) / 2, 17)
+        volume = 4 / 3 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+        assert (density * volume).sum() == pytest.approx(
+            ps.total_mass(), rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            radial_density_profile(uniform_sphere(10, seed=10), bins=0)
+
+
+class TestDispersionAndReport:
+    def test_cold_system_zero_dispersion(self):
+        assert velocity_dispersion(cold_shell(50, seed=11)) == 0.0
+
+    def test_bulk_motion_removed(self):
+        ps = uniform_sphere(100, seed=12)
+        ps.vx += np.float32(5.0)  # pure bulk flow
+        assert velocity_dispersion(ps) < 1e-5
+
+    def test_report_fields(self):
+        ps = plummer(300, seed=13)
+        rep = system_report(ps)
+        assert rep.n == 300
+        assert rep.potential < 0 < rep.kinetic
+        assert 0.4 < rep.virial < 1.6
+        assert "r_half" in rep.describe()
+
+    def test_zero_mass_errors(self):
+        ps = ParticleSystem.from_arrays(np.zeros((3, 3)), masses=0.0)
+        with pytest.raises(ValueError):
+            velocity_dispersion(ps)

@@ -1,0 +1,149 @@
+"""Extensions beyond the paper's headline figures: the 64-bit SoAoaS
+variant, the tiling ablation, device portability, access diagrams."""
+
+import numpy as np
+import pytest
+
+from repro.core import ALL_LAYOUT_KINDS, make_layout, policy_for
+from repro.cudasim import (
+    DEVICE_PROFILES,
+    G8600GT,
+    G8800GTX,
+    GTX280,
+    Toolchain,
+    device_for,
+    occupancy,
+)
+from repro.experiments import run_experiment
+from repro.experiments.ablation_tiling import measure
+from repro.experiments.access_diagrams import diagram_for_layout
+
+
+class TestSoAoaS64:
+    def test_groups_split_at_8_bytes(self):
+        lay = make_layout("soaoas64", 64)
+        assert all(s.vector.nbytes <= 8 for s in lay.steps)
+        assert lay.read_plan(("px", "py", "pz", "mass"))[0].fields == ("px", "py")
+
+    def test_pack_roundtrip(self):
+        lay = make_layout("soaoas64", 37)
+        rng = np.random.default_rng(1)
+        data = {
+            f: rng.random(37).astype(np.float32)
+            for f in ("px", "py", "pz", "vx", "vy", "vz", "mass")
+        }
+        back = lay.unpack(lay.pack(data))
+        for f, arr in data.items():
+            np.testing.assert_array_equal(back[f], arr)
+
+    def test_coalesces_like_128bit_variant(self):
+        pol = policy_for("1.0")
+        from repro.core import warp_accesses
+
+        lay = make_layout("soaoas64", 256)
+        for step in lay.steps:
+            for acc in warp_accesses(step, 0):
+                assert pol.is_coalesced(acc)
+
+    def test_force_kernel_works(self):
+        """The generic kernel builder handles float2 plans end to end."""
+        from repro.gravit import GpuConfig, GpuForceBackend, direct_forces, plummer
+
+        system = plummer(128, seed=41)
+        be = GpuForceBackend(GpuConfig(layout_kind="soaoas64", block_size=64))
+        forces, result = be.forces_cycle(system)
+        ref = direct_forces(system, eps=be.config.eps)
+        scale = np.abs(ref).max()
+        np.testing.assert_allclose(forces, ref, atol=1e-3 * scale)
+        assert result.cycles > 0
+
+    def test_sits_between_soa_and_soaoas_in_reads(self):
+        lay64 = make_layout("soaoas64", 64)
+        lay128 = make_layout("soaoas", 64)
+        soa = make_layout("soa", 64)
+        pm = ("px", "py", "pz", "mass")
+        assert (
+            lay128.loads_per_record(pm)
+            < lay64.loads_per_record(pm)
+            < soa.loads_per_record(pm)
+        )
+
+
+class TestDeviceProfiles:
+    def test_lookup(self):
+        assert device_for("gtx280") is GTX280
+        assert device_for("GeForce 8600 GT") is G8600GT
+        with pytest.raises(ValueError):
+            device_for("RTX 4090")
+        assert len({id(v) for v in DEVICE_PROFILES.values()}) == 3
+
+    def test_gtx280_limits(self):
+        assert GTX280.registers_per_sm == 16384
+        assert GTX280.max_warps_per_sm == 32
+        r = occupancy(GTX280, 128, 18, 16 * 128 + 4)
+        assert r.occupancy(GTX280) > 0.70  # register ladder irrelevant
+
+    def test_8600gt_is_smaller_and_slower(self):
+        assert G8600GT.num_sms < G8800GTX.num_sms
+        assert G8600GT.memory.latency > G8800GTX.memory.latency
+        assert G8600GT.peak_gflops < G8800GTX.peak_gflops
+
+    def test_profiles_frozen(self):
+        with pytest.raises(Exception):
+            G8800GTX.num_sms = 1  # dataclass(frozen=True)
+
+
+class TestTilingAblation:
+    def test_untiled_much_slower(self):
+        tiled = measure(True, "soaoas", n=128, block=64, check_forces=False)
+        untiled = measure(False, "soaoas", n=128, block=64, check_forces=False)
+        assert untiled["cycles"] > 2.0 * tiled["cycles"]
+        assert untiled["transactions"] > 50 * tiled["transactions"]
+
+    def test_untiled_still_correct(self):
+        untiled = measure(False, "soa", n=128, block=64)
+        assert untiled["max_error"] < 1e-3
+
+    def test_experiment_runs(self):
+        result = run_experiment("ablation", quick=True)
+        assert result.data["soaoas"]["slowdown"] > 2.0
+
+
+class TestPortabilityExperiment:
+    @pytest.fixture(scope="class")
+    def port(self):
+        return run_experiment("portability")
+
+    def test_soaoas_wins_everywhere(self, port):
+        assert all(v > 1.15 for v in port.data["layout_speedups"].values())
+
+    def test_cc13_gain_smaller(self, port):
+        sp = port.data["layout_speedups"]
+        assert sp["GTX 280"] < sp["8800 GTX"]
+
+    def test_register_ladder_flat_on_gt200(self, port):
+        ladder = port.data["occupancy_ladder"]
+        assert ladder["GTX 280"][16] == ladder["GTX 280"][18]
+        assert ladder["8800 GTX"][16] > ladder["8800 GTX"][18]
+
+
+class TestAccessDiagrams:
+    def test_diagram_content(self):
+        lay = make_layout("soaoas", 128)
+        text = diagram_for_layout(lay, policy_for("1.0"))
+        assert "coalesced" in text
+        assert "Tx(" in text
+        assert "100% useful" in text
+
+    def test_experiment_claims(self):
+        result = run_experiment("diagrams")
+        eff = result.data["efficiency"]
+        assert eff["unopt"] < 0.25
+        assert eff["soa"] > 0.9
+        assert eff["soaoas"] > 0.9
+        assert eff["aoas"] == pytest.approx(0.5, abs=0.1)
+
+    def test_uncoalesced_flagged(self):
+        lay = make_layout("unopt", 128)
+        text = diagram_for_layout(lay, policy_for("1.0"))
+        assert "NOT coalesced" in text

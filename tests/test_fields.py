@@ -1,0 +1,143 @@
+"""StructDecl, alignment/padding rules, splitting and frequency grouping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fields import (
+    Field,
+    PARTICLE_FIELDS,
+    StructDecl,
+    group_by_frequency,
+    particle_struct,
+    split_for_alignment,
+)
+from repro.cudasim.dtypes import F32
+
+
+class TestField:
+    def test_defaults(self):
+        f = Field("px")
+        assert f.dtype is F32
+        assert f.nbytes == 4
+        assert not f.is_padding
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Field("")
+
+    def test_rejects_non_word_dtype(self):
+        from repro.cudasim.dtypes import PRED
+
+        with pytest.raises(ValueError):
+            Field("p", PRED)
+
+
+class TestStructDecl:
+    def test_particle_packed_size(self):
+        s = particle_struct()
+        assert s.natural_size == 28
+        assert s.size == 28  # no alignment requested
+        assert s.alignment == 4
+
+    def test_particle_aligned_adds_hidden_padding(self):
+        """Sec. II-C: __align__(16) adds an eighth hidden 32-bit element."""
+        s = particle_struct(16)
+        assert s.size == 32
+        assert len(s.padded_fields) == 8
+        assert s.padded_fields[-1].is_padding
+
+    def test_offsets_sequential(self):
+        s = particle_struct()
+        for i, name in enumerate(s.field_names):
+            assert s.offset_of(name) == 4 * i
+
+    def test_offset_unknown_field(self):
+        with pytest.raises(KeyError):
+            particle_struct().offset_of("nope")
+
+    def test_contains_and_len(self):
+        s = particle_struct()
+        assert "mass" in s and "pad" not in s
+        assert len(s) == 7
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            StructDecl("bad", [Field("a"), Field("a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StructDecl("bad", [])
+
+    def test_invalid_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            StructDecl("bad", [Field("a")], align=3)
+
+    def test_exceeds_alignment_boundary(self):
+        """The paper's 'large structure' predicate: > 128 bit."""
+        assert particle_struct().exceeds_alignment_boundary
+        small = StructDecl("s", [Field("x"), Field("y")])
+        assert not small.exceeds_alignment_boundary
+
+    def test_with_align_roundtrip(self):
+        s = particle_struct().with_align(16)
+        assert s.align == 16
+        assert s.with_align(None).size == 28
+
+    @given(n_fields=st.integers(1, 12), align=st.sampled_from([None, 8, 16]))
+    def test_size_is_padded_multiple(self, n_fields, align):
+        s = StructDecl(
+            "t", [Field(f"f{i}") for i in range(n_fields)], align
+        )
+        assert s.size >= s.natural_size
+        assert s.size % s.alignment == 0
+        assert s.size - s.natural_size < s.alignment
+
+
+class TestSplitForAlignment:
+    def test_particle_split_16(self):
+        parts = split_for_alignment(particle_struct(), 16)
+        assert [len(p) for p in parts] == [4, 3]
+        assert all(p.size <= 16 for p in parts)
+        assert parts[0].field_names == ("px", "py", "pz", "vx")
+
+    def test_split_8(self):
+        parts = split_for_alignment(particle_struct(), 8)
+        assert [len(p) for p in parts] == [2, 2, 2, 1]
+        assert parts[-1].alignment == 4
+
+    def test_rejects_bad_boundary(self):
+        with pytest.raises(ValueError):
+            split_for_alignment(particle_struct(), 12)
+
+    @given(n_fields=st.integers(1, 20))
+    def test_partition_preserves_fields(self, n_fields):
+        s = StructDecl("t", [Field(f"f{i}") for i in range(n_fields)])
+        parts = split_for_alignment(s, 16)
+        names = [f.name for p in parts for f in p.fields]
+        assert names == list(s.field_names)
+        assert all(p.size <= 16 for p in parts)
+
+
+class TestFrequencyGrouping:
+    def test_particle_grouping_matches_paper(self):
+        """Positions+mass together, velocities apart (Sec. IV, Fig. 8)."""
+        groups = group_by_frequency(PARTICLE_FIELDS)
+        names = [tuple(f.name for f in g) for g in groups]
+        assert names == [("px", "py", "pz", "mass"), ("vx", "vy", "vz")]
+
+    def test_uniform_frequencies_single_group(self):
+        fields = [Field(f"f{i}", frequency=1.0) for i in range(5)]
+        assert len(group_by_frequency(fields)) == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            group_by_frequency(PARTICLE_FIELDS, ratio_threshold=1.0)
+
+    def test_declaration_order_kept_within_group(self):
+        fields = [
+            Field("a", frequency=1.0),
+            Field("b", frequency=0.9),
+            Field("c", frequency=1.1),
+        ]
+        (group,) = group_by_frequency(fields)
+        assert tuple(f.name for f in group) == ("a", "b", "c")

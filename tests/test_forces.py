@@ -1,0 +1,114 @@
+"""CPU force algorithms: oracle agreement and physical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gravit import (
+    ParticleSystem,
+    accelerations,
+    direct_forces,
+    direct_forces_f32_tiled,
+    naive_forces,
+    plummer,
+    uniform_cube,
+)
+
+
+class TestOracleAgreement:
+    def test_direct_matches_naive(self, small_system):
+        ref = naive_forces(small_system, g=1.0, eps=1e-2)
+        fast = direct_forces(small_system, g=1.0, eps=1e-2)
+        np.testing.assert_allclose(fast, ref, rtol=1e-10, atol=1e-14)
+
+    def test_f32_tiled_matches_direct(self, medium_system):
+        ref = direct_forces(medium_system)
+        f32 = direct_forces_f32_tiled(medium_system, tile=128)
+        scale = np.linalg.norm(ref, axis=1, keepdims=True) + 1e-12
+        assert np.max(np.abs(f32 - ref) / scale) < 1e-3
+
+    def test_chunking_invariant(self, medium_system):
+        a = direct_forces(medium_system, chunk=7)
+        b = direct_forces(medium_system, chunk=4096)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_tile_size_invariant(self, medium_system):
+        a = direct_forces_f32_tiled(medium_system, tile=64)
+        b = direct_forces_f32_tiled(medium_system, tile=256)
+        scale = np.abs(a).max()
+        np.testing.assert_allclose(a, b, atol=2e-5 * scale)
+
+
+class TestPhysics:
+    def test_two_body_analytic(self):
+        ps = ParticleSystem.from_arrays(
+            np.array([[0.0, 0, 0], [2.0, 0, 0]]), masses=np.array([3.0, 5.0])
+        )
+        f = direct_forces(ps, g=1.0, eps=0.0)
+        expect = 3.0 * 5.0 / 4.0
+        np.testing.assert_allclose(f[0], [expect, 0, 0], rtol=1e-6)
+        np.testing.assert_allclose(f[1], [-expect, 0, 0], rtol=1e-6)
+
+    def test_newtons_third_law_totals(self, small_system):
+        f = direct_forces(small_system)
+        np.testing.assert_allclose(
+            f.sum(axis=0), 0.0, atol=1e-10 * np.abs(f).max()
+        )
+
+    def test_force_toward_center_for_shell(self):
+        from repro.gravit import cold_shell
+
+        ps = cold_shell(128, radius=1.0, seed=9)
+        f = direct_forces(ps)
+        # Forces point inward: f · r < 0 for (almost) every particle.
+        radial = (f * ps.positions.astype(np.float64)).sum(axis=1)
+        assert (radial < 0).mean() > 0.95
+
+    def test_softening_regularizes_close_pairs(self):
+        ps = ParticleSystem.from_arrays(
+            np.array([[0.0, 0, 0], [1e-8, 0, 0]]), masses=1.0
+        )
+        f = direct_forces(ps, eps=1e-2)
+        assert np.isfinite(f).all()
+        assert np.abs(f).max() < 1e6
+
+    def test_zero_mass_particles_exert_nothing(self):
+        base = uniform_cube(20, seed=3)
+        f_base = direct_forces(base)
+        padded = base.padded(32)
+        f_padded = direct_forces(padded)[:20]
+        np.testing.assert_allclose(f_padded, f_base, rtol=1e-12)
+
+    def test_g_scales_linearly(self, small_system):
+        f1 = direct_forces(small_system, g=1.0)
+        f2 = direct_forces(small_system, g=2.5)
+        np.testing.assert_allclose(f2, 2.5 * f1, rtol=1e-12)
+
+    def test_accelerations_handle_zero_mass(self):
+        ps = uniform_cube(10, seed=4).padded(16)
+        a = accelerations(ps)
+        assert np.isfinite(a).all()
+        np.testing.assert_array_equal(a[10:], 0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(2, 24))
+    def test_translation_invariance(self, seed, n):
+        """Forces depend only on relative positions."""
+        ps = uniform_cube(n, seed=seed)
+        f0 = direct_forces(ps)
+        shifted = ps.copy()
+        shifted.px += np.float32(3.0)
+        shifted.py -= np.float32(1.5)
+        f1 = direct_forces(shifted)
+        # float32 position storage rounds the shifted coordinates, so
+        # agreement is bounded by f32 epsilon on the force scale.
+        scale = np.abs(f0).max()
+        np.testing.assert_allclose(f1, f0, rtol=1e-3, atol=1e-4 * scale)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_pairwise_antisymmetry(self, seed):
+        """F_ij = −F_ji checked via the naive oracle on a tiny system."""
+        ps = uniform_cube(6, seed=seed)
+        f = naive_forces(ps)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-12)

@@ -1,0 +1,165 @@
+"""Eq. 1's FE and FNN terms, and the multi-core direct sum."""
+
+import numpy as np
+import pytest
+
+from repro.gravit import barnes_hut_forces, direct_forces, plummer, uniform_cube
+from repro.gravit.forces_ext import (
+    ExternalField,
+    direct_forces_parallel,
+    external_forces,
+    nearest_neighbor_forces,
+    total_forces,
+)
+from repro.gravit.particles import ParticleSystem
+
+
+class TestExternalField:
+    def test_uniform_field_scales_with_mass(self):
+        ps = uniform_cube(16, seed=1)
+        f = external_forces(ps, ExternalField(uniform=(0, 0, -9.8)))
+        np.testing.assert_allclose(
+            f[:, 2], -9.8 * ps.mass.astype(np.float64), rtol=1e-12
+        )
+        assert (f[:, :2] == 0).all()
+
+    def test_central_attractor_points_inward(self):
+        ps = uniform_cube(64, seed=2)
+        f = external_forces(ps, ExternalField(central_mass=5.0))
+        radial = (f * ps.positions.astype(np.float64)).sum(axis=1)
+        assert (radial < 0).all()
+
+    def test_drag_opposes_velocity(self):
+        pos = np.zeros((1, 3))
+        vel = np.array([[2.0, 0.0, 0.0]])
+        ps = ParticleSystem.from_arrays(pos, vel, masses=3.0)
+        f = external_forces(ps, ExternalField(drag=0.5))
+        np.testing.assert_allclose(f[0], [-3.0, 0, 0], rtol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExternalField(central_mass=-1.0)
+
+
+class TestNearestNeighbor:
+    def test_pair_repulsion_antisymmetric(self):
+        ps = ParticleSystem.from_arrays(
+            np.array([[0.0, 0, 0], [0.05, 0, 0]]), masses=1.0
+        )
+        f = nearest_neighbor_forces(ps, radius=0.1)
+        np.testing.assert_allclose(f[0], -f[1], rtol=1e-12)
+        assert f[0, 0] < 0 < f[1, 0]  # pushed apart
+
+    def test_outside_radius_no_force(self):
+        ps = ParticleSystem.from_arrays(
+            np.array([[0.0, 0, 0], [1.0, 0, 0]]), masses=1.0
+        )
+        f = nearest_neighbor_forces(ps, radius=0.1)
+        assert (f == 0).all()
+
+    def test_continuous_at_cutoff(self):
+        def mag(sep):
+            ps = ParticleSystem.from_arrays(
+                np.array([[0.0, 0, 0], [sep, 0, 0]]), masses=1.0
+            )
+            return abs(
+                nearest_neighbor_forces(ps, radius=0.1)[0, 0]
+            )
+
+        # Vanishes approaching the cutoff (relative to a close pair).
+        assert mag(0.0999) < 1e-3 * mag(0.02)
+        assert mag(0.02) > mag(0.05) > mag(0.0999)
+
+    def test_momentum_conserved_in_crowd(self):
+        ps = uniform_cube(200, side=0.5, seed=3)
+        f = nearest_neighbor_forces(ps, radius=0.2)
+        assert f.any()
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_radius_validation(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_forces(uniform_cube(4, seed=4), radius=0.0)
+
+
+class TestTotalForces:
+    def test_composition_is_additive(self):
+        ps = uniform_cube(64, side=0.5, seed=5)
+        field = ExternalField(uniform=(0, 0, -1.0))
+        total = total_forces(ps, field=field, nn_radius=0.2)
+        parts = (
+            direct_forces(ps)
+            + external_forces(ps, field)
+            + nearest_neighbor_forces(ps, 0.2)
+        )
+        np.testing.assert_allclose(total, parts, rtol=1e-12)
+
+    def test_custom_far_field_backend(self):
+        ps = plummer(128, seed=6)
+        via_bh = total_forces(
+            ps, far_field=lambda s: barnes_hut_forces(s, theta=0.0)
+        )
+        np.testing.assert_allclose(via_bh, direct_forces(ps), rtol=1e-9)
+
+    def test_default_is_far_field_only(self):
+        ps = uniform_cube(32, seed=7)
+        np.testing.assert_allclose(
+            total_forces(ps), direct_forces(ps), rtol=1e-12
+        )
+
+
+class TestParallelDirect:
+    def test_matches_serial_inprocess(self):
+        """workers=1 path (no pool) is bit-identical chunking."""
+        ps = plummer(300, seed=8)
+        par = direct_forces_parallel(ps, workers=1, chunk=64)
+        ref = direct_forces(ps)
+        np.testing.assert_allclose(par, ref, rtol=1e-12)
+
+    def test_matches_serial_with_pool(self):
+        ps = plummer(400, seed=9)
+        par = direct_forces_parallel(ps, workers=2, chunk=128)
+        ref = direct_forces(ps)
+        np.testing.assert_allclose(par, ref, rtol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            direct_forces_parallel(uniform_cube(4, seed=10), workers=0)
+
+
+class TestSimulatorIntegration:
+    def test_facade_composes_eq1(self):
+        """GravitSimulator with field+NN equals manual composition."""
+        from repro.gravit import GravitSimulator
+        from repro.gravit.integrator import euler_step
+
+        field = ExternalField(central_mass=2.0)
+        base = uniform_cube(48, side=0.5, seed=31)
+
+        via_sim = GravitSimulator(
+            base.copy(), backend="direct", dt=1e-3, scheme="euler",
+            external_field=field, nn_radius=0.15,
+        )
+        via_sim.run(2)
+
+        manual = base.copy()
+        for _ in range(2):
+            euler_step(
+                manual,
+                lambda s: total_forces(s, field=field, nn_radius=0.15),
+                1e-3,
+            )
+        np.testing.assert_allclose(
+            via_sim.system.positions, manual.positions, rtol=1e-6
+        )
+
+    def test_field_changes_trajectory(self):
+        from repro.gravit import GravitSimulator
+
+        plain = GravitSimulator(uniform_cube(32, seed=32), dt=1e-2)
+        pulled = GravitSimulator(
+            uniform_cube(32, seed=32), dt=1e-2,
+            external_field=ExternalField(uniform=(0, 0, -5.0)),
+        )
+        plain.run(3)
+        pulled.run(3)
+        assert pulled.system.pz.mean() < plain.system.pz.mean()

@@ -1,0 +1,132 @@
+"""The GPU tree code: ropes, packing, traversal correctness, crossover."""
+
+import numpy as np
+import pytest
+
+from repro.gravit import build_octree, direct_forces, plummer, uniform_cube
+from repro.gravit.barneshut import barnes_hut_forces
+from repro.gravit.gpu_barneshut import bh_forces_gpu, build_bh_kernel, pack_tree
+from repro.cudasim import compile_kernel
+
+
+class TestRopes:
+    def test_rope_traversal_visits_like_dfs(self):
+        """Following child-first/rope-on-skip with accept=False everywhere
+        enumerates every node exactly once (a DFS)."""
+        ps = uniform_cube(100, seed=1)
+        tree = build_octree(ps, leaf_capacity=1)
+        skip = tree.compute_ropes()
+        visited = []
+        node = 0
+        while node != -1:
+            visited.append(node)
+            child = int(tree.first_child[node])
+            node = child if child >= 0 else int(skip[node])
+        assert sorted(visited) == list(range(tree.n_nodes))
+
+    def test_rope_of_root_is_minus_one(self):
+        ps = uniform_cube(20, seed=2)
+        tree = build_octree(ps)
+        skip = tree.compute_ropes()
+        assert skip[0] == -1
+
+    def test_sibling_ropes(self):
+        ps = uniform_cube(200, seed=3)
+        tree = build_octree(ps, leaf_capacity=2)
+        skip = tree.compute_ropes()
+        first = int(tree.first_child[0])
+        assert first >= 0
+        for o in range(7):
+            assert skip[first + o] == first + o + 1
+        assert skip[first + 7] == -1  # last child inherits root's rope
+
+
+class TestPackTree:
+    def test_shapes_and_values(self):
+        ps = plummer(64, seed=4)
+        tree = build_octree(ps, leaf_capacity=1)
+        posmass, meta = pack_tree(tree)
+        n = tree.n_nodes
+        assert posmass.size == 4 * n and meta.size == 4 * n
+        pm = posmass.reshape(-1, 4)
+        np.testing.assert_allclose(
+            pm[0, 3], ps.total_mass(), rtol=1e-6
+        )
+        mt = meta.reshape(-1, 4)
+        assert mt[0, 2] == -1.0  # root rope
+        # Leaves are flagged by child == -1.
+        leaves = mt[:, 1] < 0
+        assert leaves.sum() > 0
+
+    def test_indices_exact_in_f32(self):
+        ps = uniform_cube(500, seed=5)
+        tree = build_octree(ps, leaf_capacity=1)
+        _, meta = pack_tree(tree)
+        mt = meta.reshape(-1, 4)
+        children = mt[mt[:, 1] >= 0, 1]
+        assert np.array_equal(children, np.round(children))
+
+
+class TestGpuBarnesHut:
+    def test_matches_direct_within_theta_tolerance(self):
+        ps = plummer(160, seed=6)
+        forces, result = bh_forces_gpu(ps, theta=0.4)
+        ref = direct_forces(ps)
+        scale = np.linalg.norm(ref, axis=1).max()
+        assert np.abs(forces - ref).max() / scale < 0.02
+        assert result.cycles > 0
+
+    def test_theta_zero_matches_direct_closely(self):
+        """θ = 0 never accepts a cell: exact (float32) direct sum."""
+        ps = uniform_cube(96, seed=7)
+        forces, _ = bh_forces_gpu(ps, theta=0.0, block_size=32)
+        ref = direct_forces(ps)
+        scale = np.abs(ref).max()
+        np.testing.assert_allclose(forces, ref, atol=5e-4 * scale)
+
+    def test_matches_cpu_tree_code_same_tree(self):
+        """Same tree, same θ: GPU and CPU tree codes agree to f32."""
+        ps = plummer(128, seed=8)
+        tree = build_octree(ps, leaf_capacity=1)
+        gpu, _ = bh_forces_gpu(ps, theta=0.5, tree=tree)
+        cpu = barnes_hut_forces(ps, theta=0.5, tree=tree)
+        scale = np.linalg.norm(cpu, axis=1).max()
+        assert np.abs(gpu - cpu).max() / scale < 5e-3
+
+    def test_ragged_tail_handled(self):
+        ps = uniform_cube(70, seed=9)  # pads to 128 at block 64
+        forces, _ = bh_forces_gpu(ps, theta=0.6)
+        assert forces.shape == (70, 3)
+        assert np.isfinite(forces).all()
+
+    def test_larger_theta_cheaper(self):
+        ps = plummer(160, seed=10)
+        tree = build_octree(ps, leaf_capacity=1)
+        _, tight = bh_forces_gpu(ps, theta=0.2, tree=tree)
+        _, loose = bh_forces_gpu(ps, theta=1.0, tree=tree)
+        assert loose.cycles < tight.cycles
+
+    def test_kernel_compiles_lean(self):
+        lk = compile_kernel(build_bh_kernel(block_size=64))
+        assert lk.reg_count <= 24  # fits CC 1.0 comfortably
+        assert lk.static_instruction_count < 60
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            bh_forces_gpu(uniform_cube(16, seed=11), theta=-1.0)
+
+
+class TestCrossoverExperiment:
+    def test_quick_points(self):
+        from repro.experiments.bh_vs_n2_gpu import measure_pair
+
+        small = measure_pair(256)
+        # 2009-era sizes: the paper's O(n²) choice is the right one.
+        assert small["ratio"] > 1.5
+
+    def test_ratio_falls_with_n(self):
+        from repro.experiments.bh_vs_n2_gpu import measure_pair
+
+        a = measure_pair(256)
+        b = measure_pair(768)
+        assert b["ratio"] < a["ratio"]

@@ -1,0 +1,140 @@
+"""Integrators and the GravitSimulator facade."""
+
+import numpy as np
+import pytest
+
+from repro.gravit import (
+    GravitSimulator,
+    ParticleSystem,
+    direct_forces,
+    euler_step,
+    integrate,
+    leapfrog_step,
+    plummer,
+    uniform_cube,
+)
+
+
+def _forces(s):
+    return direct_forces(s, g=1.0, eps=5e-2)
+
+
+class TestIntegrators:
+    def test_momentum_conserved_leapfrog(self):
+        ps = plummer(64, seed=1)
+        p0 = ps.momentum()
+        integrate(ps, _forces, dt=1e-3, steps=20)
+        np.testing.assert_allclose(ps.momentum(), p0, atol=1e-4)
+
+    def test_leapfrog_energy_drift_bounded(self):
+        sim = GravitSimulator(
+            plummer(48, seed=2), backend="direct", eps=5e-2, dt=1e-3,
+            track_energy=True,
+        )
+        sim.run(50)
+        assert sim.energy_drift() < 0.02
+
+    def test_leapfrog_beats_euler_on_energy(self):
+        def drift(scheme):
+            sim = GravitSimulator(
+                plummer(48, seed=3), backend="direct", eps=5e-2, dt=5e-3,
+                scheme=scheme, track_energy=True,
+            )
+            sim.run(40)
+            return sim.energy_drift()
+
+        assert drift("leapfrog") < drift("euler")
+
+    def test_circular_two_body_orbit(self):
+        """A symmetric binary on circular orbits keeps its separation."""
+        r, m = 1.0, 1.0
+        v = np.sqrt(m / (4 * 2 * r)) * np.sqrt(2)  # v² = G·m_other·... for
+        # two equal masses m at ±r: a = m/(2r)²; v = sqrt(m/(4·... ) — use
+        # the standard result v = sqrt(G·m_total/(4·r)) with m_total = 2m.
+        v = np.sqrt(2 * m / (4 * r))
+        ps = ParticleSystem.from_arrays(
+            np.array([[r, 0, 0], [-r, 0, 0]]),
+            np.array([[0, v, 0], [0, -v, 0]]),
+            masses=m,
+        )
+        integrate(
+            ps,
+            lambda s: direct_forces(s, eps=0.0),
+            dt=1e-3,
+            steps=400,
+            scheme=leapfrog_step,
+        )
+        sep = np.linalg.norm(ps.positions[0] - ps.positions[1])
+        assert sep == pytest.approx(2 * r, rel=0.02)
+
+    def test_euler_step_moves_particles(self):
+        ps = uniform_cube(16, seed=4)
+        before = ps.positions.copy()
+        euler_step(ps, _forces, 1e-2)
+        assert not np.array_equal(ps.positions, before)
+
+    def test_zero_mass_particles_stay_put(self):
+        ps = uniform_cube(8, seed=5).padded(16)
+        integrate(ps, _forces, dt=1e-2, steps=3)
+        np.testing.assert_array_equal(ps.positions[8:], 0.0)
+
+    def test_validation(self):
+        ps = uniform_cube(4, seed=6)
+        with pytest.raises(ValueError):
+            integrate(ps, _forces, dt=0.0, steps=1)
+        with pytest.raises(ValueError):
+            integrate(ps, _forces, dt=1e-3, steps=-1)
+
+    def test_callback_invoked(self):
+        ps = uniform_cube(4, seed=7)
+        calls = []
+        integrate(ps, _forces, 1e-3, 5, callback=lambda k, s: calls.append(k))
+        assert calls == [0, 1, 2, 3, 4]
+
+
+class TestSimulatorFacade:
+    def test_backends_agree_short_run(self):
+        results = {}
+        for backend in ("direct", "barneshut", "gpu"):
+            sim = GravitSimulator(
+                plummer(96, seed=8), backend=backend, eps=5e-2, dt=1e-3,
+                theta=0.3,
+            )
+            sim.run(3)
+            results[backend] = sim.system.positions.copy()
+        ref = results["direct"]
+        scale = np.abs(ref).max()
+        np.testing.assert_allclose(results["gpu"], ref, atol=2e-4 * scale)
+        np.testing.assert_allclose(results["barneshut"], ref, atol=5e-3 * scale)
+
+    def test_naive_backend_tiny(self):
+        sim = GravitSimulator(uniform_cube(8, seed=9), backend="naive")
+        sim.step()
+        assert sim.steps_done == 1
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            GravitSimulator(uniform_cube(4, seed=10), backend="magic")
+
+    def test_energy_drift_requires_tracking(self):
+        sim = GravitSimulator(uniform_cube(4, seed=11))
+        with pytest.raises(ValueError):
+            sim.energy_drift()
+
+    def test_energy_log_populated(self):
+        sim = GravitSimulator(
+            uniform_cube(16, seed=12), track_energy=True, dt=1e-3
+        )
+        sim.run(4)
+        assert len(sim.energy_log.total) == 5  # initial + 4 steps
+
+    def test_gpu_config_mismatch_rejected(self):
+        from repro.gravit import GpuConfig
+
+        with pytest.raises(ValueError):
+            GravitSimulator(
+                uniform_cube(4, seed=13),
+                backend="gpu",
+                eps=1e-2,
+                gpu_config=GpuConfig(eps=0.5),
+            )

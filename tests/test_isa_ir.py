@@ -1,0 +1,168 @@
+"""ISA instruction validation and the KernelBuilder DSL."""
+
+import pytest
+
+from repro.cudasim import Imm, Instr, Op, Param, Reg
+from repro.cudasim.errors import IRError
+from repro.cudasim.ir import (
+    KernelBuilder,
+    LoopStmt,
+    Seq,
+    count_static_instrs,
+    walk_instrs,
+)
+from repro.cudasim.isa import SReg, Special, format_instr, registers_used
+
+
+class TestInstr:
+    def test_setp_requires_cmp(self):
+        with pytest.raises(IRError):
+            Instr(Op.SETP, dsts=(Reg("p$0"),), srcs=(Reg("a"), Imm(0)))
+
+    def test_bra_requires_target(self):
+        with pytest.raises(IRError):
+            Instr(Op.BRA)
+
+    def test_load_width_validation(self):
+        with pytest.raises(IRError):
+            Instr(Op.LD_GLOBAL, dsts=(Reg("a"), Reg("b"), Reg("c")), srcs=(Reg("p"),))
+        ok = Instr(Op.LD_GLOBAL, dsts=(Reg("a"), Reg("b")), srcs=(Reg("p"),))
+        assert ok.width_bytes == 8
+
+    def test_store_width(self):
+        st = Instr(Op.ST_GLOBAL, srcs=(Reg("p"), Reg("a"), Reg("b"), Reg("c"), Reg("d")))
+        assert st.width_bytes == 16
+        assert st.is_store and not st.is_load
+
+    def test_reads_include_pred_and_addr(self):
+        ins = Instr(
+            Op.LD_GLOBAL, dsts=(Reg("v"),), srcs=(Reg("addr"),), pred=Reg("p$1")
+        )
+        assert set(ins.reads()) == {Reg("addr"), Reg("p$1")}
+        assert ins.writes() == (Reg("v"),)
+
+    def test_predicate_naming_convention(self):
+        assert Reg("p$3").is_predicate
+        assert not Reg("px_i").is_predicate  # the collision that matters
+
+    def test_width_on_alu_raises(self):
+        with pytest.raises(IRError):
+            _ = Instr(Op.ADD, dsts=(Reg("a"),), srcs=(Reg("b"), Reg("c"))).width_bytes
+
+    def test_format_roundtrips_key_info(self):
+        ins = Instr(
+            Op.MAD,
+            dsts=(Reg("fx"),),
+            srcs=(Reg("dx"), Reg("w"), Reg("fx")),
+            comment="accumulate",
+        )
+        text = format_instr(ins)
+        assert "mad" in text and "%fx" in text and "accumulate" in text
+
+    def test_registers_used(self):
+        prog = [
+            Instr(Op.MOV, dsts=(Reg("a"),), srcs=(Imm(1),)),
+            Instr(Op.ADD, dsts=(Reg("b"),), srcs=(Reg("a"), Imm(2))),
+        ]
+        assert registers_used(prog) == {Reg("a"), Reg("b")}
+
+
+class TestKernelBuilder:
+    def test_operand_coercion(self):
+        b = KernelBuilder("k", params=("n",))
+        r = b.add("x", 1.5, "y")
+        assert r == Reg("x")
+        (stmt,) = b.build().body
+        assert stmt.instr.srcs == (Imm(1.5), Reg("y"))
+
+    def test_param_validation(self):
+        b = KernelBuilder("k", params=("n",))
+        with pytest.raises(IRError):
+            b.param("missing")
+
+    def test_bool_not_an_operand(self):
+        b = KernelBuilder("k")
+        with pytest.raises(IRError):
+            b.mov("x", True)
+
+    def test_tmp_names_unique(self):
+        b = KernelBuilder("k")
+        assert b.tmp() != b.tmp()
+        assert b.pred().is_predicate
+
+    def test_loop_context_produces_loopstmt(self):
+        b = KernelBuilder("k")
+        with b.loop(0, 8) as j:
+            b.iadd("x", "x", 1)
+        (loop,) = b.build().body
+        assert isinstance(loop, LoopStmt)
+        assert loop.var == j
+        assert loop.static_trip_count() == 8
+
+    def test_nested_contexts_balanced(self):
+        b = KernelBuilder("k")
+        ctx = b.loop(0, 4)
+        ctx.__enter__()
+        with pytest.raises(IRError):
+            b.build()
+
+    def test_if_context(self):
+        b = KernelBuilder("k")
+        p = b.pred()
+        b.setp("lt", p, "a", 3)
+        with b.if_(p):
+            b.mov("x", 1)
+        kernel = b.build()
+        assert count_static_instrs(kernel.body) == 2
+
+    def test_shared_allocation(self):
+        b = KernelBuilder("k")
+        base0 = b.alloc_shared(128)
+        base1 = b.alloc_shared(64)
+        assert base0 == 0 and base1 == 512
+        assert b.build().shared_words == 192
+        with pytest.raises(IRError):
+            b.alloc_shared(0)
+
+    def test_memory_emitters(self):
+        b = KernelBuilder("k", params=("p",))
+        v = Reg("v")
+        b.ld_global(v, "addr", offset=16)
+        b.st_shared("saddr", (v,), offset=4)
+        instrs = list(walk_instrs(b.build().body))
+        assert instrs[0].offset == 16 and instrs[0].is_load
+        assert instrs[1].offset == 4 and instrs[1].is_store
+
+    def test_sreg(self):
+        b = KernelBuilder("k")
+        b.mov("x", b.sreg("tid"))
+        (stmt,) = b.build().body
+        assert stmt.instr.srcs[0] == SReg(Special.TID)
+
+    def test_setp_bad_cmp(self):
+        b = KernelBuilder("k")
+        with pytest.raises(IRError):
+            b.setp("??", b.pred(), 1, 2)
+
+    def test_zero_step_loop_rejected(self):
+        b = KernelBuilder("k")
+        with pytest.raises(IRError):
+            with b.loop(0, 4, step=0):
+                pass
+
+    def test_trip_counts(self):
+        b = KernelBuilder("k")
+        with b.loop(0, 7, step=2):
+            pass
+        (loop,) = b.build().body
+        assert loop.static_trip_count() == 4
+        with KernelBuilder("k2", params=("n",)).loop(0, Param("n")) as _:
+            pass  # dynamic loops report None
+
+
+def test_dynamic_trip_count_none():
+    b = KernelBuilder("k", params=("n",))
+    with b.loop(0, b.param("n")):
+        b.mov("x", 0)
+    (loop,) = b.build().body
+    assert loop.static_trip_count() is None

@@ -1,0 +1,215 @@
+"""Memory layouts: addressing, read plans, pack/unpack, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AoaSLayout,
+    AoSLayout,
+    LAYOUT_KINDS,
+    SoALayout,
+    SoAoaSLayout,
+    make_layout,
+    particle_struct,
+)
+from repro.core.fields import Field, StructDecl
+from repro.core.layouts import ARRAY_BASE_ALIGN, LoadStep
+from repro.cudasim.dtypes import F32, VecType
+
+ALL_FIELDS = ("px", "py", "pz", "vx", "vy", "vz", "mass")
+POSMASS = ("px", "py", "pz", "mass")
+
+
+def _random_data(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return {f: rng.random(n).astype(np.float32) for f in ALL_FIELDS}
+
+
+class TestLoadStep:
+    def test_affine_addressing(self):
+        step = LoadStep(("a",), VecType(F32, 1), base=8, stride=28)
+        assert step.address(0) == 8
+        assert step.address(3) == 92
+        np.testing.assert_array_equal(step.address(np.arange(3)), [8, 36, 64])
+
+    def test_lane_lookup(self):
+        step = LoadStep(("a", None, "b", None), VecType(F32, 4), 0, 16)
+        assert step.lane_of("b") == 2
+        with pytest.raises(KeyError):
+            step.lane_of("c")
+
+    def test_field_count_must_match_lanes(self):
+        with pytest.raises(ValueError):
+            LoadStep(("a", "b"), VecType(F32, 1), 0, 4)
+
+    def test_alignment_detection(self):
+        aligned = LoadStep(("a",) * 4, VecType(F32, 4), 0, 16)
+        unaligned = LoadStep(("a",) * 4, VecType(F32, 4), 4, 16)
+        assert aligned.is_aligned and not unaligned.is_aligned
+
+
+class TestLayoutShapes:
+    def test_aos_unopt_is_28_byte_stride(self):
+        lay = make_layout("unopt", 10)
+        assert all(s.stride == 28 for s in lay.steps)
+        assert lay.loads_per_record() == 7
+        assert lay.elements_per_record() == 7
+        assert lay.size_bytes == 280
+
+    def test_aos_padded_is_32_byte_stride(self):
+        lay = make_layout("aos", 10)
+        assert all(s.stride == 32 for s in lay.steps)
+        assert lay.loads_per_record() == 7  # still scalar reads
+
+    def test_soa_strides_and_bases(self):
+        lay = make_layout("soa", 100)
+        assert all(s.stride == 4 for s in lay.steps)
+        bases = [s.base for s in lay.steps]
+        assert bases == sorted(bases)
+        assert all(b % ARRAY_BASE_ALIGN == 0 for b in bases)
+
+    def test_aoas_two_vec4_steps(self):
+        lay = make_layout("aoas", 10)
+        assert lay.loads_per_record() == 2
+        assert lay.elements_per_record() == 8  # includes hidden padding
+        assert all(s.vector.lanes == 4 and s.stride == 32 for s in lay.steps)
+        # paper Fig. 6/7: the split puts vx with the positions
+        assert lay.steps[0].fields == ("px", "py", "pz", "vx")
+
+    def test_soaoas_frequency_groups(self):
+        lay = make_layout("soaoas", 10)
+        assert lay.loads_per_record() == 2
+        assert [s.fields for s in lay.steps] == [
+            ("px", "py", "pz", "mass"),
+            ("vx", "vy", "vz", None),
+        ]
+        assert all(s.is_aligned for s in lay.steps)
+
+    def test_soaoas_posmass_plan_is_single_load(self):
+        """The access-frequency win of Sec. IV: the force kernel reads one
+        float4 under SoAoaS but 4 scalars under AoS."""
+        soaoas = make_layout("soaoas", 10)
+        assert len(soaoas.read_plan(POSMASS)) == 1
+        aos = make_layout("aos", 10)
+        assert len(aos.read_plan(POSMASS)) == 4
+        aoas = make_layout("aoas", 10)
+        assert len(aoas.read_plan(POSMASS)) == 2  # mass sits in part 2
+
+    def test_make_layout_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_layout("interleaved", 10)
+
+    def test_layout_kinds_constant(self):
+        assert LAYOUT_KINDS == ("unopt", "aos", "soa", "aoas", "soaoas")
+
+    def test_zero_records_rejected(self):
+        with pytest.raises(ValueError):
+            make_layout("soa", 0)
+
+
+class TestAddressing:
+    @pytest.mark.parametrize("kind", LAYOUT_KINDS)
+    def test_addresses_are_unique_per_field_record(self, kind):
+        lay = make_layout(kind, 33)
+        seen = set()
+        for f in ALL_FIELDS:
+            for i in range(lay.n):
+                addr = lay.address(f, i)
+                assert addr not in seen
+                assert 0 <= addr <= lay.size_bytes - 4
+                seen.add(addr)
+
+    def test_address_bounds_checked(self):
+        lay = make_layout("soa", 8)
+        with pytest.raises(IndexError):
+            lay.address("px", 8)
+
+    def test_unknown_field(self):
+        lay = make_layout("soa", 8)
+        with pytest.raises(KeyError):
+            lay.read_plan(("nonexistent",))
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("kind", LAYOUT_KINDS)
+    def test_roundtrip(self, kind):
+        n = 37
+        lay = make_layout(kind, n)
+        data = _random_data(n)
+        words = lay.pack(data)
+        assert words.shape == (lay.size_words,)
+        back = lay.unpack(words)
+        for f in ALL_FIELDS:
+            np.testing.assert_array_equal(back[f], data[f])
+
+    def test_pack_places_values_at_addresses(self):
+        lay = make_layout("unopt", 5)
+        data = _random_data(5)
+        words = lay.pack(data)
+        for f in ALL_FIELDS:
+            for i in range(5):
+                assert words[lay.address(f, i) // 4] == data[f][i]
+
+    def test_pack_missing_field(self):
+        lay = make_layout("soa", 4)
+        with pytest.raises(KeyError):
+            lay.pack({"px": np.zeros(4, np.float32)})
+
+    def test_pack_wrong_shape(self):
+        lay = make_layout("soa", 4)
+        data = _random_data(4)
+        data["mass"] = np.zeros(5, np.float32)
+        with pytest.raises(ValueError):
+            lay.pack(data)
+
+    def test_unpack_wrong_size(self):
+        lay = make_layout("soa", 4)
+        with pytest.raises(ValueError):
+            lay.unpack(np.zeros(3, np.float32))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 200),
+        kind=st.sampled_from(LAYOUT_KINDS),
+        seed=st.integers(0, 2**16),
+    )
+    def test_roundtrip_property(self, n, kind, seed):
+        lay = make_layout(kind, n)
+        data = _random_data(n, seed)
+        back = lay.unpack(lay.pack(data))
+        for f in ALL_FIELDS:
+            np.testing.assert_array_equal(back[f], data[f])
+
+
+class TestCustomStructs:
+    def test_soaoas_rejects_oversized_group(self):
+        s = StructDecl("big", [Field(f"f{i}") for i in range(5)])
+        with pytest.raises(ValueError):
+            SoAoaSLayout(s, 8, groups=(StructDecl("g", s.fields, None),))
+
+    def test_soaoas_rejects_non_partition(self):
+        s = particle_struct()
+        groups = (StructDecl("g0", s.fields[:4], 16),)
+        with pytest.raises(ValueError):
+            SoAoaSLayout(s, 8, groups=groups)
+
+    def test_aoas_forces_alignment(self):
+        lay = AoaSLayout(particle_struct(), 4)  # no align given
+        assert lay.struct.align == 16
+
+    def test_describe_mentions_steps(self):
+        text = make_layout("soaoas", 4).describe()
+        assert "f32x4" in text and "aligned" in text
+
+    def test_small_struct_layouts(self):
+        s = StructDecl("pair", [Field("x"), Field("y")])
+        aos = AoSLayout(s, 16)
+        soa = SoALayout(s, 16)
+        assert aos.elements_per_record() == 2
+        assert soa.loads_per_record() == 2
+        np.testing.assert_array_equal(
+            aos.unpack(aos.pack({"x": np.arange(16, dtype=np.float32),
+                                 "y": np.zeros(16, np.float32)}))["x"],
+            np.arange(16, dtype=np.float32),
+        )

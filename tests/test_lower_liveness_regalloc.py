@@ -1,0 +1,169 @@
+"""Lowering, liveness dataflow and register allocation."""
+
+import pytest
+
+from repro.cudasim import KernelBuilder, Op, Reg, allocate, disassemble, lower
+from repro.cudasim.errors import RegisterAllocationError
+from repro.cudasim.liveness import analyze, build_blocks
+
+
+def _simple_loop_kernel(static=True):
+    b = KernelBuilder("k", params=("n",))
+    b.mov("acc", 0.0)
+    stop = 8 if static else b.param("n")
+    with b.loop(0, stop):
+        b.add("acc", "acc", 1.0)
+    b.mov("out", "acc")
+    return b.build()
+
+
+class TestLowering:
+    def test_static_loop_is_bottom_tested(self):
+        lk = lower(_simple_loop_kernel(static=True))
+        ops = [i.op for i in lk.instructions]
+        # mov acc, mov j, add, iadd, setp, bra, mov out, exit
+        assert ops == [
+            Op.MOV, Op.MOV, Op.ADD, Op.IADD, Op.SETP, Op.BRA, Op.MOV, Op.EXIT,
+        ]
+        # backward branch to the loop head (the add)
+        bra = lk.instructions[5]
+        assert lk.targets[bra.target] == 2
+
+    def test_dynamic_loop_gets_guard(self):
+        lk = lower(_simple_loop_kernel(static=False))
+        ops = [i.op for i in lk.instructions]
+        assert ops.count(Op.SETP) == 2  # guard + backedge condition
+        assert ops.count(Op.BRA) == 2
+
+    def test_zero_trip_loop_elided(self):
+        b = KernelBuilder("k")
+        b.mov("x", 1.0)
+        with b.loop(5, 5):
+            b.mov("x", 2.0)
+        lk = lower(b.build())
+        assert len(lk.instructions) == 2  # mov + implicit exit
+
+    def test_implicit_exit_appended(self):
+        b = KernelBuilder("k")
+        b.mov("x", 1.0)
+        lk = lower(b.build())
+        assert lk.instructions[-1].op is Op.EXIT
+
+    def test_if_lowering_branches_over_body(self):
+        b = KernelBuilder("k")
+        p = b.pred()
+        b.setp("lt", p, "a", 1)
+        with b.if_(p):
+            b.mov("x", 1.0)
+        lk = lower(b.build())
+        bra = next(i for i in lk.instructions if i.op is Op.BRA)
+        assert bra.pred == p and bra.pred_neg  # skip when p is false... inverted
+        assert lk.targets[bra.target] == 3  # past the mov
+
+    def test_disassemble_contains_labels(self):
+        lk = lower(_simple_loop_kernel())
+        text = disassemble(lk)
+        assert ".loop" in text and "setp.lt" in text
+
+    def test_no_labels_left_in_stream(self):
+        lk = lower(_simple_loop_kernel())
+        assert all(i.op is not Op.LABEL for i in lk.instructions)
+
+
+class TestLiveness:
+    def test_straightline_pressure(self):
+        b = KernelBuilder("k")
+        b.mov("a", 1.0)
+        b.mov("b", 2.0)
+        b.add("c", "a", "b")  # a, b live together
+        b.mov("out", "c")
+        info = analyze(lower(b.build()))
+        assert info.max_pressure == 2
+        assert info.live_in_entry == frozenset()
+
+    def test_loop_carried_value_live_through(self):
+        lk = lower(_simple_loop_kernel())
+        info = analyze(lk)
+        # acc and j are simultaneously live inside the loop
+        assert info.max_pressure == 2
+
+    def test_undefined_read_detected(self):
+        b = KernelBuilder("k")
+        b.add("x", "ghost", 1.0)
+        info = analyze(lower(b.build()))
+        assert Reg("ghost") in info.live_in_entry
+
+    def test_predicated_write_keeps_old_value_live(self):
+        b = KernelBuilder("k")
+        p = b.pred()
+        b.mov("x", 1.0)
+        b.setp("lt", p, 0, 1)
+        b.emit(
+            __import__("repro.cudasim.isa", fromlist=["Instr"]).Instr(
+                Op.MOV, dsts=(Reg("x"),), srcs=(Reg("y"),), pred=p
+            )
+        )
+        b.mov("out", "x")
+        info = analyze(lower(b.build()))
+        # x's first definition must survive the predicated overwrite
+        assert info.live_in_entry == frozenset({Reg("y")})
+
+    def test_blocks_structure(self):
+        lk = lower(_simple_loop_kernel())
+        blocks = build_blocks(lk)
+        # entry block, loop body block, tail block
+        assert len(blocks) == 3
+        loop_block = blocks[2]
+        assert 2 in loop_block.succs  # backedge to itself
+
+
+class TestRegalloc:
+    def test_counts_match_pressure(self):
+        lk = lower(_simple_loop_kernel())
+        alloc = allocate(lk)
+        assert lk.reg_count >= alloc.liveness.max_pressure
+        assert lk.reg_count <= alloc.liveness.max_pressure + 1
+
+    def test_no_interfering_registers_share_color(self):
+        lk = lower(_simple_loop_kernel())
+        allocate(lk)
+        info = analyze(lk)
+        for i, ins in enumerate(lk.instructions):
+            live = [r for r in info.live_out[i] if not r.is_predicate]
+            colors = [lk.reg_map[r.name] for r in live]
+            assert len(colors) == len(set(colors)), (i, live)
+
+    def test_undefined_use_raises(self):
+        b = KernelBuilder("k")
+        b.add("x", "ghost", 1.0)
+        with pytest.raises(RegisterAllocationError, match="ghost"):
+            allocate(lower(b.build()))
+
+    def test_allow_undefined_flag(self):
+        b = KernelBuilder("k")
+        b.add("x", "ghost", 1.0)
+        allocate(lower(b.build()), allow_undefined=True)
+
+    def test_max_registers_enforced(self):
+        b = KernelBuilder("k")
+        regs = [b.tmp() for _ in range(10)]
+        for r in regs:
+            b.mov(r, 1.0)
+        total = b.tmp()
+        b.mov(total, 0.0)
+        for r in regs:
+            b.add(total, total, r)
+        b.mov("out", total)
+        with pytest.raises(RegisterAllocationError):
+            allocate(lower(b.build()), max_registers=4)
+
+    def test_predicates_tracked_separately(self):
+        b = KernelBuilder("k")
+        p = b.pred()
+        b.setp("lt", p, 1, 2)
+        b.selp("x", 1.0, 2.0, p)
+        b.mov("out", "x")
+        lk = lower(b.build())
+        allocate(lk)
+        assert lk.pred_count >= 1
+        assert all(not name.startswith("p$") for name in lk.reg_map)

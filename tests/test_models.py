@@ -1,0 +1,218 @@
+"""Analytic models: S/B/P (Eq. 2–3), unrolling estimates, the timing
+estimator, the layout optimizer and the autotuner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    SBPModel,
+    TuneConfig,
+    autotune,
+    default_space,
+    estimate_cycles_per_element,
+    estimate_structure_read,
+    estimate_unroll,
+    eq3_speedup,
+    make_layout,
+    optimize_layout,
+    particle_struct,
+    plan_unroll,
+    policy_for,
+    sbp_counts,
+    unroll_curve,
+)
+from repro.cudasim import G8800GTX, Toolchain
+from repro.core.fields import Field, StructDecl
+from repro.gravit.gpu_kernels import build_force_kernel
+
+
+class TestSBP:
+    def test_force_kernel_counts(self):
+        lay = make_layout("soaoas", 128)
+        kernel, _ = build_force_kernel(lay, block_size=128)
+        c = sbp_counts(kernel)
+        assert c.per_iteration == 20
+        assert c.inner_trip == 128
+        assert "P=20" in c.describe()
+
+    def test_cycle_weighting_heavier(self):
+        lay = make_layout("soaoas", 128)
+        kernel, _ = build_force_kernel(lay, block_size=128)
+        instr = sbp_counts(kernel, weight="instructions")
+        cyc = sbp_counts(kernel, weight="cycles")
+        # 19 ALU-class at 4 cycles + rsqrt at 16 = 92 > 20·4
+        assert cyc.per_iteration > 4 * instr.per_iteration
+
+    def test_weight_validation(self):
+        lay = make_layout("soa", 64)
+        kernel, _ = build_force_kernel(lay, block_size=64)
+        with pytest.raises(ValueError):
+            sbp_counts(kernel, weight="flops")
+
+    def test_large_n_limit_is_p_ratio(self):
+        from repro.core.model import SBPCounts
+
+        a = SBPModel(SBPCounts(100, 50, 20, 128), 128)
+        b = SBPModel(SBPCounts(100, 50, 16, 128), 128)
+        big = b.speedup_over(a, 10_000_000)
+        assert big == pytest.approx(eq3_speedup(20, 16), rel=0.01)
+        small = b.speedup_over(a, 128)
+        assert small < big  # S and B still matter at small N
+
+    def test_eq3_validation(self):
+        with pytest.raises(ValueError):
+            eq3_speedup(20, 0)
+
+    def test_loopless_kernel(self):
+        from repro.cudasim import KernelBuilder
+
+        b = KernelBuilder("flat", params=("dst",))
+        b.st_global(b.mov("a", b.param("dst")), b.mov("x", 1.0))
+        c = sbp_counts(b.build())
+        assert c.per_slice == 0 and c.per_iteration == 0
+        assert c.setup == 3
+
+
+class TestUnrollingModel:
+    def test_paper_prediction_full(self):
+        """body 16, bookkeeping 3, one foldable add: 20 → 16 = 1.25x."""
+        est = estimate_unroll(16, 128, 128)
+        assert est.per_iteration == 16
+        assert est.speedup_vs_rolled == pytest.approx(20 / 16)
+        assert est.frees_iterator
+
+    def test_partial_keeps_shared_overhead(self):
+        est = estimate_unroll(16, 128, 4)
+        assert est.per_iteration == pytest.approx(16 + 1 / 4 + 3 / 4)
+        assert not est.frees_iterator
+
+    def test_curve_monotone(self):
+        curve = unroll_curve(16, 128)
+        speedups = [e.speedup_vs_rolled for e in curve]
+        assert speedups == sorted(speedups)
+        assert curve[-1].factor == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_unroll(16, 128, 3)
+        with pytest.raises(ValueError):
+            estimate_unroll(16, 0, 1)
+
+    def test_plan_full_when_affordable(self):
+        assert plan_unroll(128, 16) == "full"
+
+    def test_plan_partial_when_huge(self):
+        factor = plan_unroll(4096, 16, max_code_growth=4096)
+        assert isinstance(factor, int) and 4096 % factor == 0
+
+    def test_plan_dynamic_none(self):
+        assert plan_unroll(None, 16) is None
+
+
+class TestAnalyticEstimator:
+    def test_matches_paper_ordering_cuda10(self):
+        pol = policy_for(Toolchain.CUDA_1_0)
+        cyc = {
+            kind: estimate_cycles_per_element(
+                make_layout(kind, 1024), pol, G8800GTX
+            )
+            for kind in ("aos", "soa", "aoas", "soaoas")
+        }
+        assert cyc["aos"] > cyc["soa"] > cyc["aoas"] > cyc["soaoas"]
+        assert 1.05 < cyc["aos"] / cyc["soa"] < 1.25
+        assert 1.35 < cyc["aos"] / cyc["soaoas"] < 1.65
+
+    def test_structure_read_fields_subset(self):
+        pol = policy_for("1.0")
+        lay = make_layout("soaoas", 256)
+        full = estimate_structure_read(lay, pol, G8800GTX)
+        posmass = estimate_structure_read(
+            lay, pol, G8800GTX, fields=("px", "py", "pz", "mass")
+        )
+        assert posmass.loads == 1 and full.loads == 2
+        assert posmass.serialized_cycles < full.serialized_cycles
+
+    def test_overlapped_faster_than_serialized(self):
+        pol = policy_for("1.0")
+        est = estimate_structure_read(make_layout("soa", 256), pol, G8800GTX)
+        assert est.overlapped_cycles < est.serialized_cycles
+
+
+class TestOptimizer:
+    def test_derives_paper_layout(self):
+        rec = optimize_layout(particle_struct())
+        assert [g.field_names for g in rec.groups] == [
+            ("px", "py", "pz", "mass"),
+            ("vx", "vy", "vz"),
+        ]
+        assert rec.predicted_speedup == pytest.approx(1.5, abs=0.15)
+        assert "step 1" in rec.report()
+
+    def test_built_layout_valid(self):
+        rec = optimize_layout(particle_struct())
+        lay = rec.build(64)
+        assert lay.loads_per_record() == 2
+        assert lay.n == 64
+
+    def test_uniform_frequency_struct_splits_in_order(self):
+        s = StructDecl("six", [Field(f"f{i}") for i in range(6)])
+        rec = optimize_layout(s)
+        assert [len(g) for g in rec.groups] == [4, 2]
+
+    def test_small_struct_single_group(self):
+        s = StructDecl("vec2", [Field("x"), Field("y")])
+        rec = optimize_layout(s)
+        assert len(rec.groups) == 1
+        assert rec.groups[0].align == 8
+
+
+class TestAutotuner:
+    def test_analytic_objective_prefers_soaoas_unrolled(self):
+        pol = policy_for("1.0")
+
+        def objective(cfg: TuneConfig) -> float:
+            lay = make_layout(cfg.layout_kind, 1024)
+            read = estimate_cycles_per_element(lay, pol, G8800GTX)
+            unroll_gain = 1.25 if cfg.unroll == "full" else 1.0
+            return read / unroll_gain
+
+        result = autotune(objective)
+        assert result.best.layout_kind == "soaoas"
+        assert result.best.unroll == "full"
+        assert result.speedup_over_worst() > 1.5
+
+    def test_failures_recorded_not_raised(self):
+        def objective(cfg: TuneConfig) -> float:
+            if cfg.block_size == 256:
+                raise RuntimeError("too many resources")
+            return float(cfg.block_size)
+
+        result = autotune(objective)
+        assert result.ranked and result.failed
+        assert all(c.block_size != 256 for c, _ in result.ranked)
+        assert "too many resources" in result.table()
+
+    def test_space_size(self):
+        assert len(default_space()) == 4 * 3 * 3 * 2
+
+    def test_empty_result_raises(self):
+        result = autotune(lambda cfg: 1 / 0, space=default_space()[:2])
+        with pytest.raises(ValueError):
+            _ = result.best
+
+    def test_higher_is_better_mode(self):
+        space = default_space()[:6]
+        result = autotune(
+            lambda cfg: cfg.block_size, space=space, lower_is_better=False
+        )
+        assert result.best_cost == max(c.block_size for c in space)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_ranking_sorted(self, seed):
+        import random
+
+        rnd = random.Random(seed)
+        result = autotune(lambda cfg: rnd.random(), space=default_space())
+        costs = [c for _, c in result.ranked]
+        assert costs == sorted(costs)

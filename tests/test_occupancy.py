@@ -1,0 +1,89 @@
+"""Occupancy calculator: the paper's exact numbers and general limits."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cudasim import G8800GTX, occupancy, occupancy_table
+from repro.cudasim.errors import LaunchError
+
+
+class TestPaperNumbers:
+    """The chain that carries the paper's Sec. IV-A occupancy argument."""
+
+    @pytest.mark.parametrize("regs,expected_blocks,expected_occ", [
+        (18, 3, 0.50),  # rolled baseline
+        (17, 3, 0.50),  # fully unrolled (iterator freed, same occupancy)
+        (16, 4, 0.6667),  # + invariant code motion → 67 %
+    ])
+    def test_block128_register_ladder(self, regs, expected_blocks, expected_occ):
+        r = occupancy(G8800GTX, 128, regs, shared_per_block=16 * 128 + 4)
+        assert r.blocks_per_sm == expected_blocks
+        assert r.occupancy(G8800GTX) == pytest.approx(expected_occ, abs=0.01)
+
+    def test_limiters(self):
+        assert occupancy(G8800GTX, 128, 18).limiter == "registers"
+        assert occupancy(G8800GTX, 128, 4).limiter in ("threads", "blocks")
+        assert occupancy(G8800GTX, 64, 10, shared_per_block=8000).limiter == "shared"
+
+    def test_active_warps(self):
+        r = occupancy(G8800GTX, 128, 16)
+        assert r.active_threads == 512
+        assert r.active_warps == 16
+
+    def test_register_allocation_granularity(self):
+        """17 regs × 128 threads = 2176 → rounded to 2304 (unit 256),
+        which is what keeps 17-register kernels at 3 blocks."""
+        r17 = occupancy(G8800GTX, 128, 17)
+        r18 = occupancy(G8800GTX, 128, 18)
+        assert r17.blocks_per_sm == r18.blocks_per_sm == 3
+
+
+class TestValidation:
+    def test_block_size_must_be_warp_multiple(self):
+        with pytest.raises(LaunchError):
+            occupancy(G8800GTX, 100, 10)
+
+    def test_block_size_limit(self):
+        with pytest.raises(LaunchError):
+            occupancy(G8800GTX, 1024, 10)
+
+    def test_register_limit(self):
+        with pytest.raises(LaunchError):
+            occupancy(G8800GTX, 64, 200)
+
+    def test_unlaunchable_shared(self):
+        with pytest.raises(LaunchError):
+            occupancy(G8800GTX, 64, 10, shared_per_block=64 * 1024)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        block=st.sampled_from([32, 64, 96, 128, 192, 256, 384, 512]),
+        regs=st.integers(1, 64),
+        shared=st.integers(0, 8000),
+    )
+    def test_limits_respected(self, block, regs, shared):
+        assume(regs * block <= G8800GTX.registers_per_sm)
+        r = occupancy(G8800GTX, block, regs, shared)
+        assert 1 <= r.blocks_per_sm <= G8800GTX.max_blocks_per_sm
+        assert r.active_threads <= G8800GTX.max_threads_per_sm
+        assert 0 < r.occupancy(G8800GTX) <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(block=st.sampled_from([64, 128, 256]), regs=st.integers(5, 60))
+    def test_monotone_in_registers(self, block, regs):
+        """More registers can never increase occupancy."""
+        assume((regs + 4) * block <= G8800GTX.registers_per_sm)
+        lo = occupancy(G8800GTX, block, regs)
+        hi = occupancy(G8800GTX, block, regs + 4)
+        assert hi.active_warps <= lo.active_warps
+
+    def test_table_covers_block_sizes(self):
+        table = occupancy_table(G8800GTX, 16)
+        assert [r.block_size for r in table] == [32, 64, 96, 128, 192, 256, 384, 512]
+        assert max(r.occupancy(G8800GTX) for r in table) == pytest.approx(2 / 3, abs=0.01)
+
+    def test_describe(self):
+        text = occupancy(G8800GTX, 128, 16).describe(G8800GTX)
+        assert "67%" in text and "4 blocks/SM" in text

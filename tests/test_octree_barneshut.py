@@ -1,0 +1,124 @@
+"""Octree invariants and Barnes-Hut accuracy/equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gravit import (
+    barnes_hut_forces,
+    barnes_hut_forces_iterative,
+    bh_accuracy,
+    build_octree,
+    direct_forces,
+    plummer,
+    uniform_cube,
+)
+
+
+class TestOctree:
+    def test_root_contains_everything(self):
+        ps = uniform_cube(100, seed=1)
+        tree = build_octree(ps)
+        root = tree.root
+        pos = ps.positions
+        assert (np.abs(pos - root.center) <= root.half + 1e-6).all()
+        assert root.count == 100
+
+    def test_mass_conserved_per_level(self):
+        ps = plummer(200, seed=2)
+        tree = build_octree(ps)
+        total = ps.total_mass()
+        assert tree.mass[0] == pytest.approx(total, rel=1e-6)
+        # children of any internal node sum to the parent
+        for node in range(tree.n_nodes):
+            first = tree.first_child[node]
+            if first >= 0:
+                child_mass = tree.mass[first : first + 8].sum()
+                assert child_mass == pytest.approx(tree.mass[node], rel=1e-9)
+
+    def test_order_is_permutation(self):
+        ps = uniform_cube(150, seed=3)
+        tree = build_octree(ps)
+        assert sorted(tree.order.tolist()) == list(range(150))
+
+    def test_leaves_partition_particles(self):
+        ps = uniform_cube(123, seed=4)
+        tree = build_octree(ps, leaf_capacity=4)
+        leaf_particles = []
+        for node in range(tree.n_nodes):
+            if tree.is_leaf(node):
+                leaf_particles.extend(tree.leaf_particles(node).tolist())
+        assert sorted(leaf_particles) == list(range(123))
+
+    def test_com_inside_node_box(self):
+        ps = uniform_cube(80, seed=5)
+        tree = build_octree(ps)
+        for node in range(tree.n_nodes):
+            if tree.count[node] > 0:
+                d = np.abs(tree.com[node] - tree.center[node])
+                assert (d <= tree.half[node] + 1e-6).all()
+
+    def test_leaf_capacity_respected(self):
+        ps = uniform_cube(300, seed=6)
+        tree = build_octree(ps, leaf_capacity=8)
+        for node in range(tree.n_nodes):
+            if tree.is_leaf(node) and tree.depth_of[node] < 40:
+                assert tree.count[node] <= 8
+
+    def test_coincident_points_terminate(self):
+        pos = np.zeros((20, 3), dtype=np.float32)
+        from repro.gravit import ParticleSystem
+
+        ps = ParticleSystem.from_arrays(pos, masses=1.0)
+        tree = build_octree(ps)  # must not recurse forever
+        assert tree.root.count == 20
+
+
+class TestBarnesHut:
+    def test_recursive_equals_iterative(self):
+        ps = plummer(150, seed=7)
+        a = barnes_hut_forces(ps, theta=0.6)
+        b = barnes_hut_forces_iterative(ps, theta=0.6)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_theta_zero_matches_direct(self):
+        """θ = 0 never opens a cell approximation: exact algorithm."""
+        ps = uniform_cube(60, seed=8)
+        bh = barnes_hut_forces(ps, theta=0.0)
+        exact = direct_forces(ps)
+        np.testing.assert_allclose(bh, exact, rtol=1e-9, atol=1e-13)
+
+    def test_accuracy_improves_with_smaller_theta(self):
+        ps = plummer(300, seed=9)
+        errs = [bh_accuracy(ps, theta) for theta in (1.2, 0.6, 0.3)]
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] < 0.02
+
+    def test_typical_theta_accuracy(self):
+        ps = plummer(400, seed=10)
+        assert bh_accuracy(ps, 0.5) < 0.05
+
+    def test_negative_theta_rejected(self):
+        ps = uniform_cube(10, seed=11)
+        with pytest.raises(ValueError):
+            barnes_hut_forces(ps, theta=-0.1)
+        with pytest.raises(ValueError):
+            barnes_hut_forces_iterative(ps, theta=-0.1)
+
+    def test_tree_reuse(self):
+        ps = uniform_cube(50, seed=12)
+        tree = build_octree(ps)
+        a = barnes_hut_forces(ps, theta=0.5, tree=tree)
+        b = barnes_hut_forces(ps, theta=0.5)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_momentum_roughly_conserved(self, seed):
+        """BH approximation breaks exact antisymmetry, but the net force
+        stays small relative to the force scale."""
+        ps = uniform_cube(64, seed=seed)
+        f = barnes_hut_forces(ps, theta=0.7)
+        net = np.linalg.norm(f.sum(axis=0))
+        scale = np.linalg.norm(f, axis=1).sum() + 1e-30
+        assert net / scale < 0.05

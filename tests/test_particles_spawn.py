@@ -1,0 +1,154 @@
+"""ParticleSystem and the spawn generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import make_layout
+from repro.gravit import (
+    ParticleSystem,
+    cold_shell,
+    disc_galaxy,
+    plummer,
+    two_galaxies,
+    uniform_cube,
+    uniform_sphere,
+)
+
+
+class TestParticleSystem:
+    def test_from_arrays(self):
+        pos = np.zeros((5, 3))
+        ps = ParticleSystem.from_arrays(pos, masses=2.0)
+        assert ps.n == 5
+        assert ps.total_mass() == pytest.approx(10.0)
+        assert ps.px.dtype == np.float32
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ParticleSystem.from_arrays(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            ParticleSystem.from_arrays(np.zeros((5, 3)), np.zeros((4, 3)))
+
+    def test_mismatched_fields(self):
+        with pytest.raises(ValueError):
+            ParticleSystem(
+                px=np.zeros(3), py=np.zeros(3), pz=np.zeros(3),
+                vx=np.zeros(3), vy=np.zeros(3), vz=np.zeros(2),
+                mass=np.ones(3),
+            )
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValueError):
+            ParticleSystem.from_arrays(np.zeros((2, 3)), masses=-1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ParticleSystem.from_arrays(np.zeros((0, 3)))
+
+    def test_padding_and_take(self):
+        ps = uniform_cube(10, seed=1)
+        padded = ps.padded(8)
+        assert padded.n == 16
+        assert padded.mass[10:].sum() == 0
+        np.testing.assert_array_equal(padded.take(10).px, ps.px)
+
+    def test_padding_noop_when_aligned(self):
+        ps = uniform_cube(16, seed=1)
+        assert ps.padded(8).n == 16
+
+    def test_layout_roundtrip(self):
+        ps = plummer(33, seed=2)
+        for kind in ("unopt", "soaoas"):
+            lay = make_layout(kind, ps.n)
+            back = ParticleSystem.unpack(lay, ps.pack(lay))
+            np.testing.assert_array_equal(back.mass, ps.mass)
+            np.testing.assert_array_equal(back.vx, ps.vx)
+
+    def test_pack_size_mismatch(self):
+        ps = uniform_cube(8, seed=1)
+        with pytest.raises(ValueError):
+            ps.pack(make_layout("soa", 9))
+
+    def test_diagnostics(self):
+        pos = np.array([[1.0, 0, 0], [-1.0, 0, 0]])
+        vel = np.array([[0, 1.0, 0], [0, -1.0, 0]])
+        ps = ParticleSystem.from_arrays(pos, vel, masses=1.0)
+        np.testing.assert_allclose(ps.center_of_mass(), 0.0, atol=1e-7)
+        np.testing.assert_allclose(ps.momentum(), 0.0, atol=1e-7)
+        assert ps.kinetic_energy() == pytest.approx(1.0)
+        assert ps.potential_energy(eps=0.0) == pytest.approx(-0.5)
+
+    def test_copy_is_independent(self):
+        ps = uniform_cube(4, seed=1)
+        c = ps.copy()
+        c.px[0] = 99.0
+        assert ps.px[0] != 99.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 64), mult=st.integers(1, 64))
+    def test_padding_preserves_prefix(self, n, mult):
+        ps = uniform_cube(n, seed=n)
+        padded = ps.padded(mult)
+        assert padded.n % mult == 0
+        assert padded.n - ps.n < mult
+        np.testing.assert_array_equal(padded.px[: ps.n], ps.px)
+
+
+class TestSpawn:
+    @pytest.mark.parametrize(
+        "factory",
+        [uniform_cube, uniform_sphere, plummer, cold_shell, disc_galaxy,
+         two_galaxies],
+    )
+    def test_shapes_and_determinism(self, factory):
+        a = factory(64, seed=5)
+        b = factory(64, seed=5)
+        assert a.n == 64
+        np.testing.assert_array_equal(a.px, b.px)
+        np.testing.assert_array_equal(a.vz, b.vz)
+        assert np.isfinite(a.positions).all()
+        assert np.isfinite(a.velocities).all()
+        assert (a.mass >= 0).all() and a.mass.sum() > 0
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            uniform_cube(32, seed=1).px, uniform_cube(32, seed=2).px
+        )
+
+    def test_sphere_radius_bound(self):
+        ps = uniform_sphere(500, radius=2.0, seed=3)
+        r = np.linalg.norm(ps.positions, axis=1)
+        assert r.max() <= 2.0 + 1e-5
+
+    def test_shell_radius_exact(self):
+        ps = cold_shell(200, radius=1.5, seed=4)
+        r = np.linalg.norm(ps.positions, axis=1)
+        np.testing.assert_allclose(r, 1.5, rtol=1e-5)
+        assert np.abs(ps.velocities).max() == 0
+
+    def test_plummer_roughly_virial(self):
+        """|2K + U| should be small relative to |U| for an equilibrium
+        sample (loose bound: sampling noise at n=2000)."""
+        ps = plummer(2000, seed=6)
+        k = ps.kinetic_energy()
+        u = ps.potential_energy(eps=1e-3)
+        assert abs(2 * k + u) < 0.35 * abs(u)
+
+    def test_disc_rotates_about_z(self):
+        ps = disc_galaxy(500, seed=7)
+        # Angular momentum about z dominates the other components.
+        m = ps.mass.astype(np.float64)
+        lz = (m * (ps.px * ps.vy - ps.py * ps.vx)).sum()
+        lx = (m * (ps.py * ps.vz - ps.pz * ps.vy)).sum()
+        assert abs(lz) > 20 * abs(lx)
+
+    def test_two_galaxies_approach(self):
+        ps = two_galaxies(200, separation=4.0, approach_speed=0.5, seed=8)
+        left = ps.px < 0
+        # Mean x-velocities approach each other.
+        assert ps.vx[left].mean() > ps.vx[~left].mean()
+
+    def test_total_mass_normalized(self):
+        for factory in (uniform_cube, uniform_sphere, plummer):
+            assert factory(100, seed=1).total_mass() == pytest.approx(1.0, rel=1e-5)

@@ -1,0 +1,122 @@
+"""Additional property-based invariants across the stack."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import (
+    ALL_LAYOUT_KINDS,
+    estimate_structure_read,
+    make_layout,
+    policy_for,
+)
+from repro.core.access import warp_accesses
+from repro.core.coalescing import POLICIES
+from repro.core.fields import Field, StructDecl
+from repro.core.layouts import SoAoaSLayout
+from repro.cudasim import G8800GTX
+from repro.gravit import ParticleSystem, uniform_cube
+from repro.gravit.octree import build_octree
+
+
+class TestLayoutProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        kind=st.sampled_from(ALL_LAYOUT_KINDS),
+        n=st.integers(1, 300),
+    )
+    def test_field_addresses_disjoint_and_word_aligned(self, kind, n):
+        lay = make_layout(kind, n)
+        seen = set()
+        for step in lay.steps:
+            for i in sorted({0, n - 1, n // 2}):
+                base = int(step.address(i))
+                assert base % step.vector.alignment == 0
+                for lane in range(step.vector.lanes):
+                    addr = base + 4 * lane
+                    assert addr not in seen
+                    seen.add(addr)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_fields=st.integers(1, 11),
+        n=st.integers(1, 64),
+        freqs=st.lists(
+            st.sampled_from([1.0, 1.0, 1.0, 1e-3]), min_size=11, max_size=11
+        ),
+    )
+    def test_derived_soaoas_valid_for_any_struct(self, n_fields, n, freqs):
+        fields = [
+            Field(f"f{i}", frequency=freqs[i]) for i in range(n_fields)
+        ]
+        struct = StructDecl("t", fields)
+        lay = SoAoaSLayout(struct, n)
+        # groups partition, each ≤ 16 B, every access aligned
+        assert sum(len(g) for g in lay.groups) == n_fields
+        assert all(g.size <= 16 for g in lay.groups)
+        assert all(s.is_aligned for s in lay.steps)
+        # pack/unpack round-trips
+        rng = np.random.default_rng(n_fields * 100 + n)
+        data = {
+            f.name: rng.random(n).astype(np.float32) for f in fields
+        }
+        back = lay.unpack(lay.pack(data))
+        for name, arr in data.items():
+            np.testing.assert_array_equal(back[name], arr)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        kind=st.sampled_from(["soa", "soaoas", "soaoas64"]),
+        policy_name=st.sampled_from(sorted(POLICIES)),
+        first=st.integers(0, 60),
+    )
+    def test_streaming_layouts_always_coalesce(self, kind, policy_name, first):
+        """Any aligned record offset keeps these layouts coalesced —
+        the guarantee Sec. II-B/II-D claims."""
+        lay = make_layout(kind, 256)
+        policy = POLICIES[policy_name]
+        # Warp reads records first*16..first*16+31 (16-record alignment
+        # keeps the half-warp base aligned for every access width).
+        start = (first % 8) * 32
+        for step in lay.steps:
+            for acc in warp_accesses(step, start):
+                assert policy.is_coalesced(acc), (step, start)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(32, 2048))
+    def test_estimator_scale_free(self, n):
+        """Per-element cost is independent of the array length."""
+        pol = policy_for("1.0")
+        small = estimate_structure_read(make_layout("soaoas", 32), pol, G8800GTX)
+        big = estimate_structure_read(make_layout("soaoas", n), pol, G8800GTX)
+        assert small.per_element_serialized == big.per_element_serialized
+
+
+class TestOctreeProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(2, 400), seed=st.integers(0, 50))
+    def test_tree_invariants(self, n, seed):
+        ps = uniform_cube(n, seed=seed)
+        tree = build_octree(ps, leaf_capacity=4)
+        assert sorted(tree.order.tolist()) == list(range(n))
+        assert tree.mass[0] == pytest.approx(ps.total_mass(), rel=1e-6)
+        # Ropes form a DFS permutation.
+        skip = tree.compute_ropes()
+        node, seen = 0, []
+        while node != -1:
+            seen.append(node)
+            child = int(tree.first_child[node])
+            node = child if child >= 0 else int(skip[node])
+            assert len(seen) <= tree.n_nodes
+        assert len(seen) == tree.n_nodes
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_padding_never_changes_forces(self, seed):
+        from repro.gravit import direct_forces
+
+        ps = uniform_cube(37, seed=seed)
+        padded = ps.padded(64)
+        f = direct_forces(ps)
+        fp = direct_forces(padded)[:37]
+        np.testing.assert_allclose(fp, f, rtol=1e-12)

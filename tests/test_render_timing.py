@@ -1,0 +1,79 @@
+"""Renderers and the CPU timing model."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.gravit import (
+    CORE2DUO_2_4GHZ,
+    CpuTimingModel,
+    ParticleSystem,
+    disc_galaxy,
+    render_ascii,
+    render_pgm,
+)
+from repro.gravit.render import density_grid
+
+
+class TestRender:
+    def test_density_grid_conserves_mass(self):
+        ps = disc_galaxy(300, seed=1)
+        grid = density_grid(ps, width=32, height=32, extent=100.0)
+        assert grid.sum() == pytest.approx(ps.total_mass(), rel=1e-6)
+
+    def test_ascii_shape(self):
+        ps = disc_galaxy(200, seed=2)
+        art = render_ascii(ps, width=40, height=20)
+        lines = art.splitlines()
+        assert len(lines) == 20
+        assert all(len(l) == 40 for l in lines)
+        assert any(c != " " for l in lines for c in l)
+
+    def test_plane_selection(self):
+        ps = disc_galaxy(200, seed=3)
+        assert render_ascii(ps, plane="xz") != render_ascii(ps, plane="xy")
+        with pytest.raises(ValueError):
+            render_ascii(ps, plane="qq")
+
+    def test_single_point_render(self):
+        ps = ParticleSystem.from_arrays(np.zeros((1, 3)), masses=1.0)
+        art = render_ascii(ps, width=8, height=4)
+        assert "@" in art
+
+    def test_pgm_written(self, tmp_path):
+        ps = disc_galaxy(100, seed=4)
+        path = os.path.join(tmp_path, "disc.pgm")
+        render_pgm(ps, path, width=64, height=48)
+        with open(path, "rb") as fh:
+            header = fh.readline()
+            dims = fh.readline()
+            maxval = fh.readline()
+            payload = fh.read()
+        assert header.strip() == b"P5"
+        assert dims.split() == [b"64", b"48"]
+        assert maxval.strip() == b"255"
+        assert len(payload) == 64 * 48
+
+
+class TestCpuTimingModel:
+    def test_quadratic_scaling(self):
+        m = CORE2DUO_2_4GHZ
+        assert m.predict_seconds(200_000) / m.predict_seconds(100_000) == (
+            pytest.approx(4.0, rel=0.01)
+        )
+
+    def test_paper_scale_magnitude(self):
+        """1 M particles on the 2009 serial code: hours, not minutes."""
+        t = CORE2DUO_2_4GHZ.predict_seconds(1_000_000)
+        assert 3_600 < t < 30_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CORE2DUO_2_4GHZ.predict_seconds(0)
+
+    def test_custom_model(self):
+        m = CpuTimingModel(clock_hz=1e9, cycles_per_interaction=10.0,
+                           cycles_per_particle=0.0)
+        assert m.predict_seconds(1000) == pytest.approx(1e-2)
+        assert m.interactions_per_second() == pytest.approx(1e8)

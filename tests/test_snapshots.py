@@ -1,0 +1,96 @@
+"""Snapshot and trajectory persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.gravit import GravitSimulator, plummer, uniform_cube
+from repro.gravit.snapshots import (
+    TrajectoryWriter,
+    load_csv,
+    load_npz,
+    load_trajectory,
+    save_csv,
+    save_npz,
+)
+
+
+class TestNpz:
+    def test_roundtrip_with_tags(self, tmp_path):
+        ps = plummer(77, seed=1)
+        path = str(tmp_path / "snap.npz")
+        save_npz(path, ps, generator="plummer", seed="1")
+        back, tags = load_npz(path)
+        for f in ("px", "vy", "mass"):
+            np.testing.assert_array_equal(getattr(back, f), getattr(ps, f))
+        assert tags == {"generator": "plummer", "seed": "1"}
+
+    def test_version_check(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        ps = uniform_cube(4, seed=2)
+        save_npz(path, ps)
+        data = dict(np.load(path))
+        data["format_version"] = np.array(99)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="format 99"):
+            load_npz(path)
+
+
+class TestCsv:
+    def test_roundtrip_exact(self, tmp_path):
+        """repr()-based cells round-trip float32 exactly."""
+        ps = plummer(33, seed=3)
+        path = str(tmp_path / "snap.csv")
+        save_csv(path, ps)
+        back = load_csv(path)
+        for f in ("px", "py", "pz", "vx", "vy", "vz", "mass"):
+            np.testing.assert_array_equal(getattr(back, f), getattr(ps, f))
+
+    def test_header_check(self, tmp_path):
+        path = str(tmp_path / "bad.csv")
+        with open(path, "w") as fh:
+            fh.write("x,y,z\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_csv(path)
+
+    def test_malformed_row(self, tmp_path):
+        path = str(tmp_path / "bad2.csv")
+        with open(path, "w") as fh:
+            fh.write("px,py,pz,vx,vy,vz,mass\n1,2,3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_csv(path)
+
+
+class TestTrajectory:
+    def test_record_and_replay(self, tmp_path):
+        sim = GravitSimulator(uniform_cube(32, seed=4), dt=1e-3)
+        writer = TrajectoryWriter(every=2)
+        writer.record(0, 0.0, sim.system)
+        for k in range(1, 5):
+            sim.step()
+            writer.record(k, k * sim.dt, sim.system)
+        assert writer.n_frames == 3  # steps 0, 2, 4
+        path = str(tmp_path / "traj.npz")
+        writer.save(path)
+        times, frames = load_trajectory(path)
+        assert list(times) == [0.0, 2e-3, 4e-3]
+        assert frames[0].n == 32
+        # Final frame equals the live system.
+        np.testing.assert_array_equal(frames[-1].px, sim.system.px)
+        # Positions actually evolved.
+        assert not np.array_equal(frames[0].px, frames[-1].px)
+
+    def test_cadence_validation(self):
+        with pytest.raises(ValueError):
+            TrajectoryWriter(every=0)
+
+    def test_count_change_rejected(self):
+        writer = TrajectoryWriter()
+        writer.record(0, 0.0, uniform_cube(8, seed=5))
+        with pytest.raises(ValueError):
+            writer.record(1, 0.1, uniform_cube(9, seed=6))
+
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TrajectoryWriter().save(str(tmp_path / "empty.npz"))

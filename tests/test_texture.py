@@ -1,0 +1,141 @@
+"""Texture cache model and the LD_TEX path."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_layout, policy_for
+from repro.cudasim import Device, G8800GTX, KernelBuilder, compile_kernel
+from repro.cudasim.pipeline import MemoryPipeline
+from repro.cudasim.texture import TextureCache
+from repro.experiments.ablation_tiling import measure
+
+
+def _cache():
+    pipe = MemoryPipeline(G8800GTX, policy_for("1.0"))
+    return TextureCache(G8800GTX, pipe), pipe
+
+
+class TestTextureCache:
+    def test_cold_miss_then_hit(self):
+        cache, _ = _cache()
+        addrs = np.zeros(16, dtype=np.int64)
+        t_miss = cache.access(addrs, 4, now=0.0)
+        assert t_miss > G8800GTX.memory.latency  # full DRAM trip
+        t_hit = cache.access(addrs, 4, now=t_miss)
+        assert t_hit - t_miss == pytest.approx(G8800GTX.tex_hit_latency)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_same_line_broadcast_one_lookup(self):
+        cache, _ = _cache()
+        # 32 threads, same 16-byte record: one cache line involved.
+        cache.access(np.full(32, 64, dtype=np.int64), 16, now=0.0)
+        assert cache.stats.line_lookups == 1
+
+    def test_straddling_access_touches_two_lines(self):
+        cache, _ = _cache()
+        cache.access(np.array([24], dtype=np.int64), 16, now=0.0)
+        assert cache.stats.line_lookups == 2
+
+    def test_direct_mapped_conflict_eviction(self):
+        cache, _ = _cache()
+        way_stride = cache.n_lines * cache.line_bytes
+        a = np.zeros(1, dtype=np.int64)
+        b = np.full(1, way_stride, dtype=np.int64)  # same slot, other tag
+        cache.access(a, 4, 0.0)
+        cache.access(b, 4, 0.0)
+        cache.access(a, 4, 0.0)  # evicted: miss again
+        assert cache.stats.misses == 3
+        assert cache.stats.hit_rate == 0.0
+
+    def test_invalidate(self):
+        cache, _ = _cache()
+        a = np.zeros(1, dtype=np.int64)
+        cache.access(a, 4, 0.0)
+        cache.invalidate()
+        cache.access(a, 4, 0.0)
+        assert cache.stats.misses == 2
+
+    def test_streaming_reuse_within_line(self):
+        """Sequential 4-byte fetches: 8 per 32-byte line → 7/8 hit rate."""
+        cache, _ = _cache()
+        for k in range(64):
+            cache.access(np.array([4 * k], dtype=np.int64), 4, float(k))
+        assert cache.stats.hit_rate == pytest.approx(7 / 8)
+
+
+class TestLdTexExecution:
+    def test_correctness(self):
+        b = KernelBuilder("texk", params=("src", "dst"))
+        i = b.imad("i", b.sreg("ctaid"), b.sreg("ntid"), b.sreg("tid"))
+        v = b.reg("v")
+        b.ld_tex(v, b.imad("a", i, 4, b.param("src")))
+        b.st_global(b.imad("o", i, 4, b.param("dst")), v)
+        dev = Device(heap_bytes=1 << 16)
+        src, dst = dev.malloc(4 * 64), dev.malloc(4 * 64)
+        data = np.random.default_rng(3).random(64).astype(np.float32)
+        dev.memcpy_htod(src, data)
+        dev.launch(compile_kernel(b.build()), 2, 32, {"src": src, "dst": dst})
+        np.testing.assert_array_equal(dev.memcpy_dtoh(dst, 64), data)
+
+    def test_repeated_reads_faster_through_texture(self):
+        """A same-address inner loop: texture beats uncached global."""
+
+        def kernel(use_tex):
+            b = KernelBuilder("k", params=("src", "dst"))
+            acc = b.mov("acc", 0.0)
+            addr = b.mov(b.reg("addr"), b.param("src"))
+            with b.loop(0, 32):
+                v = b.tmp("v")
+                (b.ld_tex if use_tex else b.ld_global)(v, addr)
+                b.add(acc, acc, v)
+                b.iadd(addr, addr, 4)
+            b.st_global(
+                b.imad("o", b.sreg("tid"), 4, b.param("dst")), acc
+            )
+            return compile_kernel(b.build())
+
+        cycles = {}
+        for use_tex in (False, True):
+            dev = Device(heap_bytes=1 << 16)
+            src, dst = dev.malloc(4 * 64), dev.malloc(4 * 64)
+            dev.memcpy_htod(src, np.ones(64, np.float32))
+            res = dev.launch(kernel(use_tex), 1, 32, {"src": src, "dst": dst})
+            cycles[use_tex] = res.cycles
+        assert cycles[True] < 0.6 * cycles[False]
+
+    def test_asm_roundtrip_with_tex(self):
+        from repro.cudasim.asm import assemble, format_program
+        from repro.cudasim import lower, allocate
+
+        text = """
+        .kernel t
+        .params src dst
+            mov %a, param:src
+            ld.tex.v2 %x, %y, [%a+8]
+            add %z, %x, %y
+            mov %o, param:dst
+            st.global.v1 [%o+0], %z
+        """
+        lk = lower(assemble(text))
+        allocate(lk)
+        assert "ld.tex.v2" in format_program(lk)
+
+
+class TestTextureAblation:
+    def test_sits_between_tiled_and_global(self):
+        tiled = measure(True, "soaoas", n=128, block=64, check_forces=False)
+        global_ = measure(False, "soaoas", n=128, block=64, check_forces=False)
+        tex = measure(
+            False, "soaoas", n=128, block=64, check_forces=False,
+            via_texture=True,
+        )
+        assert tiled["cycles"] < tex["cycles"] < global_["cycles"]
+
+    def test_texture_variant_correct(self):
+        rec = measure(False, "soaoas", n=128, block=64, via_texture=True)
+        assert rec["max_error"] < 1e-3
+        assert rec["variant"] == "no-tile-tex"
+
+    def test_tiled_plus_texture_rejected(self):
+        with pytest.raises(ValueError):
+            measure(True, "soaoas", via_texture=True)
