@@ -17,6 +17,9 @@ Subpackages
     every optimization level, integrators.
 ``repro.experiments``
     Harness regenerating every figure/table of the paper's evaluation.
+``repro.telemetry``
+    Observability: metrics registry, span tracing, Chrome-trace timeline
+    export, and structured run manifests.
 """
 
 from ._version import __version__
@@ -44,9 +47,11 @@ from .core import (
     make_layout,
     particle_struct,
 )
+from . import telemetry
 
 __all__ = [
     "__version__",
+    "telemetry",
     "Field",
     "StructDecl",
     "MemoryLayout",

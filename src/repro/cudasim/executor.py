@@ -34,6 +34,7 @@ import numpy as np
 
 from ..core.access import HALFWARP, HalfWarpAccess
 from ..core.coalescing import CoalescingPolicy
+from ..telemetry import runtime as _telemetry
 from .device import DeviceProperties
 from .errors import DeadlockError, ExecutionError
 from .isa import Imm, Instr, IssueClass, Op, Param, Reg, Special, SReg
@@ -189,6 +190,7 @@ class SMExecutor:
         grid_dim: int,
         stats: KernelStats | None = None,
         trace=None,
+        sm_index: int = 0,
     ) -> None:
         self.device = device
         self.policy = policy
@@ -198,6 +200,7 @@ class SMExecutor:
         self.block_dim = block_dim
         self.grid_dim = grid_dim
         self.trace = trace  # optional per-global-access hook
+        self.sm_index = sm_index
         self.stats = stats if stats is not None else KernelStats()
         self.pipeline = MemoryPipeline(device, policy)
         self.texcache = TextureCache(device, self.pipeline)
@@ -314,7 +317,17 @@ class SMExecutor:
         # Kernel float math follows IEEE-754 silently, like the GPU:
         # overflow → inf, 0/0 → NaN, without host-side warnings.
         with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
-            return self._run(block_ids, max_resident)
+            if not _telemetry.enabled():
+                return self._run(block_ids, max_resident)
+            with _telemetry.span(
+                "cudasim.sm",
+                kernel=self.lk.name,
+                sm=self.sm_index,
+                blocks=len(block_ids),
+            ) as sp:
+                end = self._run(block_ids, max_resident)
+                sp.set(cycles=end)
+                return end
 
     def _run(self, block_ids: list[int], max_resident: int) -> float:
         queue = list(block_ids)

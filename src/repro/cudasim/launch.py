@@ -25,6 +25,7 @@ from typing import Mapping, Union
 import numpy as np
 
 from ..core.coalescing import CoalescingPolicy, policy_for
+from ..telemetry import runtime as _telemetry
 from .device import DeviceProperties, G8800GTX, Toolchain
 from .errors import LaunchError
 from .executor import SMExecutor
@@ -93,6 +94,10 @@ class LaunchResult:
     stats: KernelStats
     occupancy: OccupancyResult
     device: DeviceProperties = field(repr=False, default=G8800GTX)
+    #: Per-SM counter snapshots, index-aligned with ``stats.sm_cycles``
+    #: (only SMs that received blocks appear).  The timeline exporter
+    #: reads these to draw one slice + memory-pipe track per SM.
+    sm_stats: list[KernelStats] = field(repr=False, default_factory=list)
 
     @property
     def time_s(self) -> float:
@@ -173,28 +178,39 @@ class Device:
                 values[name] = int(v)
 
         stats = KernelStats()
+        per_sm: list[KernelStats] = []
         end = 0.0
-        for sm in range(n_sms):
-            block_ids = list(range(sm, grid, n_sms))
-            if not block_ids:
-                continue
-            sm_stats = KernelStats()
-            ex = SMExecutor(
-                device=self.props,
-                policy=self.policy,
-                gmem=self.gmem,
-                lk=lk,
-                params=values,
-                block_dim=block,
-                grid_dim=grid,
-                stats=sm_stats,
-                trace=trace,
+        with _telemetry.span(
+            "cudasim.launch", kernel=lk.name, grid=grid, block=block
+        ) as sp:
+            for sm in range(n_sms):
+                block_ids = list(range(sm, grid, n_sms))
+                if not block_ids:
+                    continue
+                sm_stats = KernelStats()
+                ex = SMExecutor(
+                    device=self.props,
+                    policy=self.policy,
+                    gmem=self.gmem,
+                    lk=lk,
+                    params=values,
+                    block_dim=block,
+                    grid_dim=grid,
+                    stats=sm_stats,
+                    trace=trace,
+                    sm_index=sm,
+                )
+                end = max(end, ex.run(block_ids, resident))
+                sm_stats.memory.merge(ex.pipeline.stats)
+                stats.merge(sm_stats)
+                per_sm.append(sm_stats)
+            stats.cycles = end
+            sp.set(
+                cycles=end,
+                warp_instructions=stats.warp_instructions,
+                transactions=stats.memory.transactions,
             )
-            end = max(end, ex.run(block_ids, resident))
-            sm_stats.memory.merge(ex.pipeline.stats)
-            stats.merge(sm_stats)
-        stats.cycles = end
-        return LaunchResult(
+        result = LaunchResult(
             kernel_name=lk.name,
             grid=grid,
             block=block,
@@ -202,4 +218,7 @@ class Device:
             stats=stats,
             occupancy=occ,
             device=self.props,
+            sm_stats=per_sm,
         )
+        _telemetry.record_launch(result)
+        return result

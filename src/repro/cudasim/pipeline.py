@@ -42,6 +42,25 @@ class PipelineStats:
         for size, count in other.by_size.items():
             self.by_size[size] = self.by_size.get(size, 0) + count
 
+    def busy_fraction(self, wall_cycles: float) -> float:
+        """Fraction of ``wall_cycles`` the pipe spent moving data."""
+        if wall_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / wall_cycles)
+
+    def as_dict(self) -> dict:
+        """JSON-safe view (transaction sizes become string keys)."""
+        return {
+            "transactions": self.transactions,
+            "bytes_moved": self.bytes_moved,
+            "requests": self.requests,
+            "busy_cycles": self.busy_cycles,
+            "queue_delay_cycles": self.queue_delay_cycles,
+            "by_size": {
+                str(size): count for size, count in sorted(self.by_size.items())
+            },
+        }
+
 
 class MemoryPipeline:
     """One SM's path to DRAM."""

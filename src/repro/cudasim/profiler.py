@@ -55,6 +55,35 @@ class KernelStats:
         self.warps_executed += other.warps_executed
         self.sm_cycles.extend(other.sm_cycles)
 
+    def as_dict(self) -> dict:
+        """JSON-safe view: the enum-keyed ``by_op``/``by_class`` maps
+        become lower-case name keys, so any exporter can ``json.dumps``
+        the result without a custom encoder."""
+        return {
+            "cycles": self.cycles,
+            "warp_instructions": self.warp_instructions,
+            "thread_instructions": self.thread_instructions,
+            "by_class": {
+                k.name.lower(): v for k, v in sorted(
+                    self.by_class.items(), key=lambda kv: kv[0].name
+                )
+            },
+            "by_op": {
+                k.name.lower(): v for k, v in sorted(
+                    self.by_op.items(), key=lambda kv: kv[0].name
+                )
+            },
+            "idle_cycles": self.idle_cycles,
+            "scoreboard_stalls": self.scoreboard_stalls,
+            "barrier_waits": self.barrier_waits,
+            "memory": self.memory.as_dict(),
+            "blocks_executed": self.blocks_executed,
+            "warps_executed": self.warps_executed,
+            "loads": self.loads,
+            "stores": self.stores,
+            "sm_cycles": list(self.sm_cycles),
+        }
+
     @property
     def loads(self) -> int:
         return self.by_op.get(Op.LD_GLOBAL, 0) + self.by_op.get(Op.LD_SHARED, 0)

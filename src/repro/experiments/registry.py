@@ -9,13 +9,19 @@ summaries, and (with ``--dat DIR``) writes gnuplot-ready data files.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable
 
+from ..telemetry import runtime as _telemetry
+from ..telemetry.manifest import append_manifest, build_manifest
 from .report import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "run_experiment", "main", "DEFAULT_RESULTS_PATH"]
+
+#: Where ``--json`` appends run manifests when no file is given.
+DEFAULT_RESULTS_PATH = "results/results.jsonl"
 
 
 def _fig10(quick: bool) -> ExperimentResult:
@@ -125,7 +131,8 @@ def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
         raise ValueError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(quick)
+    with _telemetry.span("experiment.run", experiment=name, quick=quick):
+        return fn(quick)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -154,8 +161,18 @@ def main(argv: list[str] | None = None) -> int:
     runp.add_argument(
         "--json",
         metavar="FILE",
+        nargs="?",
+        const=DEFAULT_RESULTS_PATH,
         default=None,
-        help="append machine-readable results to FILE (JSON lines)",
+        help="print each result as machine-readable JSON on stdout and "
+        f"append a run manifest to FILE (default: {DEFAULT_RESULTS_PATH}); "
+        "human summaries move to stderr",
+    )
+    runp.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable the telemetry layer (metrics + spans) for the run; "
+        "manifests then carry the metrics snapshot",
     )
     args = parser.parse_args(argv)
 
@@ -163,6 +180,11 @@ def main(argv: list[str] | None = None) -> int:
         for name, (desc, _) in EXPERIMENTS.items():
             print(f"{name:10s} {desc}")
         return 0
+
+    if args.telemetry:
+        _telemetry.enable()
+    # With --json, stdout is reserved for the machine-readable records.
+    human = sys.stderr if args.json else sys.stdout
 
     names = list(EXPERIMENTS) if args.names == ["all"] else args.names
     status = 0
@@ -174,35 +196,47 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         elapsed = time.perf_counter() - t0
-        print(result.summary())
-        print(f"({elapsed:.1f}s)\n")
+        print(result.summary(), file=human)
+        print(f"({elapsed:.1f}s)\n", file=human)
         if args.dat:
             for path in result.save_dat(args.dat):
-                print(f"wrote {path}")
+                print(f"wrote {path}", file=human)
         if args.json:
-            _append_json(args.json, result, elapsed)
-            print(f"appended {result.experiment_id} to {args.json}")
+            manifest = _experiment_manifest(result, elapsed, quick=args.quick)
+            print(json.dumps(manifest, default=repr))
+            append_manifest(args.json, manifest)
+            print(
+                f"appended {result.experiment_id} manifest to {args.json}",
+                file=human,
+            )
     return status
 
 
-def _append_json(path: str, result: ExperimentResult, elapsed: float) -> None:
-    """One JSON object per line; non-serializable leaves are repr()'d."""
-    import json
+def _experiment_manifest(
+    result: ExperimentResult, elapsed: float, quick: bool
+) -> dict:
+    """Schema-stamped manifest for one experiment run.
 
-    def default(obj):
-        return repr(obj)
-
-    record = {
-        "experiment_id": result.experiment_id,
-        "title": result.title,
-        "elapsed_s": round(elapsed, 3),
-        "paper_claims": result.paper_claims,
-        "measured_claims": result.measured_claims,
-        "data": result.data,
-        "notes": result.notes,
-    }
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, default=default) + "\n")
+    ``experiment_id``/``title`` are duplicated at the top level so
+    pre-manifest consumers of ``results.jsonl`` keep working.
+    """
+    manifest = build_manifest(
+        "experiment",
+        config={"quick": quick},
+        data={
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "paper_claims": result.paper_claims,
+            "measured_claims": result.measured_claims,
+            "data": result.data,
+            "notes": result.notes,
+        },
+        metrics=_telemetry.snapshot() or None,
+        wall_s=elapsed,
+    )
+    manifest["experiment_id"] = result.experiment_id
+    manifest["title"] = result.title
+    return manifest
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,6 +27,7 @@ from typing import Literal
 import numpy as np
 
 from ..core.layouts import MemoryLayout, make_layout
+from ..telemetry import runtime as _telemetry
 from ..cudasim.device import DeviceProperties, G8800GTX, Toolchain
 from ..cudasim.launch import Device, LaunchResult, compile_kernel
 from ..cudasim.lower import LoweredKernel
@@ -189,23 +190,37 @@ class GpuForceBackend:
         return padded, layout, params, (buf, out)
 
     def forces_cycle(
-        self, system: ParticleSystem
+        self, system: ParticleSystem, trace=None
     ) -> tuple[np.ndarray, LaunchResult]:
-        """Cycle mode: simulate the launch; returns (forces, result)."""
+        """Cycle mode: simulate the launch; returns (forces, result).
+
+        ``trace`` is an optional per-global-access hook (e.g. a
+        :class:`repro.cudasim.trace.TraceRecorder`) forwarded to the
+        launch, so callers can capture the kernel's memory stream for
+        coalescing replay or timeline export.
+        """
         lk = self.compile()
         cfg = self.config
-        padded, layout, params, (buf, out) = self._upload(system)
-        try:
-            result = self.device.launch(
-                lk,
-                grid=padded.n // cfg.block_size,
-                block=cfg.block_size,
-                params=params,
-            )
-            words = self.device.memcpy_dtoh(out, 4 * padded.n)
-        finally:
-            self.device.free(out)
-            self.device.free(buf)
+        with _telemetry.span(
+            "gravit.forces_cycle",
+            layout=cfg.layout_kind,
+            n=system.n,
+            label=cfg.label,
+        ) as sp:
+            padded, layout, params, (buf, out) = self._upload(system)
+            try:
+                result = self.device.launch(
+                    lk,
+                    grid=padded.n // cfg.block_size,
+                    block=cfg.block_size,
+                    params=params,
+                    trace=trace,
+                )
+                words = self.device.memcpy_dtoh(out, 4 * padded.n)
+            finally:
+                self.device.free(out)
+                self.device.free(buf)
+            sp.set(cycles=result.cycles)
         records = words.reshape(-1, 4)
         forces = records[: system.n, :3].astype(np.float64) * cfg.g
         return forces, result
@@ -251,20 +266,23 @@ class GpuForceBackend:
             for name, step in zip(self._plan.param_for_step, steps)
         }
         cycles = {}
-        try:
-            for s in (s1, s2):
-                params = dict(base_params, out=out, nslices=s, eps=cfg.eps)
-                result = self.device.launch(
-                    lk,
-                    grid=resident,
-                    block=cfg.block_size,
-                    params=params,
-                    sm_count=1,
-                )
-                cycles[s] = result.cycles
-        finally:
-            self.device.free(out)
-            self.device.free(buf)
+        with _telemetry.span(
+            "gravit.calibrate", layout=cfg.layout_kind, label=cfg.label
+        ):
+            try:
+                for s in (s1, s2):
+                    params = dict(base_params, out=out, nslices=s, eps=cfg.eps)
+                    result = self.device.launch(
+                        lk,
+                        grid=resident,
+                        block=cfg.block_size,
+                        params=params,
+                        sm_count=1,
+                    )
+                    cycles[s] = result.cycles
+            finally:
+                self.device.free(out)
+                self.device.free(buf)
         per_slice = (cycles[s2] - cycles[s1]) / (s2 - s1)
         setup = max(0.0, cycles[s1] - s1 * per_slice)
         self._hybrid = HybridTiming(
@@ -374,18 +392,23 @@ class GpuSimulation:
         ``scheme``: ``"euler"`` (one force + one kick-and-drift launch)
         or ``"leapfrog"`` (kick-drift-kick: two force evaluations).
         """
-        if scheme == "euler":
-            cycles = self._launch_forces(trace=force_trace)
-            cycles += self._launch_integrate(dt, dt)
-        elif scheme == "leapfrog":
-            cycles = self._launch_forces(trace=force_trace)
-            cycles += self._launch_integrate(dt / 2.0, dt)  # kick + drift
-            cycles += self._launch_forces()
-            cycles += self._launch_integrate(dt / 2.0, 0.0)  # closing kick
-        else:
-            raise ValueError(f"unknown scheme {scheme!r}")
+        with _telemetry.span(
+            "gravit.gpu_step", scheme=scheme, n=self.n
+        ) as sp:
+            if scheme == "euler":
+                cycles = self._launch_forces(trace=force_trace)
+                cycles += self._launch_integrate(dt, dt)
+            elif scheme == "leapfrog":
+                cycles = self._launch_forces(trace=force_trace)
+                cycles += self._launch_integrate(dt / 2.0, dt)  # kick + drift
+                cycles += self._launch_forces()
+                cycles += self._launch_integrate(dt / 2.0, 0.0)  # closing kick
+            else:
+                raise ValueError(f"unknown scheme {scheme!r}")
+            sp.set(cycles=cycles)
         self.cycles_total += cycles
         self.steps_done += 1
+        _telemetry.inc("gravit.gpu_steps", scheme=scheme)
         return cycles
 
     def run(self, steps: int, dt: float, scheme: str = "euler") -> float:

@@ -23,6 +23,7 @@ from typing import Callable, Literal
 
 import numpy as np
 
+from ..telemetry import runtime as _telemetry
 from .barneshut import barnes_hut_forces
 from .forces_cpu import direct_forces, naive_forces
 from .gpu_driver import GpuConfig, GpuForceBackend
@@ -126,25 +127,33 @@ class GravitSimulator:
     # -- running ------------------------------------------------------------
 
     def step(self) -> None:
-        self._scheme(self.system, self._forces, self.dt)
+        with _telemetry.span(
+            "gravit.step", backend=self.backend, n=self.system.n
+        ):
+            self._scheme(self.system, self._forces, self.dt)
         self.steps_done += 1
+        _telemetry.inc("gravit.steps", backend=self.backend)
         if self.energy_log is not None:
             self._log_energy()
 
     def run(self, steps: int) -> "GravitSimulator":
-        integrate(
-            self.system,
-            self._forces,
-            self.dt,
-            steps,
-            scheme=self._scheme,
-            callback=(
-                (lambda k, s: self._log_energy())
-                if self.energy_log is not None
-                else None
-            ),
-        )
+        with _telemetry.span(
+            "gravit.run", backend=self.backend, n=self.system.n, steps=steps
+        ):
+            integrate(
+                self.system,
+                self._forces,
+                self.dt,
+                steps,
+                scheme=self._scheme,
+                callback=(
+                    (lambda k, s: self._log_energy())
+                    if self.energy_log is not None
+                    else None
+                ),
+            )
         self.steps_done += steps
+        _telemetry.inc("gravit.steps", steps, backend=self.backend)
         return self
 
     # -- diagnostics -----------------------------------------------------------

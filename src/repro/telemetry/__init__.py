@@ -1,0 +1,98 @@
+"""``repro.telemetry`` — metrics, span tracing, and timeline export.
+
+The observability layer for the simulator and the experiment harness.
+Three pieces:
+
+* a **metrics registry** (:mod:`~repro.telemetry.metrics`): counters,
+  gauges and histograms with labels, snapshotting to JSON-safe dicts;
+* a **span/trace API** (:mod:`~repro.telemetry.spans`): nested wall-clock
+  intervals with attributes, with a zero-overhead no-op path so
+  instrumented code costs one branch while telemetry is disabled;
+* **exporters**: Chrome trace-event JSON of the simulated per-SM kernel
+  timeline (:mod:`~repro.telemetry.chrome_trace`, loads in Perfetto) and
+  structured run manifests appended to ``results/results.jsonl``
+  (:mod:`~repro.telemetry.manifest`).
+
+Quick tour::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    ...                                   # any simulated launches
+    with telemetry.span("my-sweep", layout="soaoas"):
+        forces, result = backend.forces_cycle(system)
+    telemetry.export_chrome_trace("results/trace.json")   # open in Perfetto
+    telemetry.write_manifest("results/results.jsonl")
+    telemetry.snapshot()["cudasim.warp_instructions"]
+"""
+
+from .chrome_trace import (
+    chrome_trace,
+    launch_trace_events,
+    spans_trace_events,
+    write_chrome_trace,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    append_manifest,
+    build_manifest,
+    environment_info,
+    launch_manifest,
+    read_manifests,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .runtime import (
+    Telemetry,
+    disable,
+    enable,
+    enabled,
+    export_chrome_trace,
+    get,
+    inc,
+    last_launch,
+    observe,
+    record_launch,
+    reset,
+    set_gauge,
+    snapshot,
+    span,
+    spans,
+    write_manifest,
+)
+from .spans import NOOP_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "Telemetry",
+    "enable",
+    "disable",
+    "enabled",
+    "get",
+    "reset",
+    "span",
+    "spans",
+    "inc",
+    "set_gauge",
+    "observe",
+    "record_launch",
+    "snapshot",
+    "last_launch",
+    "export_chrome_trace",
+    "write_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "NOOP_SPAN",
+    "chrome_trace",
+    "launch_trace_events",
+    "spans_trace_events",
+    "write_chrome_trace",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "launch_manifest",
+    "append_manifest",
+    "read_manifests",
+    "environment_info",
+]

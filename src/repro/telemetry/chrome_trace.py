@@ -1,0 +1,212 @@
+"""Chrome trace-event exporter (loads in ``chrome://tracing`` / Perfetto).
+
+Two event sources are rendered into one timeline JSON:
+
+* :func:`launch_trace_events` — the *simulated* timeline of one kernel
+  launch: an ``X`` (complete) slice per SM spanning that SM's finish
+  cycle (``KernelStats.sm_cycles``), a memory-pipe busy-fraction counter
+  track per SM, and — when a :class:`repro.cudasim.trace.MemoryTrace` is
+  supplied — instant events for every recorded global access, laid out in
+  program order across the owning SM's slice.  Timestamps are simulated
+  cycles converted to microseconds through the device clock, so a layout
+  or unrolling regression is visible as a longer slice, not just a number.
+
+* :func:`spans_trace_events` — the *host* timeline of the telemetry
+  span records (experiment phases, launches, calibration), on its own
+  process track.
+
+The trace-event JSON schema is the one documented by the Chromium
+project: a ``traceEvents`` list whose entries carry ``ph`` (phase),
+``ts``/``dur`` in microseconds, ``pid``/``tid`` track ids, ``name``,
+``cat`` and free-form ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = [
+    "launch_trace_events",
+    "spans_trace_events",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+#: pid of the simulated-device track group in exported traces.
+DEVICE_PID = 1
+#: pid of the host-side telemetry span track group.
+HOST_PID = 1000
+
+
+def _meta(pid: int, name: str, tid: int | None = None) -> dict:
+    event = {
+        "ph": "M",
+        "pid": pid,
+        "ts": 0.0,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def launch_trace_events(
+    result,
+    memory_trace=None,
+    *,
+    pid: int = DEVICE_PID,
+    base_us: float = 0.0,
+    max_access_events: int = 20_000,
+) -> list[dict]:
+    """Render one :class:`~repro.cudasim.launch.LaunchResult` to events.
+
+    ``memory_trace`` is an optional :class:`~repro.cudasim.trace.MemoryTrace`
+    captured via ``Device.launch(..., trace=recorder)``; its access
+    records carry no cycle stamps, so they are spread in program order
+    across their SM's slice (the block→SM mapping is the launcher's
+    round-robin ``block_id % n_sms``).  ``max_access_events`` caps the
+    instant events so a million-access trace cannot explode the JSON.
+    """
+    dev = result.device
+    sm_cycles = list(result.stats.sm_cycles)
+    n_sms = max(1, len(sm_cycles))
+
+    def us(cycles: float) -> float:
+        return dev.cycles_to_seconds(cycles) * 1e6
+
+    events: list[dict] = [
+        _meta(pid, f"cudasim device ({dev.name})"
+              if hasattr(dev, "name") else "cudasim device"),
+    ]
+    per_sm = getattr(result, "sm_stats", None) or []
+    for sm, end_cycle in enumerate(sm_cycles):
+        tid = sm + 1
+        events.append(_meta(pid, f"SM {sm}", tid=tid))
+        args = {
+            "grid": result.grid,
+            "block": result.block,
+            "sm_finish_cycles": end_cycle,
+        }
+        if sm < len(per_sm):
+            stats = per_sm[sm]
+            args.update(
+                warp_instructions=stats.warp_instructions,
+                idle_cycles=stats.idle_cycles,
+                memory_transactions=stats.memory.transactions,
+                memory_bytes=stats.memory.bytes_moved,
+                blocks=stats.blocks_executed,
+                warps=stats.warps_executed,
+            )
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": base_us,
+                "dur": us(end_cycle),
+                "name": result.kernel_name,
+                "cat": "kernel",
+                "args": args,
+            }
+        )
+        # Memory-pipe occupancy as a counter track: the average busy
+        # fraction over the slice, dropping to zero when the SM retires.
+        if sm < len(per_sm) and end_cycle > 0:
+            busy = per_sm[sm].memory.busy_fraction(end_cycle)
+            counter = f"mem-pipe busy SM{sm}"
+            for ts, value in ((base_us, busy), (base_us + us(end_cycle), 0.0)):
+                events.append(
+                    {
+                        "ph": "C",
+                        "pid": pid,
+                        "ts": ts,
+                        "name": counter,
+                        "args": {"busy": round(value, 4)},
+                    }
+                )
+
+    if memory_trace is not None and len(memory_trace.records):
+        records = memory_trace.records[:max_access_events]
+        by_sm: dict[int, list] = {}
+        for rec in records:
+            by_sm.setdefault(rec.block % n_sms, []).append(rec)
+        for sm, recs in sorted(by_sm.items()):
+            end_cycle = sm_cycles[sm] if sm < len(sm_cycles) else 0.0
+            dur = us(end_cycle)
+            step = dur / (len(recs) + 1) if dur else 0.0
+            for k, rec in enumerate(recs):
+                active = sum(rec.active)
+                events.append(
+                    {
+                        "ph": "i",
+                        "s": "t",
+                        "pid": pid,
+                        "tid": sm + 1,
+                        "ts": base_us + step * (k + 1),
+                        "name": (
+                            f"{'LD' if rec.is_load else 'ST'} "
+                            f"{rec.width}B pc={rec.pc}"
+                        ),
+                        "cat": "mem",
+                        "args": {
+                            "block": rec.block,
+                            "warp": rec.warp,
+                            "active_lanes": active,
+                            "useful_bytes": rec.width * active,
+                        },
+                    }
+                )
+    return events
+
+
+def spans_trace_events(records, *, pid: int = HOST_PID) -> list[dict]:
+    """Render telemetry :class:`~repro.telemetry.spans.SpanRecord` list.
+
+    Spans nest naturally as stacked ``X`` slices on one thread track;
+    open spans are dropped (a Chrome complete event needs a duration).
+    """
+    events: list[dict] = []
+    closed = [r for r in records if r.end_s is not None]
+    if not closed:
+        return events
+    events.append(_meta(pid, "telemetry spans"))
+    events.append(_meta(pid, "host", tid=1))
+    for rec in closed:
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": 1,
+                "ts": rec.start_s * 1e6,
+                "dur": rec.duration_s * 1e6,
+                "name": rec.name,
+                "cat": "span",
+                "args": dict(rec.attrs),
+            }
+        )
+    return events
+
+
+def chrome_trace(events: list[dict]) -> dict:
+    """Wrap events in the top-level trace object, sorted by timestamp.
+
+    Metadata events sort first on their track; Perfetto tolerates any
+    order but sorted output makes the file diffable and lets tests
+    assert monotonicity.
+    """
+    ordered = sorted(
+        events,
+        key=lambda e: (e.get("ts", 0.0), 0 if e["ph"] == "M" else 1),
+    )
+    return {"traceEvents": ordered, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: list[dict]) -> str:
+    """Write the trace JSON; returns ``path``."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(events), fh, default=repr)
+        fh.write("\n")
+    return path

@@ -1,0 +1,143 @@
+"""Structured run manifests appended to ``results/results.jsonl``.
+
+A manifest is one JSON object per line describing a run: what executed
+(kind + payload), in which environment (interpreter, platform, package
+versions), with which metrics, and how long it took.  Manifests make runs
+diffable across PRs — the benchmark suite and CI both read them back.
+
+    manifest = launch_manifest(result, wall_s=0.12)
+    append_manifest("results/results.jsonl", manifest)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "environment_info",
+    "build_manifest",
+    "launch_manifest",
+    "append_manifest",
+    "read_manifests",
+]
+
+MANIFEST_SCHEMA = "repro.run-manifest/v1"
+
+
+def environment_info() -> dict:
+    """Versions and platform facts that make a run reproducible."""
+    import numpy as np
+
+    from .._version import __version__
+
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "repro": __version__,
+    }
+
+
+def build_manifest(
+    kind: str,
+    *,
+    data: dict | None = None,
+    config: dict | None = None,
+    metrics: dict | None = None,
+    notes: list[str] | None = None,
+    wall_s: float | None = None,
+) -> dict:
+    """Assemble a schema-stamped manifest record."""
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": kind,
+        "created_unix": time.time(),
+        "run_id": os.urandom(8).hex(),
+        "environment": environment_info(),
+    }
+    if config is not None:
+        manifest["config"] = config
+    if data is not None:
+        manifest["data"] = data
+    if metrics is not None:
+        manifest["metrics"] = metrics
+    if notes:
+        manifest["notes"] = list(notes)
+    if wall_s is not None:
+        manifest["wall_s"] = round(wall_s, 6)
+    return manifest
+
+
+def launch_manifest(
+    result,
+    *,
+    wall_s: float | None = None,
+    config: dict | None = None,
+    metrics: dict | None = None,
+) -> dict:
+    """Manifest for one simulated kernel launch.
+
+    Carries the counters the paper's argument is read off: occupancy,
+    dynamic warp instructions, memory transactions/bytes, and both
+    clocks — simulated kernel time and host wall time.
+    """
+    stats = result.stats
+    data = {
+        "kernel": result.kernel_name,
+        "grid": result.grid,
+        "block": result.block,
+        "cycles": result.cycles,
+        "time_ms": result.time_ms,
+        "occupancy": result.occupancy.occupancy(result.device),
+        "blocks_per_sm": result.occupancy.blocks_per_sm,
+        "occupancy_limiter": result.occupancy.limiter,
+        "registers_per_thread": result.occupancy.regs_per_thread,
+        "warp_instructions": stats.warp_instructions,
+        "thread_instructions": stats.thread_instructions,
+        "memory_transactions": stats.memory.transactions,
+        "memory_bytes": stats.memory.bytes_moved,
+        "idle_cycles": stats.idle_cycles,
+        "scoreboard_stalls": stats.scoreboard_stalls,
+        "stats": stats.as_dict(),
+    }
+    return build_manifest(
+        "kernel-launch",
+        data=data,
+        config=config,
+        metrics=metrics,
+        wall_s=wall_s,
+    )
+
+
+def append_manifest(path: str, manifest: dict) -> str:
+    """Append one manifest as a JSON line; returns ``path``."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(manifest, default=repr) + "\n")
+    return path
+
+
+def read_manifests(path: str, kind: str | None = None) -> list[dict]:
+    """Load every manifest line (optionally filtered by ``kind``).
+
+    Pre-telemetry lines without a ``schema`` stamp are skipped only when
+    filtering by kind; unfiltered reads return everything parseable.
+    """
+    out: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if kind is not None and record.get("kind") != kind:
+                continue
+            out.append(record)
+    return out

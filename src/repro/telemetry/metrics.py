@@ -1,0 +1,198 @@
+"""Labelled metrics: counters, gauges and histograms in a registry.
+
+The shapes follow the Prometheus conventions the rest of the industry
+standardized on, scaled down to in-process use: a metric is a name plus a
+family of label-keyed series, and the registry snapshots to plain JSON-safe
+dicts so exporters (run manifests, ``results.jsonl``) never meet a live
+object.
+
+    reg = MetricsRegistry()
+    reg.counter("cudasim.launches").inc(kernel="forces")
+    reg.histogram("cudasim.launch_cycles").observe(2495.0, kernel="forces")
+    reg.snapshot()
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Decade buckets spanning sub-microsecond spans to billions of cycles.
+DEFAULT_BUCKETS = tuple(float(10**k) for k in range(-6, 10))
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[tuple, object] = {}
+
+    def labelsets(self) -> list[dict]:
+        return [dict(key) for key in self._series]
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "series": [
+                {"labels": dict(key), **self._series_value(key)}
+                for key in sorted(self._series)
+            ],
+        }
+
+    def _series_value(self, key: tuple) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing sum per label set."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + value
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._series.values())
+
+    def _series_value(self, key: tuple) -> dict:
+        return {"value": self._series[key]}
+
+
+class Gauge(_Metric):
+    """Last-write-wins value per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._series[_label_key(labels)] = value
+
+    def add(self, delta: float, **labels) -> None:
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + delta
+
+    def value(self, **labels) -> float:
+        return self._series.get(_label_key(labels), 0)
+
+    def _series_value(self, key: tuple) -> dict:
+        return {"value": self._series[key]}
+
+
+class Histogram(_Metric):
+    """Count/sum/min/max plus cumulative bucket counts per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = {
+                "count": 0,
+                "sum": 0.0,
+                "min": math.inf,
+                "max": -math.inf,
+                "bucket_counts": [0] * (len(self.buckets) + 1),
+            }
+            self._series[key] = series
+        series["count"] += 1
+        series["sum"] += value
+        series["min"] = min(series["min"], value)
+        series["max"] = max(series["max"], value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series["bucket_counts"][i] += 1
+                break
+        else:  # above every bound: the +inf overflow bucket
+            series["bucket_counts"][-1] += 1
+
+    def stats(self, **labels) -> dict | None:
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return None
+        out = dict(series)
+        out["mean"] = out["sum"] / out["count"] if out["count"] else 0.0
+        return out
+
+    def _series_value(self, key: tuple) -> dict:
+        series = dict(self._series[key])
+        series["mean"] = series["sum"] / series["count"] if series["count"] else 0.0
+        series["bucket_bounds"] = list(self.buckets)
+        return series
+
+
+class MetricsRegistry:
+    """Get-or-create home for all metrics of one telemetry session."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every metric and series."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.cudasim import Device, KernelBuilder, compile_kernel
 from repro.cudasim.asm import roundtrip
@@ -136,7 +136,11 @@ class TestPipelineEquivalence:
     def test_all_pipelines_agree(self, body, trips):
         kernel = _build_kernel(body, trips)
         baseline = _run(compile_kernel(kernel, dce=False), trips)
-        assert np.isfinite(baseline).all()
+        # Self-amplifying bodies (e.g. r = -(r² + r) per trip) overflow
+        # f32 to inf before the end-of-kernel clamp; discard those
+        # examples rather than fail — equivalence is only meaningful on
+        # finite results.
+        assume(np.isfinite(baseline).all())
         for kw in PIPELINES:
             out = _run(compile_kernel(kernel, **kw), trips)
             np.testing.assert_array_equal(

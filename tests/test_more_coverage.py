@@ -138,8 +138,11 @@ class TestCli:
         assert main(["run", "diagrams", "--json", j, "--dat", str(tmp_path)]) == 0
         record = json.loads(open(j).read().splitlines()[0])
         assert record["experiment_id"] == "fig3579"
-        out = capsys.readouterr().out
-        assert "paper vs measured" in out
+        captured = capsys.readouterr()
+        # With --json, stdout carries the JSON records; summaries move
+        # to stderr.
+        assert json.loads(captured.out.splitlines()[0])["kind"] == "experiment"
+        assert "paper vs measured" in captured.err
 
 
 class TestModelVsSim:
