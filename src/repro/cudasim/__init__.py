@@ -41,11 +41,24 @@ from .errors import (
     LaunchError,
     LoweringError,
     MisalignedAccess,
+    OutOfMemoryError,
     RegisterAllocationError,
+    StreamError,
 )
+from .executor import SM_ENGINES
 from .ir import IfStmt, Kernel, KernelBuilder, LoopStmt, RawStmt, Seq
 from .isa import Imm, Instr, Op, Param, Reg, Special, SReg
-from .launch import Device, LaunchResult, compile_kernel
+from .kernel_cache import (
+    CacheStats,
+    CompileOptions,
+    KernelCache,
+    Unroll,
+    default_cache,
+    kernel_fingerprint,
+    set_default_cache,
+)
+from .launch import Device, LaunchResult, compile_kernel, lower_kernel
+from .stream import Event, Stream
 from .liveness import analyze as liveness_analyze
 from .lower import LoweredKernel, disassemble, lower
 from .memory import DevicePtr, GlobalMemory, SharedMemory, bank_conflict_degree
@@ -93,6 +106,17 @@ __all__ = [
     "IfStmt",
     "RawStmt",
     "compile_kernel",
+    "lower_kernel",
+    "CompileOptions",
+    "Unroll",
+    "KernelCache",
+    "CacheStats",
+    "kernel_fingerprint",
+    "default_cache",
+    "set_default_cache",
+    "Stream",
+    "Event",
+    "SM_ENGINES",
     "lower",
     "allocate",
     "occupancy",
@@ -127,6 +151,8 @@ __all__ = [
     "AccessViolation",
     "MisalignedAccess",
     "LaunchError",
+    "OutOfMemoryError",
+    "StreamError",
     "ExecutionError",
     "DeadlockError",
     "IRError",

@@ -28,6 +28,28 @@ class AllocationError(MemoryError_):
     """Device allocator could not satisfy a request."""
 
 
+class LaunchError(CudaSimError):
+    """Kernel launch configuration exceeds device limits."""
+
+
+class OutOfMemoryError(AllocationError, LaunchError):
+    """The device heap cannot satisfy an allocation request.
+
+    Mirrors ``cudaErrorMemoryAllocation``: it is both an allocation
+    failure and a launch-family error, so code guarding a sweep with
+    ``except LaunchError`` also skips configurations that simply do not
+    fit (e.g. 1 M-particle AoaS layouts on the 192 MiB default heap).
+    """
+
+    def __init__(
+        self, message: str, requested: int | None = None,
+        available: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.available = available
+
+
 class AccessViolation(MemoryError_):
     """A thread accessed an address outside any live allocation."""
 
@@ -40,8 +62,9 @@ class MisalignedAccess(MemoryError_):
     """
 
 
-class LaunchError(CudaSimError):
-    """Kernel launch configuration exceeds device limits."""
+class StreamError(CudaSimError):
+    """Misuse of the asynchronous stream API (closed stream, poisoned
+    queue after an earlier failure, foreign event)."""
 
 
 class ExecutionError(CudaSimError):

@@ -27,6 +27,10 @@ kernel numerics match a float32 host reference.
 
 from __future__ import annotations
 
+import atexit
+import concurrent.futures
+import os
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -44,7 +48,14 @@ from .pipeline import MemoryPipeline
 from .profiler import KernelStats
 from .texture import TextureCache
 
-__all__ = ["BlockState", "WarpState", "SMExecutor"]
+__all__ = [
+    "BlockState",
+    "WarpState",
+    "SMExecutor",
+    "SMRun",
+    "SM_ENGINES",
+    "run_sms",
+]
 
 WARP = 32
 
@@ -701,3 +712,197 @@ class SMExecutor:
             shared.scatter(addrs[idx], vals)
         degree = shared.conflict_degree(addrs, lanes, mask)
         return dev.alu_issue_cycles * degree
+
+
+# ----------------------------------------------------------- multi-SM engine
+#
+# Between launches the SMs of the model are fully independent: each
+# executes its own round-robin share of the grid against the launch-time
+# memory image, and race-free kernels (every kernel in this repository)
+# write disjoint output ranges.  That makes per-SM simulation
+# embarrassingly parallel, so :func:`run_sms` can farm the SMs out to a
+# ``concurrent.futures`` pool.  Results are merged in SM-index order, so
+# every engine produces bit-identical memory and identical
+# :class:`KernelStats` for race-free kernels (the serial engine remains
+# the default and the reference).
+
+#: Available engines: ``serial`` (reference, in-process loop), ``thread``
+#: (shared-heap thread pool; SM simulations interleave under the GIL but
+#: numpy sections overlap), ``process`` (true multi-core; the heap's live
+#: segments are shipped to workers and their stores replayed back).
+SM_ENGINES = ("serial", "thread", "process")
+
+#: Environment override for the default engine of new ``Device``s.
+ENGINE_ENV = "REPRO_SM_ENGINE"
+
+
+@dataclass
+class SMRun:
+    """Outcome of one SM's simulation under any engine."""
+
+    sm_index: int
+    end_cycle: float
+    stats: KernelStats
+
+
+class _WriteLogMemory(GlobalMemory):
+    """Worker-side heap that records kernel stores for replay in the parent."""
+
+    def __init__(self, size_bytes: int) -> None:
+        super().__init__(size_bytes)
+        self.store_log: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def scatter(self, byte_addrs: np.ndarray, values: np.ndarray) -> None:
+        super().scatter(byte_addrs, values)
+        self.store_log.append(
+            (np.array(byte_addrs, dtype=np.int64), np.array(values))
+        )
+
+
+def _heap_segments(gmem: GlobalMemory) -> list[tuple[int, np.ndarray]]:
+    """Live allocations as (addr, words) pairs — the part worth shipping."""
+    return [
+        (addr, gmem.words[addr // 4 : (addr + nbytes) // 4].copy())
+        for addr, nbytes in sorted(gmem._allocs.items())
+    ]
+
+
+def _run_sm_serial(
+    device: DeviceProperties,
+    policy: CoalescingPolicy,
+    gmem: GlobalMemory,
+    lk: LoweredKernel,
+    params: dict,
+    block_dim: int,
+    grid_dim: int,
+    block_ids: list[int],
+    resident: int,
+    sm_index: int,
+    trace=None,
+) -> SMRun:
+    stats = KernelStats()
+    ex = SMExecutor(
+        device=device,
+        policy=policy,
+        gmem=gmem,
+        lk=lk,
+        params=params,
+        block_dim=block_dim,
+        grid_dim=grid_dim,
+        stats=stats,
+        trace=trace,
+        sm_index=sm_index,
+    )
+    end = ex.run(block_ids, resident)
+    stats.memory.merge(ex.pipeline.stats)
+    return SMRun(sm_index=sm_index, end_cycle=end, stats=stats)
+
+
+def _run_sm_task(payload: tuple):
+    """Process-pool task: rebuild the heap, simulate one SM, return stores."""
+    (device, policy, size_bytes, segments, lk, params, block_dim, grid_dim,
+     block_ids, resident, sm_index) = payload
+    gmem = _WriteLogMemory(size_bytes)
+    for addr, words in segments:
+        gmem.write(addr, words)
+    run = _run_sm_serial(
+        device, policy, gmem, lk, params, block_dim, grid_dim,
+        block_ids, resident, sm_index,
+    )
+    return run, gmem.store_log
+
+
+_process_pool: concurrent.futures.ProcessPoolExecutor | None = None
+_process_pool_lock = threading.Lock()
+
+
+def _get_process_pool() -> concurrent.futures.ProcessPoolExecutor:
+    global _process_pool
+    with _process_pool_lock:
+        if _process_pool is None:
+            # "spawn" rather than "fork": stream worker threads may be
+            # live when the pool is first created, and forking a threaded
+            # process can inherit held locks.
+            import multiprocessing
+
+            _process_pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=os.cpu_count() or 1,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            atexit.register(_shutdown_process_pool)
+        return _process_pool
+
+
+def _shutdown_process_pool() -> None:
+    global _process_pool
+    with _process_pool_lock:
+        if _process_pool is not None:
+            _process_pool.shutdown(wait=False, cancel_futures=True)
+            _process_pool = None
+
+
+def run_sms(
+    device: DeviceProperties,
+    policy: CoalescingPolicy,
+    gmem: GlobalMemory,
+    lk: LoweredKernel,
+    params: dict,
+    block_dim: int,
+    grid_dim: int,
+    assignments: list[tuple[int, list[int]]],
+    resident: int,
+    engine: str = "serial",
+    max_workers: int | None = None,
+    trace=None,
+) -> list[SMRun]:
+    """Simulate every (sm_index, block_ids) assignment; results in SM order.
+
+    A non-``None`` ``trace`` hook forces the serial engine: the hook
+    observes accesses in program order and is not generally picklable.
+    Under ``process``, worker stores are replayed into ``gmem`` in SM
+    order, so race-free kernels end with a bit-identical heap.
+    """
+    if engine not in SM_ENGINES:
+        raise ValueError(f"unknown SM engine {engine!r}; choose from {SM_ENGINES}")
+    if trace is not None or len(assignments) <= 1:
+        engine = "serial"
+
+    if engine == "serial":
+        return [
+            _run_sm_serial(
+                device, policy, gmem, lk, params, block_dim, grid_dim,
+                block_ids, resident, sm, trace=trace,
+            )
+            for sm, block_ids in assignments
+        ]
+
+    workers = max_workers or min(len(assignments), os.cpu_count() or 1)
+    if engine == "thread":
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cudasim-sm"
+        ) as pool:
+            runs = list(
+                pool.map(
+                    lambda a: _run_sm_serial(
+                        device, policy, gmem, lk, params, block_dim,
+                        grid_dim, a[1], resident, a[0],
+                    ),
+                    assignments,
+                )
+            )
+        return sorted(runs, key=lambda r: r.sm_index)
+
+    # engine == "process"
+    size_bytes = gmem.size_bytes
+    segments = _heap_segments(gmem)
+    payloads = [
+        (device, policy, size_bytes, segments, lk, params, block_dim,
+         grid_dim, block_ids, resident, sm)
+        for sm, block_ids in assignments
+    ]
+    pool = _get_process_pool()
+    results = sorted(pool.map(_run_sm_task, payloads), key=lambda t: t[0].sm_index)
+    for run, store_log in results:
+        for addrs, values in store_log:
+            gmem.scatter(addrs, values)
+    return [run for run, _ in results]

@@ -5,20 +5,28 @@ global memory, the toolchain (whose coalescing policy the paper varies),
 and kernel launches.  :func:`compile_kernel` is the "nvcc" stage — it runs
 the transform pipeline (LICM, unrolling, peephole), lowers, and allocates
 registers, producing the per-thread register count that the occupancy
-calculator consumes at launch time.
+calculator consumes at launch time.  Compilation is memoized through the
+content-addressed :mod:`repro.cudasim.kernel_cache`, and
+:meth:`Device.stream` opens the asynchronous, CUDA-streams-style queue API
+of :mod:`repro.cudasim.stream`.
 
 Example::
 
     dev = Device(toolchain=Toolchain.CUDA_1_0)
-    lk = compile_kernel(kernel, unroll="full", licm=True)
-    buf = dev.malloc(layout.size_bytes)
-    dev.memcpy_htod(buf, layout.pack(arrays))
-    result = dev.launch(lk, grid=313, block=128, params={"pos": buf, "n": n})
-    print(result.stats.summary(), result.time_ms)
+    lk = dev.compile(kernel, CompileOptions(unroll=Unroll.FULL, licm=True))
+    with dev.stream() as s:
+        buf = dev.malloc(layout.size_bytes)
+        s.memcpy_htod_async(buf, layout.pack(arrays))
+        h = s.launch_async(lk, grid=313, block=128, params={"pos": buf, "n": n})
+        s.synchronize()
+    print(h.result().stats.summary(), h.result().time_ms)
 """
 
 from __future__ import annotations
 
+import os
+import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Union
 
@@ -28,8 +36,9 @@ from ..core.coalescing import CoalescingPolicy, policy_for
 from ..telemetry import runtime as _telemetry
 from .device import DeviceProperties, G8800GTX, Toolchain
 from .errors import LaunchError
-from .executor import SMExecutor
+from .executor import ENGINE_ENV, SM_ENGINES, run_sms
 from .ir import Kernel
+from .kernel_cache import CompileOptions, KernelCache, default_cache
 from .lower import LoweredKernel, lower
 from .memory import DevicePtr, GlobalMemory
 from .occupancy import OccupancyResult, occupancy
@@ -42,45 +51,98 @@ from .transforms import (
     unroll_loops,
 )
 
-__all__ = ["Device", "LaunchResult", "compile_kernel"]
+__all__ = ["Device", "LaunchResult", "compile_kernel", "lower_kernel"]
 
 #: Default simulated heap: big enough for a million 32-byte records plus
 #: headroom, small enough to allocate instantly on the host.
 DEFAULT_HEAP_BYTES = 192 * 1024 * 1024
 
+_UNSET = object()
+_legacy_kwargs_warned = False
 
-def compile_kernel(
-    kernel: Kernel,
-    unroll: Union[int, str, None] = None,
-    licm: bool = False,
-    dce: bool = True,
-    max_registers: int | None = None,
-    validate: bool = False,
-) -> LoweredKernel:
-    """Lower a kernel through the optimization pipeline.
 
-    ``unroll`` overrides the innermost-loop pragma (``"full"`` or a
-    factor); ``licm`` enables invariant code motion (the paper's manual
-    optimization); ``dce`` runs constant folding + dead-code elimination
-    afterwards; ``validate`` runs the static checker first
-    (:mod:`repro.cudasim.validation`) and raises on error-level issues.
-    Register allocation runs last so ``reg_count`` reflects the
-    optimized code.
-    """
-    if validate:
+def lower_kernel(kernel: Kernel, options: CompileOptions) -> LoweredKernel:
+    """The uncached compilation pipeline: validate, transform, lower,
+    allocate registers.  Register allocation runs last so ``reg_count``
+    reflects the optimized code."""
+    if options.validate:
         from .validation import check_or_raise
 
         check_or_raise(kernel)
     k = kernel
-    if licm:
+    if options.licm:
         k = hoist_invariants(k)
-    k = unroll_loops(k, override=unroll)
+    k = unroll_loops(k, override=options.unroll)
     lk = lower(k)
-    if dce:
+    if options.dce:
         fold_constants(lk)
         eliminate_dead_code(lk)
-    allocate(lk, max_registers=max_registers)
+    allocate(lk, max_registers=options.max_registers)
     return lk
+
+
+def compile_kernel(
+    kernel: Kernel,
+    options: CompileOptions | None = None,
+    *,
+    cache: KernelCache | None | object = _UNSET,
+    toolchain: Toolchain | None = None,
+    unroll: Union[int, str, None, object] = _UNSET,
+    licm: bool | object = _UNSET,
+    dce: bool | object = _UNSET,
+    max_registers: int | None | object = _UNSET,
+    validate: bool | object = _UNSET,
+) -> LoweredKernel:
+    """Lower a kernel through the optimization pipeline (memoized).
+
+    The configuration lives in ``options`` (:class:`CompileOptions`):
+    ``unroll`` overrides the innermost-loop pragma, ``licm`` enables
+    invariant code motion (the paper's manual optimization), ``dce`` runs
+    constant folding + dead-code elimination, ``validate`` runs the
+    static checker first.  Results are memoized in ``cache`` (default:
+    the process-wide cache) keyed by the kernel's IR hash, the options
+    and ``toolchain``; pass ``cache=None`` to force a fresh compilation.
+
+    The pre-1.1 keyword form ``compile_kernel(kernel, unroll=..., ...)``
+    still works but is deprecated (one warning per process).
+    """
+    global _legacy_kwargs_warned
+    legacy = {
+        name: value
+        for name, value in (
+            ("unroll", unroll),
+            ("licm", licm),
+            ("dce", dce),
+            ("max_registers", max_registers),
+            ("validate", validate),
+        )
+        if value is not _UNSET
+    }
+    if legacy:
+        if options is not None:
+            raise TypeError(
+                "pass either a CompileOptions or the legacy keyword "
+                f"arguments, not both: {sorted(legacy)}"
+            )
+        if not _legacy_kwargs_warned:
+            _legacy_kwargs_warned = True
+            warnings.warn(
+                "compile_kernel(kernel, unroll=, licm=, dce=, "
+                "max_registers=, validate=) is deprecated; pass a "
+                "CompileOptions instead: compile_kernel(kernel, "
+                "CompileOptions(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        options = CompileOptions(**legacy)
+    if options is None:
+        options = CompileOptions()
+    cache_obj = default_cache() if cache is _UNSET else cache
+    if cache_obj is None:
+        return lower_kernel(kernel, options)
+    return cache_obj.get_or_compile(
+        kernel, options, lower_kernel, toolchain=toolchain
+    )
 
 
 @dataclass
@@ -109,18 +171,68 @@ class LaunchResult:
 
 
 class Device:
-    """A simulated GPU + driver of a given CUDA toolchain revision."""
+    """A simulated GPU + driver of a given CUDA toolchain revision.
+
+    ``sm_engine`` selects how cycle simulation distributes SMs:
+    ``"serial"`` (the historical loop), ``"thread"`` or ``"process"``
+    (``concurrent.futures`` pools; see :func:`repro.cudasim.executor.run_sms`).
+    Defaults to the ``REPRO_SM_ENGINE`` environment variable, else serial.
+    ``cache`` is the kernel-compilation cache :meth:`compile` consults
+    (default: the process-wide cache; pass ``None`` to disable).
+    """
 
     def __init__(
         self,
         props: DeviceProperties = G8800GTX,
         toolchain: Toolchain = Toolchain.CUDA_1_0,
         heap_bytes: int = DEFAULT_HEAP_BYTES,
+        sm_engine: str | None = None,
+        cache: KernelCache | None | object = _UNSET,
     ) -> None:
         self.props = props
         self.toolchain = toolchain
         self.policy: CoalescingPolicy = policy_for(toolchain)
         self.gmem = GlobalMemory(min(heap_bytes, props.global_mem_bytes))
+        engine = sm_engine or os.environ.get(ENGINE_ENV, "serial")
+        if engine not in SM_ENGINES:
+            raise LaunchError(
+                f"unknown SM engine {engine!r}; choose from {SM_ENGINES}"
+            )
+        self.sm_engine = engine
+        self._cache = cache
+        self._streams: list = []
+        self._launch_lock = threading.Lock()
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(
+        self, kernel: Kernel, options: CompileOptions | None = None
+    ) -> LoweredKernel:
+        """Compile ``kernel`` for this device, keyed by its toolchain.
+
+        Equivalent to :func:`compile_kernel` with ``toolchain=self.toolchain``
+        — two devices of different toolchain revisions never share a
+        cache entry, mirroring per-``nvcc`` object files.
+        """
+        return compile_kernel(
+            kernel, options or CompileOptions(),
+            cache=self._cache, toolchain=self.toolchain,
+        )
+
+    # -- streams -------------------------------------------------------------
+
+    def stream(self, name: str | None = None):
+        """Open an asynchronous work queue (see :mod:`repro.cudasim.stream`)."""
+        from .stream import Stream
+
+        s = Stream(self, name=name)
+        self._streams.append(s)
+        return s
+
+    def synchronize(self) -> None:
+        """Block until every stream created on this device has drained."""
+        for s in list(self._streams):
+            s.synchronize()
 
     # -- memory management ---------------------------------------------------
 
@@ -150,6 +262,7 @@ class Device:
         sm_count: int | None = None,
         max_resident_blocks: int | None = None,
         trace=None,
+        stream: str | None = None,
     ) -> LaunchResult:
         """Cycle-simulate a 1-D launch.
 
@@ -158,8 +271,11 @@ class Device:
         ``max_resident_blocks`` overrides the occupancy calculator (for
         what-if experiments); ``trace`` is an optional
         :class:`repro.cudasim.trace.TraceRecorder`-style hook invoked on
-        every global access.  Launch time is ``max`` over the SMs'
-        finish cycles.
+        every global access (forces the serial engine); ``stream`` tags
+        the telemetry span with the issuing stream's name.  Launch time
+        is ``max`` over the SMs' finish cycles.  SMs are simulated by the
+        device's ``sm_engine`` — results are merged in SM order, so all
+        engines produce identical stats and heap contents.
         """
         if grid <= 0:
             raise LaunchError(f"grid must be positive, got {grid}")
@@ -177,33 +293,30 @@ class Device:
             if isinstance(v, DevicePtr):
                 values[name] = int(v)
 
+        assignments = [
+            (sm, block_ids)
+            for sm in range(n_sms)
+            if (block_ids := list(range(sm, grid, n_sms)))
+        ]
         stats = KernelStats()
         per_sm: list[KernelStats] = []
         end = 0.0
-        with _telemetry.span(
-            "cudasim.launch", kernel=lk.name, grid=grid, block=block
-        ) as sp:
-            for sm in range(n_sms):
-                block_ids = list(range(sm, grid, n_sms))
-                if not block_ids:
-                    continue
-                sm_stats = KernelStats()
-                ex = SMExecutor(
-                    device=self.props,
-                    policy=self.policy,
-                    gmem=self.gmem,
-                    lk=lk,
-                    params=values,
-                    block_dim=block,
-                    grid_dim=grid,
-                    stats=sm_stats,
-                    trace=trace,
-                    sm_index=sm,
+        span_attrs = {"kernel": lk.name, "grid": grid, "block": block}
+        if stream is not None:
+            span_attrs["stream"] = stream
+        with _telemetry.span("cudasim.launch", **span_attrs) as sp:
+            # One cycle simulation at a time per device: concurrent streams
+            # interleave on the simulated timeline, not on the host heap.
+            with self._launch_lock:
+                runs = run_sms(
+                    self.props, self.policy, self.gmem, lk, values,
+                    block, grid, assignments, resident,
+                    engine=self.sm_engine, trace=trace,
                 )
-                end = max(end, ex.run(block_ids, resident))
-                sm_stats.memory.merge(ex.pipeline.stats)
-                stats.merge(sm_stats)
-                per_sm.append(sm_stats)
+            for run in runs:
+                end = max(end, run.end_cycle)
+                stats.merge(run.stats)
+                per_sm.append(run.stats)
             stats.cycles = end
             sp.set(
                 cycles=end,

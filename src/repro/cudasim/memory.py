@@ -19,7 +19,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .errors import AccessViolation, AllocationError, MisalignedAccess
+from .errors import (
+    AccessViolation,
+    AllocationError,
+    MisalignedAccess,
+    OutOfMemoryError,
+)
 from .device import DeviceProperties
 
 __all__ = [
@@ -69,9 +74,12 @@ class GlobalMemory:
         aligned = -(-nbytes // 4) * 4
         addr = -(-self._cursor // self.ALLOC_ALIGN) * self.ALLOC_ALIGN
         if addr + aligned > self.size_bytes:
-            raise AllocationError(
-                f"out of device memory: need {aligned} bytes at {addr}, "
-                f"capacity {self.size_bytes}"
+            available = self.size_bytes - addr
+            raise OutOfMemoryError(
+                f"out of device memory: requested {aligned} bytes, "
+                f"{max(0, available)} of {self.size_bytes} available",
+                requested=aligned,
+                available=max(0, available),
             )
         self._allocs[addr] = aligned
         self._cursor = addr + aligned

@@ -17,6 +17,7 @@ threads/block).
 from __future__ import annotations
 
 from ..cudasim.device import G8800GTX, Toolchain
+from ..cudasim.kernel_cache import CompileOptions
 from ..cudasim.launch import compile_kernel
 from ..cudasim.occupancy import occupancy
 from ..core.layouts import make_layout
@@ -36,7 +37,7 @@ STATES: tuple[tuple[str, dict], ...] = (
 def register_count(block: int = 128, layout_kind: str = "soaoas", **compile_kw) -> int:
     layout = make_layout(layout_kind, block)
     kernel, _ = build_force_kernel(layout, block_size=block)
-    return compile_kernel(kernel, **compile_kw).reg_count
+    return compile_kernel(kernel, CompileOptions(**compile_kw)).reg_count
 
 
 def run(

@@ -9,7 +9,9 @@ summaries, and (with ``--dat DIR``) writes gnuplot-ready data files.
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
+import os
 import sys
 import time
 from typing import Callable
@@ -24,16 +26,16 @@ __all__ = ["EXPERIMENTS", "run_experiment", "main", "DEFAULT_RESULTS_PATH"]
 DEFAULT_RESULTS_PATH = "results/results.jsonl"
 
 
-def _fig10(quick: bool) -> ExperimentResult:
+def _fig10(quick: bool, serial: bool = False) -> ExperimentResult:
     from . import fig10_memory_cycles
 
-    return fig10_memory_cycles.run()
+    return fig10_memory_cycles.run(serial=serial)
 
 
-def _fig11(quick: bool) -> ExperimentResult:
+def _fig11(quick: bool, serial: bool = False) -> ExperimentResult:
     from . import fig11_layout_speedup
 
-    return fig11_layout_speedup.run()
+    return fig11_layout_speedup.run(serial=serial)
 
 
 def _fig12(quick: bool) -> ExperimentResult:
@@ -47,11 +49,11 @@ def _fig12(quick: bool) -> ExperimentResult:
     return fig12_gravit_levels.run(sizes=sizes)
 
 
-def _unroll(quick: bool) -> ExperimentResult:
+def _unroll(quick: bool, serial: bool = False) -> ExperimentResult:
     from . import unrolling_sweep
 
     factors = (1, 4, 128) if quick else (1, 2, 4, 8, 16, 32, 64, 128)
-    return unrolling_sweep.run(factors=factors)
+    return unrolling_sweep.run(factors=factors, serial=serial)
 
 
 def _occupancy(quick: bool) -> ExperimentResult:
@@ -124,7 +126,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
 }
 
 
-def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
+def run_experiment(
+    name: str, quick: bool = False, serial: bool = False
+) -> ExperimentResult:
     try:
         _, fn = EXPERIMENTS[name]
     except KeyError:
@@ -132,6 +136,8 @@ def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
     with _telemetry.span("experiment.run", experiment=name, quick=quick):
+        if "serial" in inspect.signature(fn).parameters:
+            return fn(quick, serial=serial)
         return fn(quick)
 
 
@@ -174,6 +180,19 @@ def main(argv: list[str] | None = None) -> int:
         help="enable the telemetry layer (metrics + spans) for the run; "
         "manifests then carry the metrics snapshot",
     )
+    runp.add_argument(
+        "--serial",
+        action="store_true",
+        help="run sweep configurations one at a time instead of "
+        "submitting them all to streams",
+    )
+    runp.add_argument(
+        "--engine",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="SM engine for cycle simulation (default: REPRO_SM_ENGINE "
+        "env var, else serial)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -183,6 +202,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.telemetry:
         _telemetry.enable()
+    if args.engine:
+        from ..cudasim.executor import ENGINE_ENV
+
+        os.environ[ENGINE_ENV] = args.engine
     # With --json, stdout is reserved for the machine-readable records.
     human = sys.stderr if args.json else sys.stdout
 
@@ -191,7 +214,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         t0 = time.perf_counter()
         try:
-            result = run_experiment(name, quick=args.quick)
+            result = run_experiment(name, quick=args.quick, serial=args.serial)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -209,6 +232,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"appended {result.experiment_id} manifest to {args.json}",
                 file=human,
             )
+    if args.telemetry:
+        from ..cudasim.kernel_cache import default_cache
+
+        cs = default_cache().stats
+        print(
+            f"kernel cache: {cs.hits} hits / {cs.misses} misses "
+            f"({100 * cs.hit_rate:.0f}% hit rate)",
+            file=human,
+        )
     return status
 
 

@@ -23,12 +23,20 @@ import numpy as np
 from ..core.layouts import make_layout
 from ..core.unrolling import estimate_unroll
 from ..cudasim.device import Toolchain
-from ..cudasim.launch import Device, compile_kernel
+from ..cudasim.kernel_cache import CompileOptions
+from ..cudasim.launch import Device
 from ..gravit.gpu_kernels import POSMASS_FIELDS, build_force_kernel
 from ..gravit.particles import ParticleSystem
 from .report import ExperimentResult, format_table
 
-__all__ = ["run", "measure_factor", "BODY_INSTRS", "REMOVABLE_INSTRS"]
+__all__ = [
+    "run",
+    "measure_factor",
+    "submit_factor",
+    "collect_factor",
+    "BODY_INSTRS",
+    "REMOVABLE_INSTRS",
+]
 
 #: Static composition of the kernel's inner loop (see gpu_kernels.py):
 #: 16 body instructions + 1 foldable induction add + 3 loop bookkeeping.
@@ -38,7 +46,7 @@ LOOP_BOOKKEEPING = 3
 REMOVABLE_INSTRS = FOLDABLE_ADDS + LOOP_BOOKKEEPING
 
 
-def measure_factor(
+def submit_factor(
     factor: int | str | None,
     layout_kind: str = "soaoas",
     block: int = 128,
@@ -47,18 +55,17 @@ def measure_factor(
     licm: bool = False,
     seed: int = 5,
 ) -> dict:
-    """Compile and cycle-simulate the force kernel at one unroll factor."""
+    """Compile one unroll factor and enqueue its launch on a stream."""
     layout = make_layout(layout_kind, n)
     kernel, plan = build_force_kernel(layout, block_size=block)
-    lk = compile_kernel(kernel, unroll=factor, licm=licm)
     dev = Device(toolchain=toolchain, heap_bytes=1 << 23)
+    lk = dev.compile(kernel, CompileOptions(unroll=factor, licm=licm))
     rng = np.random.default_rng(seed)
     system = ParticleSystem.from_arrays(
         rng.standard_normal((n, 3)).astype(np.float32),
         masses=np.full(n, 1.0 / n, dtype=np.float32),
     )
     buf = dev.malloc(layout.size_bytes)
-    dev.memcpy_htod(buf, system.pack(layout))
     out = dev.malloc(16 * n)
     steps = layout.read_plan(POSMASS_FIELDS)
     params = {
@@ -66,10 +73,30 @@ def measure_factor(
         for name, step in zip(plan.param_for_step, steps)
     }
     params.update(out=out, nslices=n // block, eps=1e-2)
-    result = dev.launch(lk, grid=n // block, block=block, params=params)
-    interactions = (n // block) * block  # per thread
+    stream = dev.stream(f"unroll-{factor}")
+    stream.memcpy_htod_async(buf, system.pack(layout))
+    launch = stream.launch_async(
+        lk, grid=n // block, block=block, params=params
+    )
     return {
         "factor": factor,
+        "block": block,
+        "n": n,
+        "lk": lk,
+        "stream": stream,
+        "launch": launch,
+    }
+
+
+def collect_factor(submission: dict) -> dict:
+    """Wait for a :func:`submit_factor` launch and summarize it."""
+    result = submission["launch"].result()
+    submission["stream"].close()
+    lk = submission["lk"]
+    n, block = submission["n"], submission["block"]
+    interactions = (n // block) * block  # per thread
+    return {
+        "factor": submission["factor"],
         "registers": lk.reg_count,
         "static_instructions": lk.static_instruction_count,
         "warp_instructions": result.stats.warp_instructions,
@@ -79,17 +106,38 @@ def measure_factor(
     }
 
 
+def measure_factor(factor: int | str | None, **kwargs) -> dict:
+    """Compile and cycle-simulate the force kernel at one unroll factor."""
+    return collect_factor(submit_factor(factor, **kwargs))
+
+
 def run(
     factors: tuple[int | str, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
     block: int = 128,
+    serial: bool = False,
     **kwargs,
 ) -> ExperimentResult:
+    """Sweep unroll factors; configurations run on streams unless
+    ``serial=True``."""
     rows = []
     measurements = {}
     base = None
-    for f in factors:
-        compile_factor = None if f == 1 else ("full" if f == block else f)
-        m = measure_factor(compile_factor, block=block, **kwargs)
+
+    def compile_factor(f):
+        return None if f == 1 else ("full" if f == block else f)
+
+    if serial:
+        collected = [
+            measure_factor(compile_factor(f), block=block, **kwargs)
+            for f in factors
+        ]
+    else:
+        submissions = [
+            submit_factor(compile_factor(f), block=block, **kwargs)
+            for f in factors
+        ]
+        collected = [collect_factor(s) for s in submissions]
+    for f, m in zip(factors, collected):
         m["factor"] = f
         measurements[f] = m
         if base is None:

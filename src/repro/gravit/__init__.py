@@ -29,7 +29,13 @@ from .forces_ext import (
     total_forces,
 )
 from .gpu_barneshut import bh_forces_gpu, build_bh_kernel, pack_tree
-from .gpu_driver import GpuConfig, GpuForceBackend, GpuSimulation, HybridTiming
+from .gpu_driver import (
+    ExecutionMode,
+    GpuConfig,
+    GpuForceBackend,
+    GpuSimulation,
+    HybridTiming,
+)
 from .gpu_kernels import (
     ALL_FIELDS,
     POSMASS_FIELDS,
@@ -64,6 +70,7 @@ from .timing_cpu import CORE2DUO_2_4GHZ, CpuTimingModel
 __all__ = [
     "ParticleSystem",
     "GravitSimulator",
+    "ExecutionMode",
     "GpuConfig",
     "GpuForceBackend",
     "GpuSimulation",

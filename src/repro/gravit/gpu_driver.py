@@ -21,15 +21,17 @@ block size × unroll × ICM × toolchain) and executes it in three modes:
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Literal, Union
 
 import numpy as np
 
 from ..core.layouts import MemoryLayout, make_layout
 from ..telemetry import runtime as _telemetry
 from ..cudasim.device import DeviceProperties, G8800GTX, Toolchain
-from ..cudasim.launch import Device, LaunchResult, compile_kernel
+from ..cudasim.kernel_cache import CompileOptions, Unroll
+from ..cudasim.launch import Device, LaunchResult
 from ..cudasim.lower import LoweredKernel
 from ..cudasim.occupancy import occupancy
 from .forces_cpu import direct_forces_f32_tiled
@@ -43,12 +45,37 @@ from .gpu_kernels import (
 from .particles import ParticleSystem
 
 __all__ = [
+    "ExecutionMode",
     "GpuConfig",
     "GpuForceBackend",
     "GpuSimulation",
     "HybridTiming",
     "PCIE_BYTES_PER_S",
 ]
+
+
+class ExecutionMode(enum.Enum):
+    """How :class:`GpuForceBackend` evaluates a configuration.
+
+    Replaces the historical ``"functional" | "cycle" | "hybrid"`` string
+    literals; :meth:`coerce` still accepts those spellings.
+    """
+
+    FUNCTIONAL = "functional"  #: numpy float32 math, no timing
+    CYCLE = "cycle"  #: full cycle simulation — exact timing + numerics
+    HYBRID = "hybrid"  #: one-SM calibration + Eq. 2 extrapolation
+
+    @classmethod
+    def coerce(cls, value: Union["ExecutionMode", str]) -> "ExecutionMode":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown execution mode {value!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None
 
 #: Effective host↔device bandwidth.  PCIe 1.1 x16 peaks at 4 GB/s; 2009-era
 #: pinned-memory transfers sustained ~3 GB/s (measured values in the
@@ -62,11 +89,21 @@ class GpuConfig:
 
     layout_kind: str = "soaoas"
     block_size: int = 128
-    unroll: int | str | None = None  # None, factor, or "full"
+    unroll: int | str | Unroll | None = None  # None, factor, "full", Unroll
     licm: bool = False
     toolchain: Toolchain = Toolchain.CUDA_1_0
     eps: float = 1e-2
     g: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Normalize Unroll.FULL / "full" to one canonical spelling so
+        # equal configurations hash equal (GpuConfig keys result dicts).
+        object.__setattr__(self, "unroll", Unroll.coerce(self.unroll))
+
+    @property
+    def compile_options(self) -> CompileOptions:
+        """The compiler-option subspace of this configuration."""
+        return CompileOptions(unroll=self.unroll, licm=self.licm)
 
     @property
     def label(self) -> str:
@@ -130,16 +167,18 @@ class GpuForceBackend:
     # -- compilation -----------------------------------------------------
 
     def compile(self) -> LoweredKernel:
-        """Compile (once) the kernel for this configuration."""
+        """Compile (once) the kernel for this configuration.
+
+        Goes through :meth:`Device.compile`, so repeated backends of the
+        same configuration hit the process-wide kernel cache.
+        """
         if self._lowered is None:
             cfg = self.config
             layout = make_layout(cfg.layout_kind, cfg.block_size)
             kernel, plan = build_force_kernel(
                 layout, block_size=cfg.block_size
             )
-            self._lowered = compile_kernel(
-                kernel, unroll=cfg.unroll, licm=cfg.licm
-            )
+            self._lowered = self.device.compile(kernel, cfg.compile_options)
             self._plan = plan
         return self._lowered
 
@@ -224,6 +263,22 @@ class GpuForceBackend:
         records = words.reshape(-1, 4)
         forces = records[: system.n, :3].astype(np.float64) * cfg.g
         return forces, result
+
+    def forces_for_mode(
+        self,
+        system: ParticleSystem,
+        mode: ExecutionMode | str = ExecutionMode.FUNCTIONAL,
+    ) -> np.ndarray:
+        """Dispatch on :class:`ExecutionMode` (strings accepted)."""
+        mode = ExecutionMode.coerce(mode)
+        if mode is ExecutionMode.FUNCTIONAL:
+            return self.forces(system)
+        if mode is ExecutionMode.CYCLE:
+            return self.forces_cycle(system)[0]
+        raise ValueError(
+            "hybrid mode predicts wall time, not forces; use "
+            "predict_seconds(n)"
+        )
 
     # -- hybrid mode --------------------------------------------------------------
 
@@ -344,13 +399,13 @@ class GpuSimulation:
         force_kernel, self._force_plan = build_force_kernel(
             self.layout, block_size=cfg.block_size
         )
-        self._force_lk = compile_kernel(
-            force_kernel, unroll=cfg.unroll, licm=cfg.licm
+        self._force_lk = self.device.compile(
+            force_kernel, cfg.compile_options
         )
         integrate_kernel, self._int_plan = build_integrate_kernel(
             self.layout, block_size=cfg.block_size
         )
-        self._int_lk = compile_kernel(integrate_kernel)
+        self._int_lk = self.device.compile(integrate_kernel)
 
         self._buf = self.device.malloc(self.layout.size_bytes)
         self.device.memcpy_htod(self._buf, padded.pack(self.layout))

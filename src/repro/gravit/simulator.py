@@ -26,7 +26,7 @@ import numpy as np
 from ..telemetry import runtime as _telemetry
 from .barneshut import barnes_hut_forces
 from .forces_cpu import direct_forces, naive_forces
-from .gpu_driver import GpuConfig, GpuForceBackend
+from .gpu_driver import ExecutionMode, GpuConfig, GpuForceBackend
 from .integrator import euler_step, integrate, leapfrog_step
 from .particles import ParticleSystem
 
@@ -61,7 +61,7 @@ class GravitSimulator:
         theta: float = 0.5,
         scheme: Literal["leapfrog", "euler"] = "leapfrog",
         gpu_config: GpuConfig | None = None,
-        gpu_mode: Literal["functional", "cycle"] = "functional",
+        gpu_mode: ExecutionMode | str = ExecutionMode.FUNCTIONAL,
         track_energy: bool = False,
         external_field=None,
         nn_radius: float | None = None,
@@ -84,7 +84,12 @@ class GravitSimulator:
                 raise ValueError("gpu_config eps/g must match the simulator's")
             self._gpu = GpuForceBackend(cfg)
         self.backend = backend
-        self.gpu_mode = gpu_mode
+        self.gpu_mode = ExecutionMode.coerce(gpu_mode)
+        if self.gpu_mode is ExecutionMode.HYBRID:
+            raise ValueError(
+                "hybrid mode predicts wall time, not forces; use "
+                "GpuForceBackend.predict_seconds directly"
+            )
         self.external_field = external_field
         self.nn_radius = nn_radius
         self.nn_strength = nn_strength
@@ -103,7 +108,7 @@ class GravitSimulator:
             )
         if self.backend == "gpu":
             assert self._gpu is not None
-            if self.gpu_mode == "cycle":
+            if self.gpu_mode is ExecutionMode.CYCLE:
                 return lambda s: self._gpu.forces_cycle(s)[0]
             return self._gpu.forces
         raise ValueError(f"unknown backend {self.backend!r}")

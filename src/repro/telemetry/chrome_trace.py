@@ -164,8 +164,12 @@ def launch_trace_events(
 def spans_trace_events(records, *, pid: int = HOST_PID) -> list[dict]:
     """Render telemetry :class:`~repro.telemetry.spans.SpanRecord` list.
 
-    Spans nest naturally as stacked ``X`` slices on one thread track;
-    open spans are dropped (a Chrome complete event needs a duration).
+    Spans nest naturally as stacked ``X`` slices per thread track; open
+    spans are dropped (a Chrome complete event needs a duration).  Spans
+    carrying a ``stream`` attribute (the async stream API sets one) get
+    their own named track per stream, so copy/launch overlap across
+    streams is visible as side-by-side slices; everything else lands on
+    the shared ``host`` track.
     """
     events: list[dict] = []
     closed = [r for r in records if r.end_s is not None]
@@ -173,12 +177,21 @@ def spans_trace_events(records, *, pid: int = HOST_PID) -> list[dict]:
         return events
     events.append(_meta(pid, "telemetry spans"))
     events.append(_meta(pid, "host", tid=1))
+    stream_tids: dict[str, int] = {}
     for rec in closed:
+        stream = rec.attrs.get("stream")
+        if stream is None:
+            tid = 1
+        else:
+            tid = stream_tids.get(stream)
+            if tid is None:
+                tid = stream_tids[stream] = 2 + len(stream_tids)
+                events.append(_meta(pid, f"stream {stream}", tid=tid))
         events.append(
             {
                 "ph": "X",
                 "pid": pid,
-                "tid": 1,
+                "tid": tid,
                 "ts": rec.start_s * 1e6,
                 "dur": rec.duration_s * 1e6,
                 "name": rec.name,

@@ -18,6 +18,7 @@ global read + branch when telemetry is off.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -109,8 +110,18 @@ class Tracer:
         self._clock = clock
         self._epoch = clock()
         self._next_id = 0
-        self._stack: list[int] = []  # open span ids, innermost last
+        self._lock = threading.Lock()
+        # Parent attribution is per thread: a stream worker's spans must
+        # not become children of whatever the main thread has open.
+        self._stacks = threading.local()
         self.records: list[SpanRecord] = []
+
+    @property
+    def _stack(self) -> list[int]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
 
     def now_s(self) -> float:
         """Seconds since this tracer was created."""
@@ -122,15 +133,18 @@ class Tracer:
     # -- span lifecycle (called by _LiveSpan) ------------------------------
 
     def _open(self, name: str, attrs: dict | None) -> SpanRecord:
+        stack = self._stack
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         rec = SpanRecord(
             name=name,
-            span_id=self._next_id,
-            parent_id=self._stack[-1] if self._stack else None,
+            span_id=span_id,
+            parent_id=stack[-1] if stack else None,
             start_s=self.now_s(),
             attrs=attrs if attrs is not None else {},
         )
-        self._next_id += 1
-        self._stack.append(rec.span_id)
+        stack.append(rec.span_id)
         self.records.append(rec)
         return rec
 

@@ -1,0 +1,111 @@
+"""Multi-SM engine determinism: serial, thread-pool, and process-pool
+cycle simulation must be indistinguishable.
+
+The acceptance bar is bit-identical particle state and identical
+``KernelStats`` across engines — parallelism may only change wall-clock
+time, never simulation results.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cudasim import SM_ENGINES, Device, LaunchError
+from repro.cudasim.executor import ENGINE_ENV, run_sms
+from repro.gravit import GpuConfig, GpuSimulation, two_galaxies
+
+
+def run_gpu_steps(engine: str, steps: int = 2):
+    """Cycle-simulate a short device-resident run on one engine."""
+    system = two_galaxies(128, seed=3)
+    dev = Device(sm_engine=engine, heap_bytes=1 << 22)
+    with GpuSimulation(
+        system, GpuConfig(block_size=64), device=dev
+    ) as sim:
+        cycles = sim.run(steps, dt=1e-3)
+        state = sim.download()
+    return cycles, state
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(LaunchError):
+            Device(sm_engine="gpu-go-brr")
+
+    def test_engine_env_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, "thread")
+        assert Device().sm_engine == "thread"
+        monkeypatch.delenv(ENGINE_ENV)
+        assert Device().sm_engine == "serial"
+
+    def test_run_sms_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            run_sms(None, None, None, None, {}, 1, 1, [], 1, engine="nope")
+
+
+class TestThreadEngineDeterminism:
+    def test_bit_identical_particle_state_and_stats(self):
+        serial_cycles, serial_state = run_gpu_steps("serial")
+        thread_cycles, thread_state = run_gpu_steps("thread")
+        assert thread_cycles == serial_cycles
+        assert np.array_equal(serial_state.positions, thread_state.positions)
+        assert np.array_equal(serial_state.velocities, thread_state.velocities)
+
+    def test_identical_kernel_stats(self):
+        from repro.gravit import GpuForceBackend
+
+        results = {}
+        for engine in ("serial", "thread"):
+            backend = GpuForceBackend(
+                GpuConfig(block_size=64),
+                device=Device(sm_engine=engine, heap_bytes=1 << 22),
+            )
+            forces, launch = backend.forces_cycle(two_galaxies(128, seed=3))
+            results[engine] = (forces, launch)
+        serial_forces, serial_launch = results["serial"]
+        thread_forces, thread_launch = results["thread"]
+        assert np.array_equal(serial_forces, thread_forces)
+        assert serial_launch.cycles == thread_launch.cycles
+        assert (
+            serial_launch.stats.as_dict() == thread_launch.stats.as_dict()
+        )
+        assert len(serial_launch.sm_stats) == len(thread_launch.sm_stats)
+        for a, b in zip(serial_launch.sm_stats, thread_launch.sm_stats):
+            assert a.as_dict() == b.as_dict()
+
+
+@pytest.mark.slow
+class TestProcessEngineDeterminism:
+    """The process pool ships heap segments out and replays stores back;
+    spawn start-up makes this the slowest engine to exercise."""
+
+    def test_bit_identical_particle_state(self):
+        serial_cycles, serial_state = run_gpu_steps("process", steps=1)
+        thread_cycles, thread_state = run_gpu_steps("serial", steps=1)
+        assert serial_cycles == thread_cycles
+        assert np.array_equal(serial_state.positions, thread_state.positions)
+        assert np.array_equal(serial_state.velocities, thread_state.velocities)
+
+
+class TestTraceFallback:
+    def test_trace_forces_serial_engine(self):
+        """A trace hook must see every access in program order, so the
+        pooled engines hand traced launches back to the serial path."""
+        from repro.cudasim import TraceRecorder
+
+        recorder = TraceRecorder()
+        backend_kwargs = dict(block_size=64)
+        from repro.gravit import GpuForceBackend
+
+        backend = GpuForceBackend(
+            GpuConfig(**backend_kwargs),
+            device=Device(sm_engine="thread", heap_bytes=1 << 22),
+        )
+        forces, launch = backend.forces_cycle(
+            two_galaxies(128, seed=3), trace=recorder
+        )
+        assert len(recorder.trace.records) > 0
+        assert launch.cycles > 0
