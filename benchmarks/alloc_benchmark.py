@@ -1,0 +1,154 @@
+"""Dynamic-allocator benchmark: free list, block-pool churn, compaction.
+
+Measures, on the host clock:
+
+* ``freelist`` — alloc/free operation throughput of the first-fit
+  coalescing allocator, for an in-order drain and for the worst-case
+  interleaved pattern (free every other allocation, so every free
+  inserts a hole and every alloc walks the hole list);
+* ``pool``     — BlockPool record churn (allocate + free + refill)
+  in records/s, plus the vectorized ``write_fields``/``read_fields``
+  gather/scatter bandwidth;
+* ``compaction`` — records migrated per second and the coalesced-
+  transaction ratio (sparse sweep cost / compacted sweep cost) it buys
+  back, per layout.
+
+Writes ``BENCH_alloc.json`` at the repository root::
+
+    python benchmarks/alloc_benchmark.py [--out BENCH_alloc.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def bench_freelist(ops: int = 20_000) -> dict:
+    from repro.cudasim import FreeListAllocator
+
+    fl = FreeListAllocator(64 << 20)
+    t0 = time.perf_counter()
+    ptrs = [fl.alloc(256)[0] for _ in range(ops // 2)]
+    for p in ptrs:
+        fl.free(p)
+    in_order_s = time.perf_counter() - t0
+
+    fl.reset()
+    t0 = time.perf_counter()
+    ptrs = [fl.alloc(256)[0] for _ in range(ops // 2)]
+    for p in ptrs[::2]:
+        fl.free(p)  # punch holes
+    for i in range(0, len(ptrs), 2):
+        ptrs[i] = fl.alloc(256)[0]  # refill from the hole list
+    for p in ptrs:
+        fl.free(p)
+    interleaved_s = time.perf_counter() - t0
+    return {
+        "ops": ops,
+        "in_order_ops_per_s": ops / in_order_s,
+        "interleaved_ops_per_s": (2 * ops) / interleaved_s,
+    }
+
+
+def bench_pool(records: int = 4096, rounds: int = 4) -> dict:
+    import numpy as np
+
+    from repro.cudasim import BlockPool, GlobalMemory
+
+    pool = BlockPool(GlobalMemory(64 << 20), "soaoas", 64, name="bench")
+    rng = np.random.default_rng(0)
+    t0 = time.perf_counter()
+    handles = pool.allocate_many(records)
+    churned = records
+    for _ in range(rounds):
+        doomed = rng.choice(len(handles), size=records // 2, replace=False)
+        dset = set(doomed.tolist())
+        for i in dset:
+            pool.free(handles[i])
+        handles = [h for i, h in enumerate(handles) if i not in dset]
+        handles.extend(pool.allocate_many(len(dset)))
+        churned += len(dset)
+    churn_s = time.perf_counter() - t0
+
+    data = {
+        f: rng.standard_normal(len(handles)).astype(np.float32)
+        for f in ("px", "py", "pz", "vx", "vy", "vz", "mass")
+    }
+    t0 = time.perf_counter()
+    pool.write_fields(handles, data)
+    back = pool.read_fields(handles)
+    io_s = time.perf_counter() - t0
+    assert np.array_equal(back["px"], data["px"])
+    moved_bytes = 2 * 4 * 7 * len(handles)
+    return {
+        "records": records,
+        "churned_records": churned,
+        "churn_records_per_s": churned / churn_s,
+        "field_io_bytes_per_s": moved_bytes / io_s,
+    }
+
+
+def bench_compaction(records: int = 4096) -> dict:
+    import numpy as np
+
+    from repro.core import StrictHalfWarpPolicy
+    from repro.cudasim import BlockPool, GlobalMemory
+
+    policy = StrictHalfWarpPolicy()
+    rng = np.random.default_rng(1)
+    out = {}
+    for kind in ("aos", "soaoas"):
+        pool = BlockPool(GlobalMemory(64 << 20), kind, 64, name=f"cb-{kind}")
+        handles = pool.allocate_many(records)
+        doomed = rng.choice(records, size=int(0.6 * records), replace=False)
+        for i in doomed:
+            pool.free(handles[i])
+        sparse_txn = pool.coalesced_transactions(policy)
+        t0 = time.perf_counter()
+        report = pool.compact()
+        compact_s = time.perf_counter() - t0
+        dense_txn = pool.coalesced_transactions(policy)
+        out[kind] = {
+            "records_moved": report.records_moved,
+            "bytes_moved": report.bytes_moved,
+            "blocks_freed": report.blocks_freed,
+            "records_moved_per_s": (
+                report.records_moved / compact_s if compact_s else 0.0
+            ),
+            "sweep_txn_sparse": sparse_txn,
+            "sweep_txn_compacted": dense_txn,
+            "txn_recovered_ratio": (
+                sparse_txn / dense_txn if dense_txn else 1.0
+            ),
+            "fragmentation_before": report.fragmentation_before,
+            "fragmentation_after": report.fragmentation_after,
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_alloc.json")
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "dynamic allocator (free list / block pool / compaction)",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "freelist": bench_freelist(),
+        "pool": bench_pool(),
+        "compaction": bench_compaction(),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from .errors import (
     CudaSimError,
     DeadlockError,
     DeviceError,
+    DoubleFreeError,
     ExecutionError,
     IRError,
     LaunchError,
@@ -61,6 +62,16 @@ from .launch import Device, LaunchResult, compile_kernel, lower_kernel
 from .stream import Event, Stream
 from .liveness import analyze as liveness_analyze
 from .lower import LoweredKernel, disassemble, lower
+from .alloc import (
+    BlockPool,
+    CompactionReport,
+    FreeListAllocator,
+    HeapStats,
+    PoolStats,
+    RecordHandle,
+    compact_pool,
+    publish_pool_stats,
+)
 from .memory import DevicePtr, GlobalMemory, SharedMemory, bank_conflict_degree
 from .occupancy import OccupancyResult, occupancy, occupancy_table, suggest_block_size
 from .profiler import KernelStats
@@ -145,9 +156,18 @@ __all__ = [
     "float1",
     "float2",
     "float4",
+    "BlockPool",
+    "RecordHandle",
+    "CompactionReport",
+    "compact_pool",
+    "FreeListAllocator",
+    "HeapStats",
+    "PoolStats",
+    "publish_pool_stats",
     "CudaSimError",
     "DeviceError",
     "AllocationError",
+    "DoubleFreeError",
     "AccessViolation",
     "MisalignedAccess",
     "LaunchError",

@@ -1,0 +1,31 @@
+"""``repro.cudasim.alloc`` — dynamic device-memory subsystem.
+
+Layered on :class:`~repro.cudasim.memory.GlobalMemory`:
+
+* :class:`FreeListAllocator` — first-fit byte allocator with
+  adjacent-hole coalescing and per-allocation tags; backs
+  ``GlobalMemory.alloc``/``free`` so interior frees are reusable;
+* :class:`BlockPool` — DynaSOAr-style block pool storing dynamic record
+  populations in any of the paper's layouts (SoA-within-block), with O(1)
+  record allocate/free and stable handles;
+* :func:`compact_pool` / :class:`CompactionReport` — defragmentation with
+  a relocation table;
+* :class:`HeapStats` / :class:`PoolStats` — fragmentation and occupancy
+  metrics, published to the telemetry registry.
+"""
+
+from .block_pool import BlockPool, RecordHandle
+from .compact import CompactionReport, compact_pool
+from .freelist import FreeListAllocator
+from .stats import HeapStats, PoolStats, publish_pool_stats
+
+__all__ = [
+    "BlockPool",
+    "RecordHandle",
+    "CompactionReport",
+    "compact_pool",
+    "FreeListAllocator",
+    "HeapStats",
+    "PoolStats",
+    "publish_pool_stats",
+]

@@ -1,0 +1,384 @@
+"""DynaSOAr-style block pool: dynamic records, SoA-within-block storage.
+
+The paper shows that the *layout* of a large structure decides memory
+throughput; DynaSOAr (PAPERS.md) shows the same coalescing properties can
+survive dynamic allocation if the heap is carved into fixed-size blocks
+that each store N records in SoA form.  :class:`BlockPool` is that idea
+on the simulated device:
+
+* each block is one 256-byte-aligned heap allocation holding
+  ``records_per_block`` records of a registered layout — any of the
+  paper's four kinds (``aos``/``soa``/``aoas``/``soaoas``), built with
+  the existing :mod:`repro.core.layouts` machinery, so within a block the
+  access patterns are exactly the ones Figs. 2–9 analyze;
+* allocation state is a per-block occupancy bitmap plus an active count;
+  allocating or freeing one record is O(1) (lowest free slot of the
+  lowest-numbered non-full block — deterministic, so experiments are
+  reproducible);
+* record handles are stable integer ids: compaction may relocate a
+  record to another (block, slot), the handle survives via the pool's
+  relocation table (see :mod:`repro.cudasim.alloc.compact`).
+
+The payoff measured by ``experiments/frag_dynamics.py``: after a
+spawn/kill churn the live records of a SoAoaS pool still coalesce into a
+fraction of the transactions an AoS pool needs — the paper's Fig. 11
+advantage, retained under dynamic populations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+# NOTE: no module-level import of ..memory here — memory.py itself pulls
+# in this package (GlobalMemory is backed by the free list), so the pool
+# duck-types its heap instead of naming the class.
+from ...core import access as _access
+from ...core import layouts as _layouts
+from ...telemetry import runtime as _telemetry
+from ..errors import AllocationError, OutOfMemoryError
+from .stats import (
+    METRIC_ALLOCS,
+    METRIC_FAILED,
+    METRIC_FREES,
+    PoolStats,
+    publish_pool_stats,
+)
+
+__all__ = ["BlockPool", "RecordHandle"]
+
+_pool_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class RecordHandle:
+    """Stable reference to one record in a :class:`BlockPool`.
+
+    The id survives compaction: the pool maps it to the record's current
+    (block, slot) on every access, so holders never see stale device
+    addresses.
+    """
+
+    rid: int
+
+
+class _Block:
+    """One heap allocation holding ``records_per_block`` records."""
+
+    __slots__ = ("ptr", "bitmap", "count", "rids")
+
+    def __init__(self, ptr: DevicePtr, records: int) -> None:
+        self.ptr = ptr
+        self.bitmap = 0  # bit s set <=> slot s live
+        self.count = 0
+        self.rids: list[int | None] = [None] * records
+
+
+class BlockPool:
+    """Dynamic record allocator over :class:`GlobalMemory`."""
+
+    def __init__(
+        self,
+        memory,
+        layout_kind: str = "soaoas",
+        records_per_block: int = 128,
+        struct=None,
+        name: str | None = None,
+    ) -> None:
+        gmem = getattr(memory, "gmem", memory)
+        if not all(hasattr(gmem, a) for a in ("alloc", "free", "words")):
+            raise AllocationError(
+                f"BlockPool needs a GlobalMemory or Device, got {memory!r}"
+            )
+        if records_per_block <= 0:
+            raise AllocationError(
+                f"records_per_block must be positive, got {records_per_block}"
+            )
+        self.memory = gmem
+        self.layout_kind = layout_kind
+        self.records_per_block = int(records_per_block)
+        self.layout = _layouts.make_layout(
+            layout_kind, self.records_per_block, struct
+        )
+        self.name = name or f"pool{next(_pool_ids)}"
+        self._full_mask = (1 << self.records_per_block) - 1
+        # Per-field (offset-in-block, stride) for direct word addressing.
+        self._field_affine: dict[str, tuple[int, int]] = {}
+        for step in self.layout.steps:
+            for lane, fname in enumerate(step.fields):
+                if fname is not None:
+                    self._field_affine[fname] = (
+                        step.base + 4 * lane, step.stride
+                    )
+        self._blocks: dict[int, _Block] = {}
+        self._nonfull: set[int] = set()
+        self._loc: dict[int, tuple[int, int]] = {}  # rid -> (block, slot)
+        self._next_rid = 0
+        self._next_block = 0
+        self.compactions = 0
+
+    # -- allocation --------------------------------------------------------
+
+    @property
+    def block_bytes(self) -> int:
+        return self.layout.size_bytes
+
+    def _grow(self) -> int:
+        """Allocate one more block from the heap; returns its id."""
+        try:
+            ptr = self.memory.alloc(
+                self.block_bytes, tag=f"{self.name}/block{self._next_block}"
+            )
+        except OutOfMemoryError:
+            _telemetry.inc(METRIC_FAILED, pool=self.name)
+            raise
+        bid = self._next_block
+        self._next_block += 1
+        self._blocks[bid] = _Block(ptr, self.records_per_block)
+        self._nonfull.add(bid)
+        return bid
+
+    def allocate(
+        self, values: Mapping[str, float] | None = None
+    ) -> RecordHandle:
+        """O(1) record allocation (grows the pool by a block on demand)."""
+        bid = min(self._nonfull) if self._nonfull else self._grow()
+        block = self._blocks[bid]
+        free = ~block.bitmap & self._full_mask
+        slot = (free & -free).bit_length() - 1
+        block.bitmap |= 1 << slot
+        block.count += 1
+        if block.count == self.records_per_block:
+            self._nonfull.discard(bid)
+        rid = self._next_rid
+        self._next_rid += 1
+        block.rids[slot] = rid
+        self._loc[rid] = (bid, slot)
+        handle = RecordHandle(rid)
+        if values is not None:
+            self.write(handle, values)
+        _telemetry.inc(METRIC_ALLOCS, pool=self.name)
+        publish_pool_stats(self)
+        return handle
+
+    def allocate_many(self, count: int) -> list[RecordHandle]:
+        return [self.allocate() for _ in range(count)]
+
+    def free(self, handle: RecordHandle) -> None:
+        """O(1) record deallocation; the slot's words are zeroed."""
+        loc = self._loc.pop(handle.rid, None)
+        if loc is None:
+            raise AllocationError(
+                f"free of unknown/already-freed record {handle.rid}"
+            )
+        bid, slot = loc
+        block = self._blocks[bid]
+        block.bitmap &= ~(1 << slot)
+        block.count -= 1
+        block.rids[slot] = None
+        self._nonfull.add(bid)
+        base = block.ptr.addr
+        for offset, stride in self._field_affine.values():
+            self.memory.words[(base + offset + stride * slot) // 4] = 0.0
+        _telemetry.inc(METRIC_FREES, pool=self.name)
+        publish_pool_stats(self)
+
+    def release_empty_blocks(self) -> int:
+        """Return empty blocks to the heap free list; returns bytes freed."""
+        freed = 0
+        for bid in [b for b, blk in self._blocks.items() if blk.count == 0]:
+            blk = self._blocks.pop(bid)
+            self._nonfull.discard(bid)
+            self.memory.free(blk.ptr)
+            freed += blk.ptr.nbytes
+        return freed
+
+    def compact(self):
+        """Defragment (see :func:`repro.cudasim.alloc.compact.compact_pool`)."""
+        from .compact import compact_pool
+
+        return compact_pool(self)
+
+    def close(self) -> None:
+        """Free every block (live records are discarded)."""
+        for blk in self._blocks.values():
+            self.memory.free(blk.ptr)
+        self._blocks.clear()
+        self._nonfull.clear()
+        self._loc.clear()
+
+    def __enter__(self) -> "BlockPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- record access -----------------------------------------------------
+
+    def location(self, handle: RecordHandle) -> tuple[int, int]:
+        """Current ``(block_id, slot)`` of a live record."""
+        try:
+            return self._loc[handle.rid]
+        except KeyError:
+            raise AllocationError(
+                f"record {handle.rid} is not live in {self.name}"
+            ) from None
+
+    def address_of(self, handle: RecordHandle, field: str) -> int:
+        """Device byte address of ``field`` of the record (post-relocation)."""
+        bid, slot = self.location(handle)
+        offset, stride = self._field_affine[field]
+        return self._blocks[bid].ptr.addr + offset + stride * slot
+
+    def write(self, handle: RecordHandle, values: Mapping[str, float]) -> None:
+        bid, slot = self.location(handle)
+        base = self._blocks[bid].ptr.addr
+        for fname, value in values.items():
+            offset, stride = self._field_affine[fname]
+            self.memory.words[(base + offset + stride * slot) // 4] = value
+
+    def read(self, handle: RecordHandle) -> dict[str, float]:
+        bid, slot = self.location(handle)
+        base = self._blocks[bid].ptr.addr
+        return {
+            fname: float(self.memory.words[(base + offset + stride * slot) // 4])
+            for fname, (offset, stride) in self._field_affine.items()
+        }
+
+    def _bases_slots(
+        self, handles: Sequence[RecordHandle]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        locs = [self.location(h) for h in handles]
+        bases = np.array(
+            [self._blocks[b].ptr.addr for b, _ in locs], dtype=np.int64
+        )
+        slots = np.array([s for _, s in locs], dtype=np.int64)
+        return bases, slots
+
+    def write_fields(
+        self,
+        handles: Sequence[RecordHandle],
+        arrays: Mapping[str, np.ndarray],
+    ) -> None:
+        """Vectorized per-field scatter of one value per handle."""
+        bases, slots = self._bases_slots(handles)
+        for fname, arr in arrays.items():
+            offset, stride = self._field_affine[fname]
+            widx = (bases + offset + stride * slots) // 4
+            self.memory.words[widx] = np.asarray(arr, dtype=np.float32)
+
+    def read_fields(
+        self,
+        handles: Sequence[RecordHandle],
+        fields: Sequence[str] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Vectorized per-field gather; inverse of :meth:`write_fields`."""
+        bases, slots = self._bases_slots(handles)
+        out = {}
+        for fname in fields or self._field_affine:
+            offset, stride = self._field_affine[fname]
+            widx = (bases + offset + stride * slots) // 4
+            out[fname] = self.memory.words[widx].copy()
+        return out
+
+    # -- iteration & metrics -----------------------------------------------
+
+    @property
+    def live_records(self) -> int:
+        return len(self._loc)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def capacity(self) -> int:
+        return len(self._blocks) * self.records_per_block
+
+    def block_ids(self) -> list[int]:
+        return sorted(self._blocks)
+
+    def block_occupancy(self, bid: int) -> int:
+        return self._blocks[bid].count
+
+    def live_handles(self) -> list[RecordHandle]:
+        """Live records in deterministic (block, slot) order."""
+        out = []
+        for bid in sorted(self._blocks):
+            for rid in self._blocks[bid].rids:
+                if rid is not None:
+                    out.append(RecordHandle(rid))
+        return out
+
+    def stats(self) -> PoolStats:
+        return PoolStats(
+            pool=self.name,
+            layout_kind=self.layout_kind,
+            records_per_block=self.records_per_block,
+            blocks=self.num_blocks,
+            live_records=self.live_records,
+            capacity=self.capacity,
+            bytes_reserved=sum(
+                b.ptr.nbytes for b in self._blocks.values()
+            ),
+        )
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        return self.stats().fragmentation_ratio
+
+    def coalesced_transactions(
+        self, policy, fields: Sequence[str] | None = None
+    ) -> int:
+        """Memory transactions for one warp sweep over all live records.
+
+        Replays the canonical n-body read — each thread of a half-warp
+        loads the record in its lane's slot — against ``policy`` (a
+        :class:`repro.core.coalescing.CoalescingPolicy`), block by block.
+        Dead slots are inactive lanes.  This is the quantity Fig. 10/11
+        derive from: fewer transactions = higher effective bandwidth.
+        """
+        plan = self.layout.read_plan(fields)
+        half = _access.HALFWARP
+        total = 0
+        for bid in sorted(self._blocks):
+            block = self._blocks[bid]
+            if block.count == 0:
+                continue
+            base = block.ptr.addr
+            mask = np.array(
+                [block.rids[s] is not None
+                 for s in range(self.records_per_block)],
+                dtype=bool,
+            )
+            slots = np.arange(self.records_per_block, dtype=np.int64)
+            for step in plan:
+                addrs = base + step.address(slots)
+                for start in range(0, self.records_per_block, half):
+                    active = mask[start : start + half]
+                    if not active.any():
+                        continue
+                    chunk = addrs[start : start + half]
+                    if chunk.size < half:  # records_per_block < 16
+                        pad = half - chunk.size
+                        chunk = np.concatenate(
+                            [chunk, np.zeros(pad, dtype=np.int64)]
+                        )
+                        active = np.concatenate(
+                            [active, np.zeros(pad, dtype=bool)]
+                        )
+                    hw = _access.HalfWarpAccess(
+                        chunk, step.vector.nbytes, active
+                    )
+                    total += len(policy.transactions(hw))
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BlockPool {self.name} {self.layout_kind} "
+            f"{self.live_records}/{self.capacity} records in "
+            f"{self.num_blocks} blocks>"
+        )

@@ -1,0 +1,174 @@
+"""Compaction: migrate sparse blocks, densify slots, return empty blocks.
+
+A long spawn/kill churn leaves a :class:`~repro.cudasim.alloc.block_pool.
+BlockPool` with many partially-occupied blocks.  That costs twice: dead
+slots still occupy heap bytes (blocking other allocations), and sparse
+blocks break the sequential half-warp pattern coalescing needs — a warp
+reading 16 live records spread over 64 slots issues many more
+transactions than one reading a dense prefix.
+
+``compact_pool`` fixes both in three passes:
+
+1. **migrate** — two-pointer walk over blocks ordered by occupancy:
+   records move from the sparsest blocks into the free slots of the
+   densest non-full blocks until the pointers meet;
+2. **densify** — inside each surviving block, live records slide down to
+   the lowest slots, restoring the dense prefix the paper's access
+   analysis assumes;
+3. **release** — now-empty blocks go back to the heap free list, where
+   adjacent holes coalesce (so a subsequent large ``malloc`` that failed
+   on a fragmented heap can succeed).
+
+Every move is recorded in the relocation table; record handles stay
+valid because the pool re-resolves them through its id map, and
+``BlockPool.address_of`` hands out post-relocation device pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ...telemetry import runtime as _telemetry
+from .stats import METRIC_COMPACTIONS, publish_pool_stats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .block_pool import BlockPool
+
+__all__ = ["CompactionReport", "compact_pool"]
+
+
+@dataclass
+class CompactionReport:
+    """What one compaction pass did."""
+
+    pool: str
+    records_moved: int = 0
+    bytes_moved: int = 0
+    blocks_freed: int = 0
+    heap_bytes_freed: int = 0
+    fragmentation_before: float = 0.0
+    fragmentation_after: float = 0.0
+    #: rid -> ((old_block, old_slot), (new_block, new_slot))
+    relocations: dict[int, tuple[tuple[int, int], tuple[int, int]]] = field(
+        default_factory=dict
+    )
+
+    def as_dict(self) -> dict:
+        return {
+            "pool": self.pool,
+            "records_moved": self.records_moved,
+            "bytes_moved": self.bytes_moved,
+            "blocks_freed": self.blocks_freed,
+            "heap_bytes_freed": self.heap_bytes_freed,
+            "fragmentation_before": self.fragmentation_before,
+            "fragmentation_after": self.fragmentation_after,
+            "relocated": len(self.relocations),
+        }
+
+
+def _move_record(
+    pool: "BlockPool",
+    report: CompactionReport,
+    src_bid: int,
+    src_slot: int,
+    dst_bid: int,
+    dst_slot: int,
+) -> None:
+    """Copy one record's device words and rewrite the pool's maps."""
+    src = pool._blocks[src_bid]
+    dst = pool._blocks[dst_bid]
+    words = pool.memory.words
+    for step in pool.layout.steps:
+        src_w = (src.ptr.addr + step.base + step.stride * src_slot) // 4
+        dst_w = (dst.ptr.addr + step.base + step.stride * dst_slot) // 4
+        lanes = step.vector.lanes
+        words[dst_w : dst_w + lanes] = words[src_w : src_w + lanes]
+        words[src_w : src_w + lanes] = 0.0
+    rid = src.rids[src_slot]
+    src.rids[src_slot] = None
+    src.bitmap &= ~(1 << src_slot)
+    src.count -= 1
+    dst.rids[dst_slot] = rid
+    dst.bitmap |= 1 << dst_slot
+    dst.count += 1
+    old = report.relocations.get(rid, ((src_bid, src_slot),) * 2)[0]
+    report.relocations[rid] = (old, (dst_bid, dst_slot))
+    pool._loc[rid] = (dst_bid, dst_slot)
+    report.records_moved += 1
+    report.bytes_moved += pool.layout.bytes_per_record()
+
+
+def _lowest_free_slot(block, full_mask: int) -> int:
+    free = ~block.bitmap & full_mask
+    return (free & -free).bit_length() - 1
+
+
+def _highest_live_slot(block) -> int:
+    return block.bitmap.bit_length() - 1
+
+
+def compact_pool(pool: "BlockPool") -> CompactionReport:
+    """Defragment ``pool``; returns the :class:`CompactionReport`."""
+    report = CompactionReport(
+        pool=pool.name, fragmentation_before=pool.fragmentation_ratio
+    )
+    with _telemetry.span(
+        "cudasim.alloc.compact",
+        pool=pool.name,
+        live=pool.live_records,
+        blocks=pool.num_blocks,
+    ) as sp:
+        # 1. migrate: sparsest blocks drain into densest non-full blocks.
+        order = sorted(
+            pool._blocks, key=lambda b: (-pool._blocks[b].count, b)
+        )
+        left, right = 0, len(order) - 1
+        while left < right:
+            dst = pool._blocks[order[left]]
+            if dst.count == pool.records_per_block:
+                left += 1
+                continue
+            src = pool._blocks[order[right]]
+            if src.count == 0:
+                right -= 1
+                continue
+            _move_record(
+                pool,
+                report,
+                order[right],
+                _highest_live_slot(src),
+                order[left],
+                _lowest_free_slot(dst, pool._full_mask),
+            )
+        # 2. densify: slide live records down to a dense slot prefix.
+        for bid in sorted(pool._blocks):
+            block = pool._blocks[bid]
+            while 0 < block.count <= _highest_live_slot(block):
+                _move_record(
+                    pool,
+                    report,
+                    bid,
+                    _highest_live_slot(block),
+                    bid,
+                    _lowest_free_slot(block, pool._full_mask),
+                )
+        # 3. release empty blocks to the heap free list.
+        empty = [b for b, blk in pool._blocks.items() if blk.count == 0]
+        report.blocks_freed = len(empty)
+        report.heap_bytes_freed = pool.release_empty_blocks()
+        pool._nonfull = {
+            b for b, blk in pool._blocks.items()
+            if blk.count < pool.records_per_block
+        }
+        pool.compactions += 1
+        _telemetry.inc(METRIC_COMPACTIONS, pool=pool.name)
+        report.fragmentation_after = publish_pool_stats(
+            pool
+        ).fragmentation_ratio
+        sp.set(
+            records_moved=report.records_moved,
+            bytes_moved=report.bytes_moved,
+            blocks_freed=report.blocks_freed,
+        )
+    return report

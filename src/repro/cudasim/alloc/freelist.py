@@ -1,0 +1,171 @@
+"""First-fit free-list allocator with adjacent-hole coalescing.
+
+Replaces the original bump-pointer-with-rewind allocator of
+:class:`~repro.cudasim.memory.GlobalMemory`, whose ``free()`` could only
+reclaim the tail of the heap — an interior free leaked its bytes until
+``reset()``.  Here the heap is a sorted list of free segments:
+
+* ``alloc`` walks the segments in address order and carves the first one
+  that can hold the request at the required alignment (cudaMalloc-style
+  256 bytes, so a layout's array bases never lose coalescing);
+* ``free`` returns the segment and merges it with adjacent holes, so an
+  alloc/free churn of any order converges back to one hole instead of
+  shredding the heap;
+* every allocation can carry a ``tag`` (the block pools tag their blocks,
+  the drivers their buffers) so heap dumps are attributable.
+
+``OutOfMemoryError.available`` reports the *largest aligned request that
+would currently succeed* — with an interior-hole allocator, total free
+bytes overstate what a single allocation can get.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator
+
+from ..errors import AllocationError, DoubleFreeError, OutOfMemoryError
+from .stats import HeapStats
+
+__all__ = ["FreeListAllocator"]
+
+
+class FreeListAllocator:
+    """First-fit allocator over the byte range ``[0, size_bytes)``."""
+
+    def __init__(self, size_bytes: int, align: int = 256) -> None:
+        if size_bytes <= 0:
+            raise AllocationError(
+                f"heap size must be positive, got {size_bytes}"
+            )
+        if align <= 0 or align % 4:
+            raise AllocationError(f"alignment must be a word multiple: {align}")
+        self.size_bytes = int(size_bytes)
+        self.align = int(align)
+        # Sorted, non-adjacent free segments as parallel addr/size lists.
+        self._free_addrs: list[int] = [0]
+        self._free_sizes: list[int] = [self.size_bytes]
+        self._allocs: dict[int, tuple[int, object]] = {}  # addr -> (size, tag)
+
+    # -- allocation --------------------------------------------------------
+
+    def alloc(self, nbytes: int, tag: object = None) -> tuple[int, int]:
+        """Reserve ``nbytes`` (word-rounded); returns ``(addr, size)``."""
+        if nbytes <= 0:
+            raise AllocationError(
+                f"allocation size must be positive, got {nbytes}"
+            )
+        size = -(-nbytes // 4) * 4
+        for i, (seg_addr, seg_size) in enumerate(
+            zip(self._free_addrs, self._free_sizes)
+        ):
+            addr = -(-seg_addr // self.align) * self.align
+            end = seg_addr + seg_size
+            if addr + size > end:
+                continue
+            # Carve [addr, addr+size) out of the segment, keeping the
+            # alignment gap in front and the remainder behind as holes.
+            del self._free_addrs[i], self._free_sizes[i]
+            if addr > seg_addr:
+                self._free_addrs.insert(i, seg_addr)
+                self._free_sizes.insert(i, addr - seg_addr)
+                i += 1
+            if end > addr + size:
+                self._free_addrs.insert(i, addr + size)
+                self._free_sizes.insert(i, end - (addr + size))
+            self._allocs[addr] = (size, tag)
+            return addr, size
+        largest = self.largest_alloc
+        raise OutOfMemoryError(
+            f"out of device memory: requested {size} bytes, largest "
+            f"allocatable hole is {largest} ({self.bytes_free} free in "
+            f"{len(self._free_addrs)} holes of {self.size_bytes} total)",
+            requested=size,
+            available=largest,
+        )
+
+    def free(self, addr: int) -> int:
+        """Release the allocation at ``addr``; returns its size."""
+        entry = self._allocs.pop(addr, None)
+        if entry is None:
+            raise DoubleFreeError(f"double free / unknown pointer {addr:#x}")
+        size, _ = entry
+        i = bisect_right(self._free_addrs, addr)
+        # Merge with the preceding hole when it ends exactly at addr.
+        if i > 0 and self._free_addrs[i - 1] + self._free_sizes[i - 1] == addr:
+            i -= 1
+            self._free_sizes[i] += size
+        else:
+            self._free_addrs.insert(i, addr)
+            self._free_sizes.insert(i, size)
+        # Merge with the following hole when it starts at our end.
+        end = self._free_addrs[i] + self._free_sizes[i]
+        if i + 1 < len(self._free_addrs) and self._free_addrs[i + 1] == end:
+            self._free_sizes[i] += self._free_sizes[i + 1]
+            del self._free_addrs[i + 1], self._free_sizes[i + 1]
+        return size
+
+    def reset(self) -> None:
+        self._allocs.clear()
+        self._free_addrs = [0]
+        self._free_sizes = [self.size_bytes]
+
+    # -- introspection -----------------------------------------------------
+
+    def owns(self, addr: int) -> bool:
+        return addr in self._allocs
+
+    def size_of(self, addr: int) -> int:
+        return self._allocs[addr][0]
+
+    def tag_of(self, addr: int) -> object:
+        return self._allocs[addr][1]
+
+    def allocations(self) -> Iterator[tuple[int, int]]:
+        """Live ``(addr, size)`` pairs in address order."""
+        return iter(sorted((a, s) for a, (s, _) in self._allocs.items()))
+
+    @property
+    def bytes_in_use(self) -> int:
+        return sum(s for s, _ in self._allocs.values())
+
+    @property
+    def bytes_free(self) -> int:
+        return sum(self._free_sizes)
+
+    @property
+    def largest_free_block(self) -> int:
+        return max(self._free_sizes, default=0)
+
+    @property
+    def largest_alloc(self) -> int:
+        """Largest aligned single allocation that would succeed now."""
+        best = 0
+        for seg_addr, seg_size in zip(self._free_addrs, self._free_sizes):
+            aligned = -(-seg_addr // self.align) * self.align
+            best = max(best, seg_addr + seg_size - aligned)
+        return best
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        free = self.bytes_free
+        if free <= 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    def stats(self) -> HeapStats:
+        return HeapStats(
+            size_bytes=self.size_bytes,
+            bytes_in_use=self.bytes_in_use,
+            bytes_free=self.bytes_free,
+            largest_free_block=self.largest_free_block,
+            largest_alloc=self.largest_alloc,
+            free_segments=len(self._free_addrs),
+            allocations=len(self._allocs),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FreeListAllocator {self.bytes_in_use}/{self.size_bytes} used, "
+            f"{len(self._free_addrs)} holes>"
+        )

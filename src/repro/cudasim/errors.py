@@ -28,6 +28,15 @@ class AllocationError(MemoryError_):
     """Device allocator could not satisfy a request."""
 
 
+class DoubleFreeError(AllocationError):
+    """``free()`` of a pointer that is not (or no longer) allocated.
+
+    Raised for the classic double free and for frees of addresses the
+    allocator never handed out — including a stale pointer whose hole
+    has since been coalesced into a neighbour.
+    """
+
+
 class LaunchError(CudaSimError):
     """Kernel launch configuration exceeds device limits."""
 

@@ -763,7 +763,7 @@ def _heap_segments(gmem: GlobalMemory) -> list[tuple[int, np.ndarray]]:
     """Live allocations as (addr, words) pairs — the part worth shipping."""
     return [
         (addr, gmem.words[addr // 4 : (addr + nbytes) // 4].copy())
-        for addr, nbytes in sorted(gmem._allocs.items())
+        for addr, nbytes in gmem.allocations()
     ]
 
 

@@ -1,11 +1,14 @@
 """Device memory: the global heap and per-block shared memory.
 
-Global memory is a flat word-addressed ``float32`` store with a simple
-first-fit allocator (``cudaMalloc``-style 256-byte aligned).  All kernel
-data is 32-bit words, matching the G80's register width; integer data is
-stored via its bit pattern-free float value (the simulator's kernels only
-ever store f32 data and integer *addresses* never round-trip through
-memory).
+Global memory is a flat word-addressed ``float32`` store with a real
+first-fit allocator (``cudaMalloc``-style 256-byte aligned): frees — of
+interior allocations too — return their bytes to a coalescing free list
+(:class:`repro.cudasim.alloc.freelist.FreeListAllocator`), so long-running
+and dynamic-population workloads can churn allocations without leaking
+the heap until ``reset()``.  All kernel data is 32-bit words, matching
+the G80's register width; integer data is stored via its bit pattern-free
+float value (the simulator's kernels only ever store f32 data and integer
+*addresses* never round-trip through memory).
 
 Shared memory is a per-block word array plus the CC 1.x bank-conflict
 rule: 16 banks, 4 bytes wide, conflicts counted per half-warp with the
@@ -19,12 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .errors import (
-    AccessViolation,
-    AllocationError,
-    MisalignedAccess,
-    OutOfMemoryError,
-)
+from .alloc.freelist import FreeListAllocator
+from .errors import AccessViolation, AllocationError, MisalignedAccess
 from .device import DeviceProperties
 
 __all__ = [
@@ -52,6 +51,21 @@ class DevicePtr:
             )
         return DevicePtr(self.addr + nbytes, self.nbytes - nbytes)
 
+    def slice(self, offset: int, nbytes: int) -> "DevicePtr":
+        """Bounded sub-view: ``nbytes`` starting ``offset`` bytes in.
+
+        Unlike :meth:`offset`, the result does not inherit the rest of
+        the parent's extent — out-of-range accesses through the view are
+        caught at the view's own bound, which is what sub-buffer users
+        (per-field array bases inside one layout allocation) want.
+        """
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise AccessViolation(
+                f"slice [{offset}, {offset + nbytes}) outside allocation "
+                f"of {self.nbytes} bytes"
+            )
+        return DevicePtr(self.addr + offset, nbytes)
+
 
 class GlobalMemory:
     """Flat device heap with allocation tracking and bounds checking."""
@@ -63,45 +77,52 @@ class GlobalMemory:
             raise AllocationError("global memory size must be word aligned")
         self.size_bytes = int(size_bytes)
         self.words = np.zeros(self.size_bytes // 4, dtype=np.float32)
-        self._allocs: dict[int, int] = {}  # addr -> nbytes
-        self._cursor = 0
+        self._freelist = FreeListAllocator(
+            self.size_bytes, align=self.ALLOC_ALIGN
+        )
 
     # -- allocator ---------------------------------------------------------
 
-    def alloc(self, nbytes: int) -> DevicePtr:
-        if nbytes <= 0:
-            raise AllocationError(f"allocation size must be positive, got {nbytes}")
-        aligned = -(-nbytes // 4) * 4
-        addr = -(-self._cursor // self.ALLOC_ALIGN) * self.ALLOC_ALIGN
-        if addr + aligned > self.size_bytes:
-            available = self.size_bytes - addr
-            raise OutOfMemoryError(
-                f"out of device memory: requested {aligned} bytes, "
-                f"{max(0, available)} of {self.size_bytes} available",
-                requested=aligned,
-                available=max(0, available),
-            )
-        self._allocs[addr] = aligned
-        self._cursor = addr + aligned
-        return DevicePtr(addr, aligned)
+    def alloc(self, nbytes: int, tag: object = None) -> DevicePtr:
+        """First-fit allocation, 256-byte aligned; raises
+        :class:`~repro.cudasim.errors.OutOfMemoryError` with the largest
+        currently-satisfiable request in ``available``."""
+        addr, size = self._freelist.alloc(nbytes, tag)
+        return DevicePtr(addr, size)
 
-    def free(self, ptr: DevicePtr) -> None:
-        if self._allocs.pop(ptr.addr, None) is None:
-            raise AllocationError(f"double free / unknown pointer {ptr.addr:#x}")
-        # Bump-allocator rewind: reclaim the tail of the heap.
-        self._cursor = max(
-            (a + n for a, n in self._allocs.items()), default=0
-        )
+    def free(self, ptr: DevicePtr | int) -> None:
+        """Return an allocation to the free list (holes coalesce)."""
+        self._freelist.free(int(ptr))
 
     def reset(self) -> None:
         """Free everything (used between experiment runs)."""
-        self._allocs.clear()
-        self._cursor = 0
+        self._freelist.reset()
         self.words[:] = 0.0
+
+    def allocations(self):
+        """Live ``(addr, nbytes)`` pairs in address order."""
+        return self._freelist.allocations()
+
+    def heap_stats(self):
+        """Free-list snapshot (:class:`repro.cudasim.alloc.HeapStats`)."""
+        return self._freelist.stats()
 
     @property
     def bytes_in_use(self) -> int:
-        return sum(self._allocs.values())
+        return self._freelist.bytes_in_use
+
+    @property
+    def bytes_free(self) -> int:
+        return self._freelist.bytes_free
+
+    @property
+    def largest_free_block(self) -> int:
+        return self._freelist.largest_free_block
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        """1 − largest free hole / total free bytes (0 when unfragmented)."""
+        return self._freelist.fragmentation_ratio
 
     # -- host transfers -------------------------------------------------------
 

@@ -103,6 +103,14 @@ def _model_vs_sim(quick: bool) -> ExperimentResult:
     return model_vs_sim.run()
 
 
+def _frag(quick: bool) -> ExperimentResult:
+    from . import frag_dynamics
+
+    if quick:
+        return frag_dynamics.run(n=256, rounds=3, records_per_block=32)
+    return frag_dynamics.run()
+
+
 def _warp_scaling(quick: bool) -> ExperimentResult:
     from . import warp_scaling
 
@@ -123,6 +131,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
     "model": ("Eq. 2 instruction model vs the cycle simulator", _model_vs_sim),
     "bh": ("Barnes-Hut opening-angle trade-off (Sec. I-C)", _bh_tradeoff),
     "bhgpu": ("GPU tree code vs GPU O(n²) kernel (Sec. I-D)", _bh_vs_n2),
+    "frag": ("layout coalescing under dynamic populations", _frag),
 }
 
 

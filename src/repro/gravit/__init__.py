@@ -35,6 +35,8 @@ from .gpu_driver import (
     GpuForceBackend,
     GpuSimulation,
     HybridTiming,
+    PooledSimulation,
+    device_buffers,
 )
 from .gpu_kernels import (
     ALL_FIELDS,
@@ -74,6 +76,8 @@ __all__ = [
     "GpuConfig",
     "GpuForceBackend",
     "GpuSimulation",
+    "PooledSimulation",
+    "device_buffers",
     "bh_forces_gpu",
     "build_bh_kernel",
     "pack_tree",

@@ -22,17 +22,19 @@ block size × unroll × ICM × toolchain) and executes it in three modes:
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Literal, Union
 
 import numpy as np
 
-from ..core.layouts import MemoryLayout, make_layout
+from ..core.layouts import LoadStep, MemoryLayout, make_layout
 from ..telemetry import runtime as _telemetry
 from ..cudasim.device import DeviceProperties, G8800GTX, Toolchain
 from ..cudasim.kernel_cache import CompileOptions, Unroll
 from ..cudasim.launch import Device, LaunchResult
 from ..cudasim.lower import LoweredKernel
+from ..cudasim.memory import DevicePtr
 from ..cudasim.occupancy import occupancy
 from .forces_cpu import direct_forces_f32_tiled
 from .gpu_kernels import (
@@ -50,8 +52,51 @@ __all__ = [
     "GpuForceBackend",
     "GpuSimulation",
     "HybridTiming",
+    "PooledSimulation",
     "PCIE_BYTES_PER_S",
+    "device_buffers",
 ]
+
+
+@contextmanager
+def device_buffers(device: Device, *sizes: int):
+    """Allocate device buffers that cannot leak.
+
+    Yields one :class:`DevicePtr` per requested size and frees them all
+    (in reverse order) on exit — including when the body, or a later
+    allocation in the argument list, raises.  Replaces the hand-rolled
+    ``try/finally`` malloc/free pairs that used to be copy-pasted around
+    every launch.
+    """
+    ptrs: list[DevicePtr] = []
+    try:
+        for nbytes in sizes:
+            ptrs.append(device.malloc(nbytes))
+        yield tuple(ptrs)
+    finally:
+        for ptr in reversed(ptrs):
+            device.free(ptr)
+
+
+def _step_view(buf: DevicePtr, layout: MemoryLayout, step: LoadStep) -> DevicePtr:
+    """Bounded sub-buffer of one load step's array inside ``buf``.
+
+    The view spans exactly the step's records — kernels get a pointer
+    whose extent matches the array it addresses instead of one computed
+    by raw address arithmetic against the whole allocation.
+    """
+    extent = step.stride * (layout.n - 1) + step.vector.nbytes
+    return buf.slice(step.base, extent)
+
+
+def _step_params(
+    buf: DevicePtr, layout: MemoryLayout, plan: KernelPlan, fields
+) -> dict:
+    """Per-step kernel pointer parameters for a layout living at ``buf``."""
+    return {
+        name: _step_view(buf, layout, step)
+        for name, step in zip(plan.param_for_step, layout.read_plan(fields))
+    }
 
 
 class ExecutionMode(enum.Enum):
@@ -208,26 +253,6 @@ class GpuForceBackend:
 
     # -- cycle mode ------------------------------------------------------------
 
-    def _upload(
-        self, system: ParticleSystem
-    ) -> tuple[ParticleSystem, MemoryLayout, dict, object]:
-        cfg = self.config
-        padded = system.padded(cfg.block_size)
-        layout = make_layout(cfg.layout_kind, padded.n)
-        buf = self.device.malloc(layout.size_bytes)
-        self.device.memcpy_htod(buf, padded.pack(layout))
-        out = self.device.malloc(16 * padded.n)
-        steps = layout.read_plan(POSMASS_FIELDS)
-        assert self._plan is not None
-        params = {
-            name: buf.addr + step.base
-            for name, step in zip(self._plan.param_for_step, steps)
-        }
-        params.update(
-            out=out, nslices=padded.n // cfg.block_size, eps=cfg.eps
-        )
-        return padded, layout, params, (buf, out)
-
     def forces_cycle(
         self, system: ParticleSystem, trace=None
     ) -> tuple[np.ndarray, LaunchResult]:
@@ -246,8 +271,17 @@ class GpuForceBackend:
             n=system.n,
             label=cfg.label,
         ) as sp:
-            padded, layout, params, (buf, out) = self._upload(system)
-            try:
+            padded = system.padded(cfg.block_size)
+            layout = make_layout(cfg.layout_kind, padded.n)
+            assert self._plan is not None
+            with device_buffers(
+                self.device, layout.size_bytes, 16 * padded.n
+            ) as (buf, out):
+                self.device.memcpy_htod(buf, padded.pack(layout))
+                params = _step_params(buf, layout, self._plan, POSMASS_FIELDS)
+                params.update(
+                    out=out, nslices=padded.n // cfg.block_size, eps=cfg.eps
+                )
                 result = self.device.launch(
                     lk,
                     grid=padded.n // cfg.block_size,
@@ -256,9 +290,6 @@ class GpuForceBackend:
                     trace=trace,
                 )
                 words = self.device.memcpy_dtoh(out, 4 * padded.n)
-            finally:
-                self.device.free(out)
-                self.device.free(buf)
             sp.set(cycles=result.cycles)
         records = words.reshape(-1, 4)
         forces = records[: system.n, :3].astype(np.float64) * cfg.g
@@ -311,20 +342,18 @@ class GpuForceBackend:
             masses=np.full(n_data, 1.0 / n_data, dtype=np.float32),
         )
         layout = make_layout(cfg.layout_kind, n_data)
-        buf = self.device.malloc(layout.size_bytes)
-        self.device.memcpy_htod(buf, synthetic.pack(layout))
-        out = self.device.malloc(16 * n_data)
-        steps = layout.read_plan(POSMASS_FIELDS)
         assert self._plan is not None
-        base_params = {
-            name: buf.addr + step.base
-            for name, step in zip(self._plan.param_for_step, steps)
-        }
         cycles = {}
         with _telemetry.span(
             "gravit.calibrate", layout=cfg.layout_kind, label=cfg.label
         ):
-            try:
+            with device_buffers(
+                self.device, layout.size_bytes, 16 * n_data
+            ) as (buf, out):
+                self.device.memcpy_htod(buf, synthetic.pack(layout))
+                base_params = _step_params(
+                    buf, layout, self._plan, POSMASS_FIELDS
+                )
                 for s in (s1, s2):
                     params = dict(base_params, out=out, nslices=s, eps=cfg.eps)
                     result = self.device.launch(
@@ -335,9 +364,6 @@ class GpuForceBackend:
                         sm_count=1,
                     )
                     cycles[s] = result.cycles
-            finally:
-                self.device.free(out)
-                self.device.free(buf)
         per_slice = (cycles[s2] - cycles[s1]) / (s2 - s1)
         setup = max(0.0, cycles[s1] - s1 * per_slice)
         self._hybrid = HybridTiming(
@@ -414,11 +440,7 @@ class GpuSimulation:
         self.steps_done = 0
 
     def _params_for(self, plan: KernelPlan, fields) -> dict:
-        steps = self.layout.read_plan(fields)
-        return {
-            name: self._buf.addr + step.base
-            for name, step in zip(plan.param_for_step, steps)
-        }
+        return _step_params(self._buf, self.layout, plan, fields)
 
     def _launch_forces(self, trace=None) -> float:
         cfg = self.config
@@ -485,6 +507,130 @@ class GpuSimulation:
         self.device.free(self._buf)
 
     def __enter__(self) -> "GpuSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PooledSimulation:
+    """Device-resident run over a *dynamic* particle population.
+
+    The :class:`~repro.cudasim.alloc.BlockPool` is the system of record:
+    particles live in its (possibly sparse) blocks and the population can
+    grow (:meth:`spawn`) or shrink (:meth:`remove`) between steps — the
+    use case Gravit's static ``cudaMalloc``-everything port cannot serve.
+    Stepping gathers the live records into a contiguous staging layout
+    (the host-mediated analogue of a defragmenting gather kernel),
+    advances it with :class:`GpuSimulation`'s two-kernel step, and
+    scatters the result back to the pool records on :meth:`writeback` —
+    record handles stay stable throughout, including across pool
+    compaction.  Staging buffers come from the *same* device heap as the
+    pool's blocks, so heap pressure and fragmentation are real.
+    """
+
+    def __init__(
+        self,
+        pool,
+        device: Device,
+        config: GpuConfig | None = None,
+        handles=None,
+        **config_overrides,
+    ) -> None:
+        if getattr(device, "gmem", None) is not pool.memory:
+            raise ValueError(
+                "device must own the pool's heap "
+                "(expected device.gmem is pool.memory)"
+            )
+        self.config = config or GpuConfig(**config_overrides)
+        if config is not None and config_overrides:
+            raise ValueError("pass either a GpuConfig or keyword overrides")
+        self.pool = pool
+        self.device = device
+        self.handles = (
+            list(handles) if handles is not None else pool.live_handles()
+        )
+        self._sim: GpuSimulation | None = None
+        self.cycles_total = 0.0
+        self.steps_done = 0
+
+    @property
+    def n(self) -> int:
+        return len(self.handles)
+
+    # -- population changes ------------------------------------------------
+
+    def spawn(self, system: ParticleSystem) -> list:
+        """Add particles (allocated from the pool); returns their handles."""
+        self._flush()
+        new = system.spawn_into(self.pool)
+        self.handles.extend(new)
+        return new
+
+    def remove(self, handles) -> None:
+        """Kill particles: their pool records are freed immediately."""
+        self._flush()
+        doomed = {h.rid for h in handles}
+        for h in handles:
+            self.pool.free(h)
+        self.handles = [h for h in self.handles if h.rid not in doomed]
+
+    def compact(self):
+        """Compact the pool (staged state is written back first)."""
+        self._flush()
+        return self.pool.compact()
+
+    # -- stepping ----------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Scatter staged state back to the pool; drop the staging sim."""
+        if self._sim is not None:
+            state = self._sim.download()
+            self.pool.write_fields(self.handles, state.as_dict())
+            self._sim.close()
+            self._sim = None
+
+    def _staging(self) -> GpuSimulation:
+        if self._sim is None:
+            if not self.handles:
+                raise ValueError("pooled simulation has no live particles")
+            state = ParticleSystem.from_pool(self.pool, self.handles)
+            self._sim = GpuSimulation(state, self.config, device=self.device)
+        return self._sim
+
+    def step(self, dt: float, scheme: str = "euler") -> float:
+        """One device step over the current population; returns cycles."""
+        cycles = self._staging().step(dt, scheme=scheme)
+        self.cycles_total += cycles
+        self.steps_done += 1
+        return cycles
+
+    def run(self, steps: int, dt: float, scheme: str = "euler") -> float:
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        total = 0.0
+        for _ in range(steps):
+            total += self.step(dt, scheme=scheme)
+        return total
+
+    # -- state -------------------------------------------------------------
+
+    def state(self) -> ParticleSystem:
+        """Current particle state (staged if mid-epoch, else from pool)."""
+        if self._sim is not None:
+            return self._sim.download()
+        return ParticleSystem.from_pool(self.pool, self.handles)
+
+    def writeback(self) -> ParticleSystem:
+        """Flush staged state to the pool and return it."""
+        self._flush()
+        return ParticleSystem.from_pool(self.pool, self.handles)
+
+    def close(self) -> None:
+        """Flush to the pool and release staging buffers (pool survives)."""
+        self._flush()
+
+    def __enter__(self) -> "PooledSimulation":
         return self
 
     def __exit__(self, *exc) -> None:

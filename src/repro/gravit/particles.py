@@ -149,6 +149,56 @@ class ParticleSystem:
             **{name: getattr(self, name)[:n].copy() for name in _FIELDS}
         )
 
+    def remove(self, indices) -> "ParticleSystem":
+        """Drop the particles at ``indices`` (or under a boolean mask).
+
+        The population-shrinking half of a dynamic simulation (mergers,
+        escapers, accretion onto a sink).  Removing every particle is an
+        error — a :class:`ParticleSystem` cannot be empty.
+        """
+        sel = np.asarray(indices)
+        if sel.dtype == bool:
+            if sel.shape != (self.n,):
+                raise ValueError(
+                    f"mask shape {sel.shape} does not match n={self.n}"
+                )
+            keep = ~sel
+        else:
+            sel = sel.astype(np.int64)
+            if sel.size and (sel.min() < -self.n or sel.max() >= self.n):
+                raise IndexError(f"remove index out of range 0..{self.n - 1}")
+            keep = np.ones(self.n, dtype=bool)
+            keep[sel] = False
+        if not keep.any():
+            raise ValueError("cannot remove every particle")
+        return ParticleSystem(
+            **{name: getattr(self, name)[keep].copy() for name in _FIELDS}
+        )
+
+    # -- dynamic populations (block-pool backed) -------------------------------
+
+    def spawn_into(self, pool) -> list:
+        """Append this system's particles to a device block pool.
+
+        ``pool`` is a :class:`repro.cudasim.alloc.BlockPool` registered
+        with the particle struct (any layout kind).  Returns the record
+        handles, in particle order; they stay valid across compaction.
+        """
+        handles = pool.allocate_many(self.n)
+        pool.write_fields(handles, self.as_dict())
+        return handles
+
+    @classmethod
+    def from_pool(cls, pool, handles=None) -> "ParticleSystem":
+        """Gather a particle system back out of a block pool.
+
+        ``handles`` selects (and orders) the records; default is every
+        live record in deterministic (block, slot) order.
+        """
+        if handles is None:
+            handles = pool.live_handles()
+        return cls.from_dict(pool.read_fields(handles, _FIELDS))
+
     # -- diagnostics -----------------------------------------------------------
 
     def total_mass(self) -> float:
