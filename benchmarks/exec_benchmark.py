@@ -1,0 +1,115 @@
+"""Executor wall-clock benchmark: codegen fastpath vs the interpreter.
+
+Times the paper's two simulation-heavy sweeps — the Fig. 10 layout ×
+toolchain grid (which also powers Fig. 11's derived speedups) and the
+unroll-factor sweep — once with the reference interpreter
+(``REPRO_EXEC_FASTPATH=0``) and once with the codegen fast path of
+:mod:`repro.cudasim.fastpath`.  Each mode gets one warm-up pass so the
+kernel-compilation and fastpath-codegen caches are hot and the numbers
+measure cycle simulation, not compilation; the reported time is then the
+best of ``--repeats`` runs.
+
+The fast path is bit-identical to the interpreter by construction
+(``tests/test_fastpath.py`` pins memory images, stats and cycle counts),
+so this benchmark only reports time.
+
+Writes ``BENCH_exec.json`` at the repository root::
+
+    python benchmarks/exec_benchmark.py [--repeats 3] [--out BENCH_exec.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+#: Unroll factors for the sweep: rolled, the paper's plateau entry
+#: points, and fully unrolled (the largest generated kernel).
+UNROLL_FACTORS = (1, 4, 16, 128)
+
+
+def _best_of(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def bench_sweeps(repeats: int) -> dict:
+    from repro.cudasim.fastpath import FASTPATH_ENV
+    from repro.cudasim.kernel_cache import KernelCache, set_default_cache
+    from repro.experiments import (
+        fig10_memory_cycles,
+        fig11_layout_speedup,
+        unrolling_sweep,
+    )
+
+    def sweep_fig10_fig11():
+        fig10 = fig10_memory_cycles.run(serial=True)
+        fig11_layout_speedup.run(fig10=fig10)
+
+    def sweep_unroll():
+        unrolling_sweep.run(factors=UNROLL_FACTORS, serial=True)
+
+    sweeps = (
+        ("fig10_fig11", sweep_fig10_fig11),
+        ("unroll", sweep_unroll),
+    )
+    saved = os.environ.get(FASTPATH_ENV)
+    out: dict = {}
+    try:
+        for name, sweep in sweeps:
+            for mode, env in (("interpreter", "0"), ("fastpath", "1")):
+                os.environ[FASTPATH_ENV] = env
+                set_default_cache(KernelCache())
+                sweep()  # warm the compile + codegen caches
+                out[f"{name}_{mode}_s"] = _best_of(sweep, repeats)
+            out[f"{name}_speedup"] = (
+                out[f"{name}_interpreter_s"] / out[f"{name}_fastpath_s"]
+            )
+    finally:
+        if saved is None:
+            os.environ.pop(FASTPATH_ENV, None)
+        else:
+            os.environ[FASTPATH_ENV] = saved
+        set_default_cache(None)
+    interp = sum(out[f"{n}_interpreter_s"] for n, _ in sweeps)
+    fast = sum(out[f"{n}_fastpath_s"] for n, _ in sweeps)
+    out["total_interpreter_s"] = interp
+    out["total_fastpath_s"] = fast
+    out["overall_speedup"] = interp / fast
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_exec.json")
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "executor fastpath vs interpreter (fig10+fig11 / unroll)",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "unroll_factors": list(UNROLL_FACTORS),
+        "note": (
+            "best-of-N with warm compile/codegen caches; both modes "
+            "produce bit-identical memory, stats and cycles "
+            "(tests/test_fastpath.py)"
+        ),
+        "results": bench_sweeps(args.repeats),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

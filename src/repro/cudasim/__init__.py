@@ -47,6 +47,14 @@ from .errors import (
     StreamError,
 )
 from .executor import SM_ENGINES
+from .cfg import BasicBlock, FUSIBLE_OPS, fusible_run_ends, split_blocks
+from .fastpath import (
+    FASTPATH_ENV,
+    FastProgram,
+    FastSMExecutor,
+    compile_fastpath,
+    fastpath_enabled,
+)
 from .ir import IfStmt, Kernel, KernelBuilder, LoopStmt, RawStmt, Seq
 from .isa import Imm, Instr, Op, Param, Reg, Special, SReg
 from .kernel_cache import (
@@ -126,6 +134,15 @@ __all__ = [
     "default_cache",
     "set_default_cache",
     "Stream",
+    "BasicBlock",
+    "FUSIBLE_OPS",
+    "fusible_run_ends",
+    "split_blocks",
+    "FASTPATH_ENV",
+    "FastProgram",
+    "FastSMExecutor",
+    "compile_fastpath",
+    "fastpath_enabled",
     "Event",
     "SM_ENGINES",
     "lower",

@@ -31,6 +31,7 @@ import atexit
 import concurrent.futures
 import os
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -134,6 +135,8 @@ class WarpState:
         "at_barrier",
         "done",
         "tid",
+        "_fp_act",
+        "_fp_na",
     )
 
     def __init__(
@@ -147,11 +150,20 @@ class WarpState:
         self.div_stack: list[tuple[int, np.ndarray]] = []
         self.regs = np.zeros((max(reg_count, 1), WARP), dtype=_F64)
         self.preds = np.zeros((max(pred_count, 1), WARP), dtype=bool)
-        self.pending: dict[int, float] = {}
+        # Scoreboard: per-register ready cycle.  A dense float64 array
+        # (0.0 = always ready) instead of a dict, so readiness checks are
+        # one vectorized gather+max instead of a per-register dict walk.
+        self.pending = np.zeros(max(reg_count, 1), dtype=_F64)
         self.next_issue = 0.0
         self.at_barrier = False
         self.done = False
         self.tid = warp_in_block * WARP + np.arange(WARP, dtype=np.int64)
+        # Fastpath cache: active-lane count keyed by the identity of
+        # ``active`` (every change rebinds a fresh array, see _exit_if
+        # and _retire, and the cache keeps the old object alive so its
+        # id cannot be reused).
+        self._fp_act = None
+        self._fp_na = 0
 
 
 class _Prep:
@@ -170,6 +182,7 @@ class _Prep:
         "target",
         "issue_class",
         "need_regs",
+        "need_arr",
     )
 
     def __init__(self, instr: Instr):
@@ -260,6 +273,7 @@ class SMExecutor:
             for d in ins.dsts:
                 if not d.is_predicate:
                     p.need_regs.append(lk.reg_map[d.name])
+            p.need_arr = np.array(p.need_regs, dtype=np.intp)
             out.append(p)
         return out
 
@@ -304,6 +318,24 @@ class SMExecutor:
             arr = np.broadcast_to(np.asarray(value, dtype=_F64), (WARP,))
             warp.regs[dst][mask] = arr[mask]
 
+    def _store_values(
+        self, warp: WarpState, p: _Prep, lanes: int, idx: np.ndarray
+    ) -> np.ndarray:
+        """Lane-selected store operands as a ``(lanes, idx.size)`` matrix.
+
+        Scalar operands fill their row directly (equivalent to broadcasting
+        across the warp and then indexing); vector operands are indexed
+        once, without materializing the full-warp broadcast per lane.
+        """
+        vals = np.empty((lanes, idx.size), dtype=_F64)
+        for k in range(lanes):
+            v = self._value(warp, p.src_kinds[1 + k], p.srcs[1 + k])
+            if isinstance(v, np.ndarray) and v.ndim:
+                vals[k] = v[idx]
+            else:
+                vals[k] = v
+        return vals
+
     # ------------------------------------------------------------ readiness
 
     def _wake_time(self, warp: WarpState) -> float | None:
@@ -311,9 +343,11 @@ class SMExecutor:
         if warp.done or warp.at_barrier:
             return None
         t = warp.next_issue
-        p = self._prepped[warp.pc]
-        for r in p.need_regs:
-            t = max(t, warp.pending.get(r, 0.0))
+        need = self._prepped[warp.pc].need_arr
+        if need.size:
+            ready = float(warp.pending[need].max())
+            if ready > t:
+                t = ready
         return t
 
     def _ready(self, warp: WarpState, now: float) -> bool:
@@ -341,13 +375,13 @@ class SMExecutor:
                 return end
 
     def _run(self, block_ids: list[int], max_resident: int) -> float:
-        queue = list(block_ids)
+        queue = deque(block_ids)
         resident: list[BlockState] = []
         now = 0.0
 
         def activate() -> None:
             while queue and len(resident) < max_resident:
-                bid = queue.pop(0)
+                bid = queue.popleft()
                 blk = BlockState(
                     block_id=bid,
                     shared=SharedMemory(self.lk.shared_words, self.device),
@@ -365,8 +399,10 @@ class SMExecutor:
 
         activate()
         rr = 0
+        # The flat warp list only changes on block retire/admit, so it is
+        # cached across scheduler iterations instead of rebuilt each time.
+        warps = [w for blk in resident for w in blk.warps]
         while resident:
-            warps = [w for blk in resident for w in blk.warps]
             issued = False
             n = len(warps)
             for k in range(n):
@@ -384,6 +420,7 @@ class SMExecutor:
                 for b in finished:
                     resident.remove(b)
                 activate()
+                warps = [w for blk in resident for w in blk.warps]
                 continue
             if issued:
                 continue
@@ -560,7 +597,9 @@ class SMExecutor:
             pv = warp.preds[p.pred]
             dying = warp.active & ((~pv) if p.pred_neg else pv)
         warp.alive &= ~dying
-        warp.active &= ~dying
+        # Rebind instead of mutating in place: the fastpath caches the
+        # active-lane count by the mask's identity.
+        warp.active = warp.active & ~dying
         if not warp.alive.any():
             self._retire(warp, now)
             return False
@@ -579,7 +618,7 @@ class SMExecutor:
         if warp.done:
             return
         warp.done = True
-        warp.active[:] = False
+        warp.active = np.zeros(WARP, dtype=bool)
         # A retiring warp may release a barrier its siblings wait on.
         blk = warp.block
         live = blk.live_warps
@@ -603,8 +642,10 @@ class SMExecutor:
 
     def _addresses(self, warp: WarpState, p: _Prep) -> np.ndarray:
         base = self._value(warp, p.src_kinds[0], p.srcs[0])
-        addrs = _i64(np.broadcast_to(np.asarray(base, dtype=_F64), (WARP,)))
-        return addrs + p.offset
+        a = np.asarray(base, dtype=_F64)
+        if a.ndim == 0:
+            a = np.broadcast_to(a, (WARP,))
+        return np.asarray(a, dtype=np.int64) + p.offset
 
     def _global_access(
         self, warp: WarpState, p: _Prep, mask: np.ndarray, now: float
@@ -616,17 +657,18 @@ class SMExecutor:
         if not mask.any():
             return dev.alu_issue_cycles
         # Functional effect.
-        idx = np.flatnonzero(mask)
-        if is_load:
+        if is_load and mask.all():
+            data = self.gmem.gather(addrs, lanes)
+            for k, dst in enumerate(p.dsts):
+                warp.regs[dst][:] = data[k]
+        elif is_load:
+            idx = mask.nonzero()[0]
             data = self.gmem.gather(addrs[idx], lanes)
             for k, dst in enumerate(p.dsts):
                 warp.regs[dst][idx] = data[k]
         else:
-            vals = np.empty((lanes, idx.size), dtype=_F64)
-            for k in range(lanes):
-                v = self._value(warp, p.src_kinds[1 + k], p.srcs[1 + k])
-                vals[k] = np.broadcast_to(np.asarray(v, dtype=_F64), (WARP,))[idx]
-            self.gmem.scatter(addrs[idx], vals)
+            idx = mask.nonzero()[0]
+            self.gmem.scatter(addrs[idx], self._store_values(warp, p, lanes, idx))
         if self.trace is not None:
             self.trace(
                 pc=warp.pc,
@@ -665,8 +707,13 @@ class SMExecutor:
         addrs = self._addresses(warp, p)
         if not mask.any():
             return dev.alu_issue_cycles
-        idx = np.flatnonzero(mask)
-        data = self.gmem.gather(addrs[idx], lanes)
+        if mask.all():
+            idx = slice(None)
+            sel = addrs
+        else:
+            idx = mask.nonzero()[0]
+            sel = addrs[idx]
+        data = self.gmem.gather(sel, lanes)
         for k, dst in enumerate(p.dsts):
             warp.regs[dst][idx] = data[k]
         if self.trace is not None:
@@ -679,7 +726,7 @@ class SMExecutor:
                 addresses=addrs,
                 active=mask,
             )
-        ready = self.texcache.access(addrs[idx], 4 * lanes, now)
+        ready = self.texcache.access(sel, 4 * lanes, now)
         for dst in p.dsts:
             self._mark(warp, dst, ready)
         return dev.alu_issue_cycles
@@ -698,18 +745,21 @@ class SMExecutor:
         if not mask.any():
             return dev.alu_issue_cycles
         shared = warp.block.shared
-        idx = np.flatnonzero(mask)
-        if is_load:
+        if is_load and mask.all():
+            # Fully-active load: skip the lane-select copies.
+            data = shared.gather(addrs, lanes)
+            for k, dst in enumerate(p.dsts):
+                warp.regs[dst][:] = data[k]
+                self._mark(warp, dst, now + dev.alu_result_latency)
+        elif is_load:
+            idx = mask.nonzero()[0]
             data = shared.gather(addrs[idx], lanes)
             for k, dst in enumerate(p.dsts):
                 warp.regs[dst][idx] = data[k]
                 self._mark(warp, dst, now + dev.alu_result_latency)
         else:
-            vals = np.empty((lanes, idx.size), dtype=_F64)
-            for k in range(lanes):
-                v = self._value(warp, p.src_kinds[1 + k], p.srcs[1 + k])
-                vals[k] = np.broadcast_to(np.asarray(v, dtype=_F64), (WARP,))[idx]
-            shared.scatter(addrs[idx], vals)
+            idx = mask.nonzero()[0]
+            shared.scatter(addrs[idx], self._store_values(warp, p, lanes, idx))
         degree = shared.conflict_degree(addrs, lanes, mask)
         return dev.alu_issue_cycles * degree
 
@@ -779,9 +829,14 @@ def _run_sm_serial(
     resident: int,
     sm_index: int,
     trace=None,
+    fastpath: bool = False,
 ) -> SMRun:
     stats = KernelStats()
-    ex = SMExecutor(
+    if fastpath:
+        from .fastpath import FastSMExecutor as executor_cls
+    else:
+        executor_cls = SMExecutor
+    ex = executor_cls(
         device=device,
         policy=policy,
         gmem=gmem,
@@ -801,13 +856,13 @@ def _run_sm_serial(
 def _run_sm_task(payload: tuple):
     """Process-pool task: rebuild the heap, simulate one SM, return stores."""
     (device, policy, size_bytes, segments, lk, params, block_dim, grid_dim,
-     block_ids, resident, sm_index) = payload
+     block_ids, resident, sm_index, fastpath) = payload
     gmem = _WriteLogMemory(size_bytes)
     for addr, words in segments:
         gmem.write(addr, words)
     run = _run_sm_serial(
         device, policy, gmem, lk, params, block_dim, grid_dim,
-        block_ids, resident, sm_index,
+        block_ids, resident, sm_index, fastpath=fastpath,
     )
     return run, gmem.store_log
 
@@ -854,6 +909,7 @@ def run_sms(
     engine: str = "serial",
     max_workers: int | None = None,
     trace=None,
+    fastpath: bool = False,
 ) -> list[SMRun]:
     """Simulate every (sm_index, block_ids) assignment; results in SM order.
 
@@ -861,6 +917,9 @@ def run_sms(
     observes accesses in program order and is not generally picklable.
     Under ``process``, worker stores are replayed into ``gmem`` in SM
     order, so race-free kernels end with a bit-identical heap.
+    ``fastpath`` selects the codegen'd executor
+    (:class:`repro.cudasim.fastpath.FastSMExecutor`); every engine ×
+    fastpath combination produces identical results.
     """
     if engine not in SM_ENGINES:
         raise ValueError(f"unknown SM engine {engine!r}; choose from {SM_ENGINES}")
@@ -871,7 +930,7 @@ def run_sms(
         return [
             _run_sm_serial(
                 device, policy, gmem, lk, params, block_dim, grid_dim,
-                block_ids, resident, sm, trace=trace,
+                block_ids, resident, sm, trace=trace, fastpath=fastpath,
             )
             for sm, block_ids in assignments
         ]
@@ -885,7 +944,8 @@ def run_sms(
                 pool.map(
                     lambda a: _run_sm_serial(
                         device, policy, gmem, lk, params, block_dim,
-                        grid_dim, a[1], resident, a[0],
+                        grid_dim, a[1], resident, a[0], trace=trace,
+                        fastpath=fastpath,
                     ),
                     assignments,
                 )
@@ -897,7 +957,7 @@ def run_sms(
     segments = _heap_segments(gmem)
     payloads = [
         (device, policy, size_bytes, segments, lk, params, block_dim,
-         grid_dim, block_ids, resident, sm)
+         grid_dim, block_ids, resident, sm, fastpath)
         for sm, block_ids in assignments
     ]
     pool = _get_process_pool()

@@ -1,0 +1,806 @@
+"""Trace-compiled warp execution: the executor's compiled fast path.
+
+The reference interpreter (:class:`~repro.cudasim.executor.SMExecutor`)
+dispatches every dynamic instruction through a chain of ``isinstance``
+checks, dict lookups and fresh operand lists — roughly 25 µs per warp
+instruction, which makes the *simulator* the bottleneck long before the
+modeled G80 is (see ISSUE 4 / BENCH_exec.json).  This module removes that
+overhead without perturbing a single simulated cycle:
+
+1. :mod:`repro.cudasim.cfg` splits the lowered kernel into basic blocks
+   at branch / barrier / exit / memory-op boundaries.  Everything inside
+   a block touches only the warp's private register file, predicates and
+   scoreboard.
+2. :func:`compile_fastpath` generates Python source with one specialized
+   issue handler per in-block instruction — operands resolved to array
+   slots at compile time, float32 rounding preserved op for op, stats
+   and scoreboard writes emitted inline — and ``exec``s it into a module.
+   Programs are cached in the content-addressed
+   :class:`~repro.cudasim.kernel_cache.KernelCache` keyed by the lowered
+   IR hash × device timing × toolchain × fastpath generation.
+3. :class:`FastSMExecutor` replaces the O(warps) round-robin rescan with
+   a cached wake-time list (invalidated on scoreboard writes and barrier
+   release) and runs straight-line stretches through a fused driver
+   inlined in :meth:`FastSMExecutor._run` that replays the interpreter's
+   exact stall/idle accounting while other warps sleep.
+
+Bit-identity argument
+---------------------
+
+Basic blocks may NOT be fused blindly: when several warps are ready the
+interpreter interleaves them instruction by instruction on the shared SM
+clock, and the memory pipeline's queue order depends on that
+interleaving.  The fused driver therefore only runs ahead while the
+executing warp is the *only* ready warp:
+
+* other warps' wake times are constant during a fused run — ALU blocks
+  cannot release barriers, retire warps or touch the memory pipeline —
+  so ``t_other`` (earliest wake among other warps) is computed once;
+* the run stops (a) at the block end, (b) as soon as ``t_other <= now``
+  (the round-robin scan would pick the other warp next: after an issue
+  the issuing warp is last in scan order), or (c) on a dependency stall
+  that another warp would win (``t_other <= wake``), in which case the
+  driver returns *without* accounting and the outer loop reproduces the
+  interpreter's scan and idle-advance literally;
+* per-issue accounting inside the run mirrors the interpreter's scan:
+  every countable other warp contributes one scoreboard stall per issue,
+  and a solo stall adds ``countable_others + 1`` stalls plus the idle
+  gap, in the same float order;
+* reconvergence pcs are always block leaders (see :mod:`.cfg`), so the
+  divergence-stack check is needed only at run entry.
+
+The reference interpreter stays available behind
+``REPRO_EXEC_FASTPATH=0`` or ``Device(fastpath=False)`` and
+``tests/test_fastpath.py`` pins heap bytes, :class:`KernelStats` and end
+cycles to it across every layout × coalescing policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..telemetry import runtime as _telemetry
+from .cfg import FUSIBLE_OPS, fusible_run_ends
+from .device import DeviceProperties
+from .errors import DeadlockError, ExecutionError
+from .executor import WARP, BlockState, SMExecutor, WarpState
+from .isa import Imm, Op, Param, Reg, Special, SReg
+from .kernel_cache import KernelCache, default_cache
+from .lower import LoweredKernel
+from .memory import SharedMemory
+
+__all__ = [
+    "FASTPATH_ENV",
+    "FASTPATH_GENERATION",
+    "FastProgram",
+    "fastpath_enabled",
+    "program_key",
+    "compile_fastpath",
+    "FastSMExecutor",
+]
+
+#: Environment switch: set to ``"0"`` to force the reference interpreter.
+FASTPATH_ENV = "REPRO_EXEC_FASTPATH"
+
+#: Bump when generated code changes observable behavior, so cached
+#: programs from an older codegen can never be returned.
+FASTPATH_GENERATION = 1
+
+_F64 = np.float64
+_INF = float("inf")
+
+_CMP_FNS = {
+    "lt": "np.less",
+    "le": "np.less_equal",
+    "gt": "np.greater",
+    "ge": "np.greater_equal",
+    "eq": "np.equal",
+    "ne": "np.not_equal",
+}
+
+_FLOAT_BINOP_SYMS = {Op.ADD: "+", Op.SUB: "-", Op.MUL: "*", Op.DIV: "/"}
+_INT_BINOP_SYMS = {
+    Op.IADD: "+",
+    Op.ISUB: "-",
+    Op.IMUL: "*",
+    Op.SHL: "<<",
+    Op.SHR: ">>",
+    Op.AND: "&",
+    Op.OR: "|",
+    Op.XOR: "^",
+}
+
+
+def fastpath_enabled(override: bool | None = None) -> bool:
+    """Resolve the fastpath switch: explicit override, else environment."""
+    import os
+
+    if override is not None:
+        return bool(override)
+    return os.environ.get(FASTPATH_ENV, "1") != "0"
+
+
+@dataclass
+class FastProgram:
+    """One lowered kernel compiled for the fast path.
+
+    ``make_steps(ctx)`` (the ``exec``'d module's factory) binds a launch
+    context and returns one step function per fusible pc (``None``
+    elsewhere).  ``deps``/``ends``/``ops``/``classes`` are shared,
+    read-only metadata used by the fused driver and the stat flush.
+    """
+
+    n: int
+    source: str
+    make_steps: Callable
+    deps: list  # per-pc tuple of blocking register slots (may be empty)
+    ends: list[int]  # per-pc fusible-run end (cfg.fusible_run_ends)
+    ops: list  # per-pc Op (stat flush)
+    classes: list  # per-pc IssueClass (stat flush)
+    param_names: tuple[str, ...] = ()
+    fused_pcs: int = field(default=0)
+
+
+# --------------------------------------------------------------- codegen
+
+
+class _Args:
+    """Collects the per-instruction values a step template is bound to.
+
+    Register slots, predicate slots and immediates become factory
+    parameters (``x0, x1, …``), so every instruction with the same
+    *shape* shares one template ``def`` — unrolled kernels repeat a few
+    dozen shapes thousands of times, and deduplicating keeps the
+    generated module's compile time flat in the unroll factor.
+    """
+
+    __slots__ = ("names", "values")
+
+    def __init__(self):
+        self.names: list[str] = []
+        self.values: list = []
+
+    def add(self, value) -> str:
+        name = f"x{len(self.names)}"
+        self.names.append(name)
+        self.values.append(value)
+        return name
+
+
+class _OperandExpr:
+    """Compile-time resolution of one operand to a source expression.
+
+    ``dtype`` is the statically-known element type of the expression
+    (``"f64"`` for register slots, ``"i64"`` for tid/laneid, ``"bool"``
+    for predicates, ``None`` for host scalars) — it lets the cast
+    helpers elide conversions that are value-identity at runtime.
+    """
+
+    __slots__ = ("raw", "is_vector", "dtype")
+
+    def __init__(self, raw: str, is_vector: bool, dtype: str | None = None):
+        self.raw = raw
+        self.is_vector = is_vector
+        self.dtype = dtype
+
+
+def _operand_expr(
+    s, params_bound: dict, lk: LoweredKernel, args: _Args
+) -> _OperandExpr:
+    if isinstance(s, Reg):
+        if s.is_predicate:
+            return _OperandExpr(
+                f"w.preds[{args.add(lk.pred_map[s.name])}]", True, "bool"
+            )
+        return _OperandExpr(
+            f"R[{args.add(lk.reg_map[s.name])}]", True, "f64"
+        )
+    if isinstance(s, Imm):
+        return _OperandExpr(args.add(s.value), False)
+    if isinstance(s, Param):
+        local = params_bound.setdefault(s.name, f"_p{len(params_bound)}")
+        return _OperandExpr(local, False)
+    if isinstance(s, SReg):
+        sp = s.special
+        if sp is Special.TID:
+            return _OperandExpr("w.tid", True, "i64")
+        if sp is Special.CTAID:
+            return _OperandExpr("w.block.block_id", False)
+        if sp is Special.NTID:
+            return _OperandExpr("_ntid", False)
+        if sp is Special.NCTAID:
+            return _OperandExpr("_nctaid", False)
+        if sp is Special.LANEID:
+            return _OperandExpr("_lane", True, "i64")
+    raise ExecutionError(f"cannot codegen operand {s!r}")
+
+
+def _f32(e: _OperandExpr) -> str:
+    return f"A({e.raw}, _F32)"
+
+
+def _i64(e: _OperandExpr) -> str:
+    # ``asarray(x, f64)`` is the identity for f64 register slots, and
+    # the f64 round trip is exact for i64 operands in tid/index range —
+    # eliding it changes no produced value.
+    if e.dtype == "f64":
+        return f"A({e.raw}, _I64)"
+    if e.dtype == "i64":
+        return e.raw
+    return f"A(A({e.raw}, _F64), _I64)"
+
+
+def _f64(e: _OperandExpr) -> str:
+    if e.dtype == "f64":
+        return e.raw
+    return f"A({e.raw}, _F64)"
+
+
+def _value_expr(ins, srcs: list[_OperandExpr], dev: DeviceProperties):
+    """(expression, result latency or None, issue cycles) for one op.
+
+    Mirrors ``SMExecutor._issue`` exactly: the same numpy calls in the
+    same order, so float32 rounding is reproduced bit for bit.
+    """
+    op = ins.op
+    alu_i, sfu_i = float(dev.alu_issue_cycles), float(dev.sfu_issue_cycles)
+    alu_l, sfu_l = float(dev.alu_result_latency), float(dev.sfu_result_latency)
+    if op in _FLOAT_BINOP_SYMS:
+        expr = f"{_f32(srcs[0])} {_FLOAT_BINOP_SYMS[op]} {_f32(srcs[1])}"
+        # DIV runs on the SFU; the interpreter's second _mark overwrites
+        # the ALU one, so the net scoreboard write is the SFU latency.
+        if op is Op.DIV:
+            return expr, sfu_l, sfu_i
+        return expr, alu_l, alu_i
+    if op is Op.MIN:
+        return f"np.minimum({_f32(srcs[0])}, {_f32(srcs[1])})", alu_l, alu_i
+    if op is Op.MAX:
+        return f"np.maximum({_f32(srcs[0])}, {_f32(srcs[1])})", alu_l, alu_i
+    if op in _INT_BINOP_SYMS:
+        expr = f"{_i64(srcs[0])} {_INT_BINOP_SYMS[op]} {_i64(srcs[1])}"
+        return expr, alu_l, alu_i
+    if op is Op.MOV:
+        return srcs[0].raw, alu_l, alu_i
+    if op is Op.MAD:
+        expr = f"{_f32(srcs[0])} * {_f32(srcs[1])} + {_f32(srcs[2])}"
+        return expr, alu_l, alu_i
+    if op is Op.IMAD:
+        expr = f"{_i64(srcs[0])} * {_i64(srcs[1])} + {_i64(srcs[2])}"
+        return expr, alu_l, alu_i
+    if op is Op.RSQRT:
+        return f"_F1 / np.sqrt({_f32(srcs[0])})", sfu_l, sfu_i
+    if op is Op.SQRT:
+        return f"np.sqrt({_f32(srcs[0])})", sfu_l, sfu_i
+    if op is Op.NEG:
+        return f"-{_f32(srcs[0])}", alu_l, alu_i
+    if op is Op.ABS:
+        return f"np.abs({_f32(srcs[0])})", alu_l, alu_i
+    if op is Op.F2I:
+        return f"np.trunc({_f64(srcs[0])})", alu_l, alu_i
+    if op is Op.I2F:
+        return f"A({_f64(srcs[0])}, _F32)", alu_l, alu_i
+    if op is Op.SETP:
+        fn = _CMP_FNS[ins.cmp]
+        return f"{fn}({_f64(srcs[0])}, {_f64(srcs[1])})", None, alu_i
+    if op is Op.SELP:
+        expr = f"np.where({srcs[2].raw}, {_f64(srcs[0])}, {_f64(srcs[1])})"
+        return expr, alu_l, alu_i
+    if op is Op.CLOCK:
+        return "now", None, alu_i
+    if op is Op.NOP:
+        return None, None, alu_i
+    raise ExecutionError(f"cannot codegen fusible op {ins.op!r}")
+
+
+def _emit_step(
+    ins,
+    lk: LoweredKernel,
+    dev: DeviceProperties,
+    params_bound: dict,
+) -> tuple[str, _Args]:
+    """Template body + bound values for one fusible instruction.
+
+    The body is the canonical source of the step closure with register
+    and predicate slots and immediates replaced by factory parameters
+    (see :class:`_Args`); structurally identical instructions therefore
+    share one compiled ``def`` and differ only in the values their
+    factory call binds.
+    """
+    args = _Args()
+    srcs = [_operand_expr(s, params_bound, lk, args) for s in ins.srcs]
+    expr, latency, issue = _value_expr(ins, srcs, dev)
+    body: list[str] = []
+
+    predicated = ins.pred is not None
+    if predicated:
+        pi = args.add(lk.pred_map[ins.pred.name])
+        inv = "~" if ins.pred_neg else ""
+        body.append(f"m = act & {inv}w.preds[{pi}]")
+        body.append("cnt[pc] += 1")
+        body.append("lanes[pc] += int(m.sum())")
+        mask, full_var = "m", None
+    else:
+        body.append("cnt[pc] += 1")
+        body.append("lanes[pc] += na")
+        mask, full_var = "act", "full"
+
+    if expr is not None and ins.dsts:
+        body.append("R = w.regs")
+        body.append(f"v = {expr}")
+        d = ins.dsts[0]
+        if d.is_predicate:
+            tgt = f"w.preds[{args.add(lk.pred_map[d.name])}]"
+            bcast = f"np.broadcast_to(v, ({WARP},))"
+            if full_var:
+                body.append(f"if {full_var}:")
+                body.append(f"    {tgt}[:] = {bcast}")
+                body.append("else:")
+                body.append(f"    {tgt}[{mask}] = {bcast}[{mask}]")
+            else:
+                body.append(f"{tgt}[{mask}] = {bcast}[{mask}]")
+        else:
+            di = args.add(lk.reg_map[d.name])
+            bcast = f"np.broadcast_to(A(v, _F64), ({WARP},))"
+            if full_var:
+                body.append(f"if {full_var}:")
+                body.append(f"    R[{di}][:] = v")
+                body.append("else:")
+                body.append(f"    R[{di}][{mask}] = {bcast}[{mask}]")
+            else:
+                body.append(f"R[{di}][{mask}] = {bcast}[{mask}]")
+            if latency is not None:
+                # Scoreboard write is unconditional, like _mark.
+                body.append(f"w.pending[{di}] = now + {latency!r}")
+    body.append(f"return now + {issue!r}")
+    return "\n".join(body), args
+
+
+def generate_source(lk: LoweredKernel, dev: DeviceProperties) -> str:
+    """Python source of the program module for ``lk`` on ``dev``."""
+    params_bound: dict[str, str] = {}
+    templates: dict[str, tuple[str, list[str]]] = {}
+    binds: list[str] = []
+    fused = []
+    for pc, ins in enumerate(lk.instructions):
+        if ins.op not in FUSIBLE_OPS:
+            continue
+        body, args = _emit_step(ins, lk, dev, params_bound)
+        entry = templates.get(body)
+        if entry is None:
+            entry = (f"_T{len(templates)}", list(args.names))
+            templates[body] = entry
+        call = ", ".join([str(pc)] + [repr(v) for v in args.values])
+        binds.append(f"    steps[{pc}] = {entry[0]}({call})")
+        fused.append(pc)
+    n = len(lk.instructions)
+    head = [
+        f"# codegen: fastpath for kernel {lk.name!r} "
+        f"({len(fused)}/{n} pcs fused, {len(templates)} step shapes)"
+        " -- generated, do not edit",
+        "import numpy as np",
+        "",
+        "",
+        "def make_steps(ctx):",
+        "    A = np.asarray",
+        "    _F32 = np.float32",
+        "    _F64 = np.float64",
+        "    _I64 = np.int64",
+        "    _F1 = A(1.0, _F32)",
+        "    cnt = ctx['cnt']",
+        "    lanes = ctx['lanes']",
+        "    _lane = ctx['lane']",
+        "    _ntid = ctx['block_dim']",
+        "    _nctaid = ctx['grid_dim']",
+        "    params = ctx['params']",
+    ]
+    for name, local in params_bound.items():
+        head.append(f"    {local} = params[{name!r}]")
+    tmpl_lines: list[str] = []
+    for tmpl_body, (name, argnames) in templates.items():
+        sig = ", ".join(["pc", *argnames])
+        tmpl_lines.append("")
+        tmpl_lines.append(f"    def {name}({sig}):")
+        tmpl_lines.append("        def s(w, now, act, full, na):")
+        tmpl_lines.extend(
+            f"            {ln}" for ln in tmpl_body.splitlines()
+        )
+        tmpl_lines.append("        return s")
+    tail = ["", f"    steps = [None] * {n}"]
+    tail.extend(binds)
+    tail.append("    return steps")
+    return "\n".join(head + tmpl_lines + tail) + "\n"
+
+
+def _need_tuples(lk: LoweredKernel) -> list[tuple[int, ...]]:
+    """Per-pc registers whose pending status blocks issue (sources plus
+    destinations, matching ``SMExecutor._prepare``).  Plain tuples: the
+    scheduler reads 2–4 scoreboard slots per check, where scalar array
+    indexing beats a fancy-index + ``max`` reduction."""
+    out = []
+    for ins in lk.instructions:
+        need = [
+            lk.reg_map[s.name]
+            for s in ins.srcs
+            if isinstance(s, Reg) and not s.is_predicate
+        ]
+        need.extend(
+            lk.reg_map[d.name] for d in ins.dsts if not d.is_predicate
+        )
+        out.append(tuple(need))
+    return out
+
+
+def program_key(
+    lk: LoweredKernel, dev: DeviceProperties, toolchain=None
+) -> str:
+    """Cache key: lowered-IR hash × device timing × toolchain × generation."""
+    h = hashlib.sha256()
+    h.update(b"fastpath:")
+    h.update(str(FASTPATH_GENERATION).encode())
+    h.update(str(getattr(toolchain, "value", toolchain)).encode())
+    h.update(
+        f"|{dev.alu_issue_cycles}|{dev.sfu_issue_cycles}"
+        f"|{dev.alu_result_latency}|{dev.sfu_result_latency}".encode()
+    )
+    h.update(f"|{lk.reg_count}|{lk.pred_count}|{lk.shared_words}".encode())
+    for ins in lk.instructions:
+        h.update(ins.op.name.encode())
+        for d in ins.dsts:
+            key = (
+                f"P{lk.pred_map[d.name]}"
+                if d.is_predicate
+                else f"R{lk.reg_map[d.name]}"
+            )
+            h.update(key.encode())
+        for s in ins.srcs:
+            if isinstance(s, Reg):
+                tok = (
+                    f"P{lk.pred_map[s.name]}"
+                    if s.is_predicate
+                    else f"R{lk.reg_map[s.name]}"
+                )
+            elif isinstance(s, Imm):
+                tok = f"I{s.value!r}"
+            elif isinstance(s, Param):
+                tok = f"p{s.name}"
+            else:
+                tok = f"s{s.special.value}"
+            h.update(tok.encode())
+        pred = (
+            f"{'!' if ins.pred_neg else ''}{lk.pred_map[ins.pred.name]}"
+            if ins.pred is not None
+            else ""
+        )
+        tgt = lk.targets[ins.target] if ins.op is Op.BRA else ""
+        h.update(f"|{ins.offset}|{ins.cmp}|{tgt}|{pred};".encode())
+    return h.hexdigest()
+
+
+def _build_program(lk: LoweredKernel, dev: DeviceProperties) -> FastProgram:
+    source = generate_source(lk, dev)
+    namespace: dict = {}
+    exec(compile(source, f"<fastpath:{lk.name}>", "exec"), namespace)
+    ends = fusible_run_ends(lk)
+    fused_pcs = sum(1 for i in lk.instructions if i.op in FUSIBLE_OPS)
+    return FastProgram(
+        n=len(lk.instructions),
+        source=source,
+        make_steps=namespace["make_steps"],
+        deps=_need_tuples(lk),
+        ends=ends,
+        ops=[i.op for i in lk.instructions],
+        classes=[i.issue_class for i in lk.instructions],
+        param_names=tuple(lk.kernel.params),
+        fused_pcs=fused_pcs,
+    )
+
+
+def compile_fastpath(
+    lk: LoweredKernel,
+    dev: DeviceProperties,
+    toolchain=None,
+    cache: KernelCache | None = None,
+) -> FastProgram:
+    """Compile (or fetch) the fastpath program for one lowered kernel.
+
+    Programs are memoized in ``cache`` (default: the process-wide kernel
+    cache) and counted on the telemetry registry as
+    ``cudasim.fastpath.hits`` / ``.misses``; a miss is wrapped in a
+    ``cudasim.fastpath.compile`` span.
+    """
+    cache = cache if cache is not None else default_cache()
+    key = program_key(lk, dev, toolchain)
+    missed = False
+
+    def build() -> FastProgram:
+        nonlocal missed
+        missed = True
+        with _telemetry.span("cudasim.fastpath.compile", kernel=lk.name):
+            return _build_program(lk, dev)
+
+    program = cache.get_or_build(key, build)
+    if missed:
+        _telemetry.inc("cudasim.fastpath.misses", kernel=lk.name)
+    else:
+        _telemetry.inc("cudasim.fastpath.hits", kernel=lk.name)
+    return program
+
+
+# ------------------------------------------------------------- executor
+
+
+class FastSMExecutor(SMExecutor):
+    """SM executor running straight-line stretches through codegen.
+
+    Drop-in replacement for :class:`SMExecutor` selected by
+    ``run_sms(..., fastpath=True)``; produces bit-identical memory,
+    stats and cycle counts (pinned by ``tests/test_fastpath.py``).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._program = compile_fastpath(
+            self.lk, self.device, toolchain=type(self.policy).__name__
+        )
+        n = self._program.n
+        self._cnt = [0] * n
+        self._lanes_acc = [0] * n
+        self._steps = self._program.make_steps(
+            {
+                "cnt": self._cnt,
+                "lanes": self._lanes_acc,
+                "lane": self._lane,
+                "block_dim": self.block_dim,
+                "grid_dim": self.grid_dim,
+                "params": self.params,
+            }
+        )
+        self._ends = self._program.ends
+
+    # -- scheduler --------------------------------------------------------
+
+    def _wake_inf(self, warp: WarpState) -> float:
+        """``_wake_time`` with ``inf`` for blocked warps, via scalar
+        scoreboard reads (2–4 slots beat a fancy-index reduction)."""
+        if warp.done or warp.at_barrier:
+            return _INF
+        t = warp.next_issue
+        pending = warp.pending
+        for r in self._program.deps[warp.pc]:
+            v = pending[r]
+            if v > t:
+                t = v
+        return t
+
+    def _run(self, block_ids: list[int], max_resident: int) -> float:
+        steps = self._steps
+        prepped = self._prepped
+        stats = self.stats
+        wake_of = self._wake_inf
+        deps = self._program.deps
+        ends = self._ends
+        n_prog = self._program.n
+        queue = deque(block_ids)
+        resident: list[BlockState] = []
+        now = 0.0
+
+        # The scan state is cached instead of recomputed per iteration:
+        # ``wake[i]`` is warp i's earliest issue cycle (inf = done or at
+        # a barrier) and is invalidated on exactly the events that can
+        # change it — the warp's own issue, barrier release, retirement.
+        warps: list[WarpState] = []
+        spans: list[tuple[int, int]] = []
+        wake: list[float] = []
+
+        def activate() -> None:
+            while queue and len(resident) < max_resident:
+                bid = queue.popleft()
+                blk = BlockState(
+                    block_id=bid,
+                    shared=SharedMemory(self.lk.shared_words, self.device),
+                )
+                n_warps = self.block_dim // WARP
+                for w in range(n_warps):
+                    ws = WarpState(
+                        blk, w, self.lk.reg_count, self.lk.pred_count
+                    )
+                    ws.next_issue = now
+                    blk.warps.append(ws)
+                resident.append(blk)
+                self.stats.blocks_executed += 1
+                self.stats.warps_executed += n_warps
+
+        def rebuild() -> None:
+            nonlocal warps, spans, wake
+            warps = [w for blk in resident for w in blk.warps]
+            spans = []
+            lo = 0
+            for blk in resident:
+                hi = lo + len(blk.warps)
+                spans.extend([(lo, hi)] * len(blk.warps))
+                lo = hi
+            wake = [wake_of(w) for w in warps]
+
+        activate()
+        rebuild()
+        rr = 0
+        while resident:
+            n = len(warps)
+            # Round-robin scan over cached wake times: issue the first
+            # ready warp from the cursor, charging one scoreboard stall
+            # per countable (finite-wake) warp scanned before it —
+            # exactly the interpreter's accounting.  The same pass also
+            # collects what the fused driver needs about the *other*
+            # warps (their count and earliest wake), so one O(n) loop
+            # serves both the scan and the fused-run entry.
+            i = -1
+            stalls = 0
+            countable_others = 0
+            t_other = _INF
+            for k in range(n):
+                j = rr + k
+                if j >= n:
+                    j -= n
+                t = wake[j]
+                if i < 0 and t <= now:
+                    i = j
+                    continue
+                if t != _INF:
+                    countable_others += 1
+                    if i < 0:
+                        stalls += 1
+                    if t < t_other:
+                        t_other = t
+            stats.scoreboard_stalls += stalls
+            if i >= 0:
+                rr = i + 1
+                if rr >= n:
+                    rr = 0
+                warp = warps[i]
+                pc0 = warp.pc
+                if steps[pc0] is not None:
+                    # Fused driver, inlined (one entry per scheduler
+                    # iteration makes the call itself measurable).  The
+                    # scan above already charged the stalls that chose
+                    # this warp, so the first instruction issues
+                    # unconditionally; each further issue replays the
+                    # interpreter's full round-robin scan in constant
+                    # time (other wake times are provably constant while
+                    # this warp runs — see the module docstring).
+                    while warp.div_stack and warp.pc == warp.div_stack[-1][0]:
+                        _, mask = warp.div_stack.pop()
+                        warp.active = (warp.active | mask) & warp.alive
+                    act = warp.active
+                    if act is warp._fp_act:
+                        na = warp._fp_na
+                    else:
+                        na = int(np.count_nonzero(act))  # == int(act.sum())
+                        warp._fp_act = act
+                        warp._fp_na = na
+                    full = na == WARP
+                    pending = warp.pending
+                    pc = pc0
+                    end = ends[pc]
+                    now = steps[pc](warp, now, act, full, na)
+                    pc += 1
+                    while pc < end:
+                        if t_other <= now:
+                            break  # another warp is ready, scans first
+                        wk = now
+                        for r in deps[pc]:
+                            v = pending[r]
+                            if v > wk:
+                                wk = v
+                        if wk > now:
+                            if t_other <= wk:
+                                # Another warp wins the idle-advance;
+                                # stop with no accounting — the outer
+                                # loop replays the interpreter's scan
+                                # and advance exactly.
+                                break
+                            stats.scoreboard_stalls += countable_others + 1
+                            stats.idle_cycles += wk - now
+                            now = wk
+                        stats.scoreboard_stalls += countable_others
+                        now = steps[pc](warp, now, act, full, na)
+                        pc += 1
+                    warp.pc = pc
+                    warp.next_issue = now
+                    if pc >= n_prog:  # pragma: no cover - lower() appends EXIT
+                        self._retire(warp, now)
+                    # _wake_inf inlined: this runs once per fused entry.
+                    if warp.done or warp.at_barrier:
+                        wake[i] = _INF
+                    else:
+                        t = now
+                        for r in deps[pc]:
+                            v = pending[r]
+                            if v > t:
+                                t = v
+                        wake[i] = t
+                    if warp.done:  # defensive: fused run hit kernel end
+                        lo, hi = spans[i]
+                        for j in range(lo, hi):
+                            wake[j] = wake_of(warps[j])
+                else:
+                    op = prepped[pc0].op
+                    now = self._issue(warp, now)
+                    if op is Op.BAR_SYNC or op is Op.EXIT or warp.done:
+                        # Barrier release / retirement can change every
+                        # sibling's wake time; anything else only self.
+                        lo, hi = spans[i]
+                        for j in range(lo, hi):
+                            wake[j] = wake_of(warps[j])
+                    elif warp.at_barrier:
+                        wake[i] = _INF
+                    else:
+                        t = warp.next_issue
+                        pending = warp.pending
+                        for r in deps[warp.pc]:
+                            v = pending[r]
+                            if v > t:
+                                t = v
+                        wake[i] = t
+                if warp.done and warp.block.done:
+                    # The interpreter scans for finished blocks every
+                    # iteration, but a block can only complete on the
+                    # issue that retires its last warp — checking the
+                    # issued warp's block is equivalent.
+                    resident.remove(warp.block)
+                    activate()
+                    rebuild()
+                continue
+            # Nobody issuable (``stalls`` above already counted every
+            # countable warp, and ``t_other`` is the minimum over all of
+            # them): advance time to the earliest wake-up.
+            t_min = t_other
+            if t_min == _INF:
+                if any(not w.done for w in warps):
+                    raise DeadlockError(
+                        f"kernel {self.lk.name!r}: all warps blocked "
+                        f"(divergent barrier?) at cycle {now:.0f}"
+                    )
+                finished = [b for b in resident if b.done]
+                for b in finished:
+                    resident.remove(b)
+                activate()
+                rebuild()
+                continue
+            new_now = t_min if t_min > now else now
+            if new_now == now:  # pragma: no cover - defensive
+                raise DeadlockError(
+                    f"kernel {self.lk.name!r}: scheduler stuck at {now:.0f}"
+                )
+            stats.idle_cycles += new_now - now
+            now = new_now
+        stats.sm_cycles.append(now)
+        self._flush_counts()
+        return now
+
+    # -- stats ------------------------------------------------------------
+
+    def _flush_counts(self) -> None:
+        """Fold the per-pc codegen counters into :class:`KernelStats`.
+
+        Dynamic counts are order-independent integer sums, so batching
+        them per pc leaves ``by_op``/``by_class`` and the instruction
+        totals identical to per-issue counting.
+        """
+        stats = self.stats
+        program = self._program
+        for pc, c in enumerate(self._cnt):
+            if not c:
+                continue
+            stats.warp_instructions += c
+            stats.thread_instructions += self._lanes_acc[pc]
+            cls = program.classes[pc]
+            op = program.ops[pc]
+            stats.by_class[cls] = stats.by_class.get(cls, 0) + c
+            stats.by_op[op] = stats.by_op.get(op, 0) + c
+            self._cnt[pc] = 0
+            self._lanes_acc[pc] = 0

@@ -43,6 +43,11 @@ __all__ = [
 
 
 class Op(enum.Enum):
+    # Members are singletons compared by identity, so the id-based hash
+    # is consistent with equality and skips enum.Enum's Python-level
+    # __hash__ — these are keys of per-instruction counter dicts.
+    __hash__ = object.__hash__
+
     # float ALU
     MOV = enum.auto()
     ADD = enum.auto()
@@ -91,6 +96,8 @@ class Op(enum.Enum):
 
 class IssueClass(enum.Enum):
     """Which issue pipeline an instruction occupies (→ issue cycles)."""
+
+    __hash__ = object.__hash__  # identity hash; see Op
 
     ALU = "alu"
     SFU = "sfu"

@@ -264,6 +264,26 @@ class KernelCache:
         _telemetry.inc("cudasim.kernel_cache.misses", kernel=kernel.name)
         return lk
 
+    def get_or_build(self, key: str, build: Callable[[], object]):
+        """Memoize an arbitrary compiled artifact under a caller-made key.
+
+        The generic sibling of :meth:`get_or_compile` used by the
+        executor fastpath for its codegen'd programs.  Entries share the
+        LRU budget and hit/miss counters but never touch the disk layer:
+        ``exec``-built module objects are not picklable.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+        entry = build()
+        with self._lock:
+            self.stats.misses += 1
+            self._put_locked(key, entry, spill=False)
+        return entry
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

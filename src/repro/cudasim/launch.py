@@ -37,6 +37,7 @@ from ..telemetry import runtime as _telemetry
 from .device import DeviceProperties, G8800GTX, Toolchain
 from .errors import LaunchError
 from .executor import ENGINE_ENV, SM_ENGINES, run_sms
+from .fastpath import fastpath_enabled
 from .ir import Kernel
 from .kernel_cache import CompileOptions, KernelCache, default_cache
 from .lower import LoweredKernel, lower
@@ -179,6 +180,10 @@ class Device:
     Defaults to the ``REPRO_SM_ENGINE`` environment variable, else serial.
     ``cache`` is the kernel-compilation cache :meth:`compile` consults
     (default: the process-wide cache; pass ``None`` to disable).
+    ``fastpath`` selects the codegen'd executor of
+    :mod:`repro.cudasim.fastpath` (bit-identical to the reference
+    interpreter); it defaults to the ``REPRO_EXEC_FASTPATH`` environment
+    variable, else on — pass ``False`` to pin the interpreter.
     """
 
     def __init__(
@@ -188,6 +193,7 @@ class Device:
         heap_bytes: int = DEFAULT_HEAP_BYTES,
         sm_engine: str | None = None,
         cache: KernelCache | None | object = _UNSET,
+        fastpath: bool | None = None,
     ) -> None:
         self.props = props
         self.toolchain = toolchain
@@ -199,6 +205,7 @@ class Device:
                 f"unknown SM engine {engine!r}; choose from {SM_ENGINES}"
             )
         self.sm_engine = engine
+        self.fastpath = fastpath_enabled(fastpath)
         self._cache = cache
         self._streams: list = []
         self._launch_lock = threading.Lock()
@@ -312,6 +319,7 @@ class Device:
                     self.props, self.policy, self.gmem, lk, values,
                     block, grid, assignments, resident,
                     engine=self.sm_engine, trace=trace,
+                    fastpath=self.fastpath,
                 )
             for run in runs:
                 end = max(end, run.end_cycle)

@@ -33,6 +33,11 @@ __all__ = [
     "bank_conflict_degree",
 ]
 
+#: Word offsets of a vector access's lanes, sliced by gather() so a
+#: whole (lanes, n) tile reads with one fancy index.  8 covers every
+#: vector width the ISA can express (float4 is the widest in practice).
+_LANE_OFFSETS = np.arange(8, dtype=np.int64)
+
 
 @dataclass(frozen=True)
 class DevicePtr:
@@ -150,10 +155,13 @@ class GlobalMemory:
         addrs = np.asarray(byte_addrs, dtype=np.int64)
         self._check_access(addrs, lanes)
         word = addrs // 4
-        out = np.empty((lanes, addrs.size), dtype=np.float64)
-        for k in range(lanes):
-            out[k] = self.words[word + k]
-        return out
+        if lanes == 1:
+            return self.words[word].astype(np.float64)[None, :]
+        # One fancy index for the whole (lanes, n) tile instead of a
+        # per-lane loop; reads cannot conflict, so this is value-equal.
+        return self.words[
+            word[None, :] + _LANE_OFFSETS[:lanes, None]
+        ].astype(np.float64)
 
     def scatter(self, byte_addrs: np.ndarray, values: np.ndarray) -> None:
         """Vector scatter of shape (lanes, n) values to per-thread bases."""
@@ -171,7 +179,9 @@ class GlobalMemory:
             raise MisalignedAccess(
                 f"{width}-byte access at {bad:#x} is not naturally aligned"
             )
-        if np.any(addrs < 0) or np.any(addrs + width > self.size_bytes):
+        # min/max reductions instead of two comparison temporaries: this
+        # check runs on every warp memory instruction.
+        if int(addrs.min()) < 0 or int(addrs.max()) + width > self.size_bytes:
             bad = int(addrs[(addrs < 0) | (addrs + width > self.size_bytes)][0])
             raise AccessViolation(f"global access at {bad:#x} out of bounds")
 
@@ -196,10 +206,9 @@ class SharedMemory:
         addrs = np.asarray(byte_addrs, dtype=np.int64)
         self._check(addrs, lanes)
         word = addrs // 4
-        out = np.empty((lanes, addrs.size), dtype=np.float64)
-        for k in range(lanes):
-            out[k] = self.words[word + k]
-        return out
+        if lanes == 1:
+            return self.words[word][None, :]
+        return self.words[word[None, :] + _LANE_OFFSETS[:lanes, None]]
 
     def scatter(self, byte_addrs: np.ndarray, values: np.ndarray) -> None:
         addrs = np.asarray(byte_addrs, dtype=np.int64)
@@ -211,9 +220,9 @@ class SharedMemory:
 
     def _check(self, addrs: np.ndarray, lanes: int) -> None:
         width = 4 * lanes
-        if np.any(addrs % 4):
+        if np.any(addrs & 3):
             raise MisalignedAccess("shared access not word aligned")
-        if np.any(addrs < 0) or np.any(addrs + width > self.size_bytes):
+        if int(addrs.min()) < 0 or int(addrs.max()) + width > self.size_bytes:
             raise AccessViolation(
                 f"shared access out of the block's {self.size_bytes} bytes"
             )
@@ -245,21 +254,37 @@ def bank_conflict_degree(
     """
     half = 16
     worst = 1
-    addrs = np.asarray(byte_addrs, dtype=np.int64)
-    active = np.asarray(active, dtype=bool)
-    for h in range(0, addrs.size, half):
-        sel = active[h : h + half]
-        base_words = (addrs[h : h + half][sel]) // 4
-        if base_words.size == 0:
-            continue
-        degree = 0
-        for k in range(lanes):
-            words = base_words + k
-            bank = words % banks
-            # distinct words per bank
-            per_bank: dict[int, set[int]] = {}
-            for b, w in zip(bank.tolist(), words.tolist()):
-                per_bank.setdefault(b, set()).add(w)
-            degree += max(len(v) for v in per_bank.values())
-        worst = max(worst, degree)
+    arr = np.asarray(byte_addrs, dtype=np.int64)
+    # Whole-warp broadcast of a single scalar word — the dominant access
+    # of the tiled force kernel — is conflict-free by the broadcast rule
+    # whatever the active mask, so skip the per-lane count.
+    if lanes == 1 and arr.size and int(arr.min()) == int(arr.max()):
+        return 1
+    # Plain-int loop: a half-warp is at most 16 addresses, far below the
+    # break-even point of numpy's unique/bincount machinery, and this
+    # runs on every shared-memory instruction.
+    addrs = arr.tolist()
+    act = np.asarray(active, dtype=bool).tolist()
+    for h in range(0, len(addrs), half):
+        # Distinct words per bank: duplicates broadcast, so collapse them
+        # first, then count the survivors landing on each bank.  Lane k
+        # accesses ``words + k``, which shifts every bank cyclically by
+        # k — the worst per-bank count is identical for all lanes, so
+        # the vector access serializes by ``lanes`` times that count.
+        seen = set()
+        counts: dict[int, int] = {}
+        best = 0
+        for j in range(h, min(h + half, len(addrs))):
+            if act[j]:
+                word = addrs[j] // 4
+                if word not in seen:
+                    seen.add(word)
+                    bank = word % banks
+                    c = counts.get(bank, 0) + 1
+                    counts[bank] = c
+                    if c > best:
+                        best = c
+        degree = lanes * best
+        if degree > worst:
+            worst = degree
     return worst

@@ -202,6 +202,13 @@ def main(argv: list[str] | None = None) -> int:
         help="SM engine for cycle simulation (default: REPRO_SM_ENGINE "
         "env var, else serial)",
     )
+    runp.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="pin the reference cycle interpreter instead of the "
+        "compiled fast path (sets REPRO_EXEC_FASTPATH=0); results are "
+        "bit-identical either way, only wall-clock time changes",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -215,6 +222,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..cudasim.executor import ENGINE_ENV
 
         os.environ[ENGINE_ENV] = args.engine
+    if args.no_fastpath:
+        from ..cudasim.fastpath import FASTPATH_ENV
+
+        os.environ[FASTPATH_ENV] = "0"
     # With --json, stdout is reserved for the machine-readable records.
     human = sys.stderr if args.json else sys.stdout
 

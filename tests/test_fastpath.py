@@ -1,0 +1,236 @@
+"""Fastpath vs interpreter: bit-identity, CFG splitting, codegen cache.
+
+The compiled fast path (:mod:`repro.cudasim.fastpath`) must be an exact
+stand-in for the reference interpreter: same memory image, same
+:class:`KernelStats`, same cycle counts — for every layout, coalescing
+policy, unroll factor, a divergent Barnes-Hut traversal, and a dynamic
+pooled-simulation epoch with mid-run compaction.  These tests pin that
+equivalence byte for byte.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.cudasim import BlockPool, Device
+from repro.cudasim.cfg import (
+    FUSIBLE_OPS,
+    block_kind,
+    fusible_run_ends,
+    leaders,
+    split_blocks,
+)
+from repro.cudasim.device import G8800GTX, Toolchain
+from repro.cudasim.fastpath import (
+    FASTPATH_ENV,
+    compile_fastpath,
+    fastpath_enabled,
+    generate_source,
+    program_key,
+)
+from repro.cudasim.kernel_cache import CompileOptions, KernelCache
+from repro.gravit import GpuConfig, ParticleSystem, PooledSimulation, uniform_sphere
+from repro.gravit.gpu_barneshut import bh_forces_gpu
+from repro.gravit.gpu_driver import GpuForceBackend
+from repro.gravit.gpu_kernels import build_force_kernel
+from repro.gravit.spawn import uniform_cube
+from repro.core.layouts import LAYOUT_KINDS, make_layout
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+N = 64
+BLOCK = 32
+
+
+def _forces_run(cfg: GpuConfig, fastpath: bool):
+    """One forces_cycle on a fresh device; returns everything observable."""
+    system = uniform_cube(N, seed=7)
+    dev = Device(
+        toolchain=cfg.toolchain, fastpath=fastpath, cache=KernelCache()
+    )
+    backend = GpuForceBackend(cfg, device=dev)
+    forces, result = backend.forces_cycle(system)
+    return (
+        forces.tobytes(),
+        dev.gmem.words.tobytes(),
+        result.cycles,
+        result.stats.as_dict(),
+    )
+
+
+def _assert_identical(slow, fast):
+    assert fast[0] == slow[0], "force outputs differ"
+    assert fast[1] == slow[1], "global memory images differ"
+    assert fast[2] == slow[2], "cycle counts differ"
+    assert fast[3] == slow[3], "kernel stats differ"
+
+
+class TestDifferentialForces:
+    """Layouts × coalescing policies, straight-line force kernel."""
+
+    @pytest.mark.parametrize("toolchain", list(Toolchain))
+    @pytest.mark.parametrize("kind", LAYOUT_KINDS)
+    def test_layout_toolchain_bit_identical(self, kind, toolchain):
+        cfg = GpuConfig(
+            layout_kind=kind, block_size=BLOCK, toolchain=toolchain
+        )
+        _assert_identical(_forces_run(cfg, False), _forces_run(cfg, True))
+
+    @pytest.mark.parametrize("unroll", [2, 16, BLOCK])
+    def test_unroll_bit_identical(self, unroll):
+        cfg = GpuConfig(
+            layout_kind="soaoas", block_size=BLOCK, unroll=unroll, licm=True
+        )
+        _assert_identical(_forces_run(cfg, False), _forces_run(cfg, True))
+
+
+class TestDifferentialDivergent:
+    """Barnes-Hut traversal: data-dependent loops, divergence stack."""
+
+    def test_bh_traversal_bit_identical(self):
+        outs = []
+        for fastpath in (False, True):
+            system = uniform_sphere(48, seed=11)
+            dev = Device(fastpath=fastpath, cache=KernelCache())
+            forces, result = bh_forces_gpu(
+                system, block_size=BLOCK, device=dev
+            )
+            outs.append(
+                (
+                    forces.tobytes(),
+                    dev.gmem.words.tobytes(),
+                    result.cycles,
+                    result.stats.as_dict(),
+                )
+            )
+        _assert_identical(outs[0], outs[1])
+
+
+class TestDifferentialPooled:
+    """A dynamic-population epoch: spawn, step, remove, compact, step."""
+
+    def test_pooled_epoch_bit_identical(self):
+        states = []
+        for fastpath in (False, True):
+            system = uniform_sphere(20, seed=13)
+            cfg = GpuConfig(block_size=BLOCK, layout_kind="soaoas")
+            dev = Device(
+                heap_bytes=1 << 22, fastpath=fastpath, cache=KernelCache()
+            )
+            pool = BlockPool(dev, "soaoas", 16)
+            handles = system.spawn_into(pool)
+            with PooledSimulation(pool, dev, cfg) as psim:
+                psim.step(1e-3)
+                psim.remove(handles[::4])
+                psim.compact()
+                psim.step(1e-3)
+                state = psim.writeback()
+            states.append(
+                tuple(
+                    getattr(state, f).tobytes()
+                    for f in ("px", "py", "pz", "vx", "vy", "vz", "mass")
+                )
+            )
+        assert states[0] == states[1]
+
+
+# -- CFG splitting ---------------------------------------------------------
+
+
+def _lowered(unroll=None):
+    layout = make_layout("soaoas", N)
+    kernel, _ = build_force_kernel(layout, block_size=BLOCK)
+    dev = Device(cache=KernelCache())
+    return dev.compile(kernel, CompileOptions(unroll=unroll)), dev
+
+
+class TestCfg:
+    def test_blocks_cover_program_in_order(self):
+        lk, _ = _lowered()
+        blocks = split_blocks(lk)
+        assert blocks[0].start == 0
+        assert blocks[-1].end == len(lk.instructions)
+        for prev, cur in zip(blocks, blocks[1:]):
+            assert prev.end == cur.start
+
+    def test_straight_blocks_are_fusible_and_boundaries_singletons(self):
+        lk, _ = _lowered()
+        for blk in split_blocks(lk):
+            ops = [i.op for i in lk.instructions[blk.start : blk.end]]
+            if blk.kind == "straight":
+                assert all(op in FUSIBLE_OPS for op in ops)
+            else:
+                assert len(blk) == 1
+                assert block_kind(lk.instructions[blk.start]) == blk.kind
+
+    def test_branch_targets_are_leaders(self):
+        lk, _ = _lowered()
+        lead = leaders(lk)
+        from repro.cudasim.isa import Op
+
+        for ins in lk.instructions:
+            if ins.op is Op.BRA:
+                assert lk.targets[ins.target] in lead
+
+    def test_fusible_run_ends_consistent(self):
+        lk, _ = _lowered()
+        ends = fusible_run_ends(lk)
+        assert len(ends) == len(lk.instructions)
+        for pc, ins in enumerate(lk.instructions):
+            if ins.op in FUSIBLE_OPS:
+                end = ends[pc]
+                assert pc < end <= len(lk.instructions)
+                # Every instruction inside the run is fusible and shares
+                # the same run end.
+                for q in range(pc, end):
+                    assert lk.instructions[q].op in FUSIBLE_OPS
+                    assert ends[q] == end
+
+
+# -- codegen + cache -------------------------------------------------------
+
+
+class TestCodegenCache:
+    def test_program_key_stable_and_toolchain_sensitive(self):
+        lk, _ = _lowered()
+        k1 = program_key(lk, G8800GTX, Toolchain.CUDA_1_0)
+        k2 = program_key(lk, G8800GTX, Toolchain.CUDA_1_0)
+        k3 = program_key(lk, G8800GTX, Toolchain.CUDA_2_2)
+        assert k1 == k2
+        assert k1 != k3
+
+    def test_compile_fastpath_memoizes(self):
+        lk, _ = _lowered()
+        cache = KernelCache()
+        p1 = compile_fastpath(lk, G8800GTX, Toolchain.CUDA_1_0, cache=cache)
+        p2 = compile_fastpath(lk, G8800GTX, Toolchain.CUDA_1_0, cache=cache)
+        assert p1 is p2
+
+    def test_codegen_templates_deduplicate(self):
+        """Unrolled kernels repeat instruction shapes; the generated
+        module must share one template per shape, not one def per pc."""
+        lk, _ = _lowered(unroll=16)
+        source = generate_source(lk, G8800GTX)
+        templates = source.count("def _T")
+        binds = source.count("steps[")
+        assert binds >= len(
+            [i for i in lk.instructions if i.op in FUSIBLE_OPS]
+        )
+        assert templates < binds / 2
+
+    def test_env_switch(self, monkeypatch):
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        assert fastpath_enabled() is True
+        monkeypatch.setenv(FASTPATH_ENV, "0")
+        assert fastpath_enabled() is False
+        assert fastpath_enabled(True) is True
+        assert Device(cache=KernelCache()).fastpath is False
+        assert Device(cache=KernelCache(), fastpath=True).fastpath is True
