@@ -1,0 +1,115 @@
+"""Multi-GPU sharding benchmark: scaling curve + copy-overhead breakdown.
+
+Runs :class:`repro.gravit.gpu_driver.ShardedGpuSimulation` over 1, 2, 4
+and 8 simulated devices for each memory layout and records, per
+(layout, device count):
+
+* modeled step cycles, split into compute (slowest shard) and copy
+  (slowest owner's position broadcast);
+* the scaling speedup relative to one device;
+* broadcast bytes per step — the per-layout exchange footprint
+  (interleaved layouts ship whole records, grouped layouts only the
+  posmass group);
+* host wall time, since M devices also cost M× simulation work.
+
+Devices are reduced to 2 SMs with one resident block per SM so wave
+serialization (and therefore scaling) is visible at benchmark-friendly
+particle counts.
+
+Writes ``BENCH_multigpu.json`` at the repository root::
+
+    python benchmarks/multigpu_benchmark.py [--out BENCH_multigpu.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+
+
+def bench_sharding(
+    n: int = 256,
+    devices: tuple[int, ...] = (1, 2, 4, 8),
+    layout_kinds: tuple[str, ...] = ("aos", "soa", "aoas", "soaoas"),
+    block_size: int = 32,
+    steps: int = 2,
+) -> dict:
+    import numpy as np
+
+    from repro.cudasim import DeviceGroup, G8800GTX, Device
+    from repro.gravit import GpuConfig, GpuSimulation, ShardedGpuSimulation
+    from repro.gravit.spawn import uniform_sphere
+
+    props = replace(G8800GTX, num_sms=2, max_blocks_per_sm=1,
+                    name="bench-shard")
+    system = uniform_sphere(n, seed=0x6B0)
+    out: dict = {
+        "n": n,
+        "steps": steps,
+        "block_size": block_size,
+        "devices": list(devices),
+        "layouts": {},
+    }
+    for kind in layout_kinds:
+        cfg = GpuConfig(layout_kind=kind, block_size=block_size)
+        ref = GpuSimulation(system.copy(), cfg, device=Device(props=props))
+        ref.run(steps, 0.01)
+        ref_forces = ref.download_forces()
+        ref.close()
+
+        rows = {}
+        for ndev in devices:
+            group = DeviceGroup(ndev, props=props, toolchain=cfg.toolchain)
+            sim = ShardedGpuSimulation(system.copy(), cfg, group=group)
+            t0 = time.perf_counter()
+            sim.run(steps, 0.01)
+            wall_s = time.perf_counter() - t0
+            rows[str(ndev)] = {
+                "cycles": sim.cycles_total,
+                "compute_cycles": sim.compute_cycles_total,
+                "copy_cycles": sim.copy_cycles_total,
+                "copy_bytes_per_step": sim.copy_bytes_total / steps,
+                "copy_fraction": (
+                    sim.copy_cycles_total / sim.cycles_total
+                    if sim.cycles_total
+                    else 0.0
+                ),
+                "bit_identical": bool(
+                    np.array_equal(ref_forces, sim.download_forces())
+                ),
+                "wall_s": wall_s,
+            }
+            sim.close()
+        base = rows[str(devices[0])]["cycles"]
+        for ndev in devices:
+            rows[str(ndev)]["speedup"] = base / rows[str(ndev)]["cycles"]
+        out["layouts"][kind] = rows
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_multigpu.json")
+    parser.add_argument("--n", type=int, default=256)
+    parser.add_argument("--steps", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "row-block sharded force kernel over a device group",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "sharding": bench_sharding(n=args.n, steps=args.steps),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

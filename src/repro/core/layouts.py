@@ -245,6 +245,41 @@ class MemoryLayout(abc.ABC):
                     out[fname] = words[word_base + lane].copy()
         return out
 
+    def row_regions(
+        self,
+        lo: int,
+        hi: int,
+        fields: Sequence[str] | None = None,
+    ) -> tuple[tuple[int, int], ...]:
+        """Byte regions covering ``fields`` of records ``lo..hi-1``.
+
+        Returns merged, word-aligned ``(offset, nbytes)`` intervals — the
+        pieces a multi-device driver must ship to replicate a row block of
+        this layout on a peer.  Interval merging is per *step* ranges:
+        a strided step whose per-record accesses do not tile the stride
+        (AoS reading only posmass) is shipped as one contiguous span from
+        its first to last touched byte, so interleaved layouts move more
+        bytes per row than grouped ones — the copy-overhead asymmetry the
+        multi-GPU experiment measures.
+        """
+        if not 0 <= lo < hi <= self.n:
+            raise IndexError(
+                f"row range [{lo}, {hi}) out of bounds for n={self.n}"
+            )
+        spans: list[tuple[int, int]] = []
+        for step in self.read_plan(fields):
+            first = step.base + step.stride * lo
+            last = step.base + step.stride * (hi - 1) + step.vector.nbytes
+            spans.append((first, last))
+        spans.sort()
+        merged: list[list[int]] = []
+        for first, last in spans:
+            if merged and first <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], last)
+            else:
+                merged.append([first, last])
+        return tuple((first, last - first) for first, last in merged)
+
     # -- metrics ---------------------------------------------------------------
 
     def loads_per_record(self, fields: Sequence[str] | None = None) -> int:

@@ -66,6 +66,8 @@ from .kernel_cache import (
     kernel_fingerprint,
     set_default_cache,
 )
+from .device_group import DeviceGroup
+from .envflags import env_bool, env_choice
 from .launch import Device, LaunchResult, compile_kernel, lower_kernel
 from .stream import Event, Stream
 from .liveness import analyze as liveness_analyze
@@ -96,6 +98,7 @@ from .transforms import (
 
 __all__ = [
     "Device",
+    "DeviceGroup",
     "DeviceProperties",
     "DevicePtr",
     "G8800GTX",
@@ -143,6 +146,8 @@ __all__ = [
     "FastSMExecutor",
     "compile_fastpath",
     "fastpath_enabled",
+    "env_bool",
+    "env_choice",
     "Event",
     "SM_ENGINES",
     "lower",

@@ -1,0 +1,69 @@
+"""Strict parsing of ``REPRO_*`` environment switches.
+
+The simulator exposes several behavioral flags through the environment
+(``REPRO_EXEC_FASTPATH``, ``REPRO_SM_ENGINE``, ``REPRO_KERNEL_CACHE_DIR``).
+Boolean flags used to be parsed with ad-hoc ``!= "0"`` comparisons, which
+made ``REPRO_EXEC_FASTPATH=off`` silently *enable* the fast path.  Every
+flag now goes through one of two strict parsers:
+
+* :func:`env_bool` — accepts the usual spellings of true/false
+  (``1/true/yes/on`` and ``0/false/no/off``, case-insensitive) and
+  rejects anything else with a :class:`ValueError` naming the variable,
+  the offending value and the accepted spellings;
+* :func:`env_choice` — for enumerated flags: the value must be one of
+  the given choices, rejected loudly otherwise.
+
+Rejecting beats guessing: a typo in a CI environment block should fail
+the job, not quietly run the wrong configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+__all__ = ["env_bool", "env_choice", "TRUE_WORDS", "FALSE_WORDS"]
+
+#: Spellings accepted as boolean true (case-insensitive).
+TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+#: Spellings accepted as boolean false (case-insensitive).
+FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def env_bool(name: str, default: bool = False) -> bool:
+    """Parse a boolean environment flag strictly.
+
+    Unset (or empty) returns ``default``; unrecognised values raise
+    :class:`ValueError` instead of silently coercing.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    word = raw.strip().lower()
+    if word in TRUE_WORDS:
+        return True
+    if word in FALSE_WORDS:
+        return False
+    raise ValueError(
+        f"{name}={raw!r} is not a recognised boolean; use one of "
+        f"{sorted(TRUE_WORDS)} or {sorted(FALSE_WORDS)}"
+    )
+
+
+def env_choice(
+    name: str, choices: Sequence[str], default: str | None = None
+) -> str | None:
+    """Parse an enumerated environment flag strictly.
+
+    Unset (or empty) returns ``default``; any other value must be one of
+    ``choices`` or a :class:`ValueError` is raised.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    if raw not in choices:
+        raise ValueError(
+            f"{name}={raw!r} is not a valid choice; expected one of "
+            f"{sorted(choices)}"
+        )
+    return raw

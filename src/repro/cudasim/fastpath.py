@@ -67,6 +67,7 @@ import numpy as np
 from ..telemetry import runtime as _telemetry
 from .cfg import FUSIBLE_OPS, fusible_run_ends
 from .device import DeviceProperties
+from .envflags import env_bool
 from .errors import DeadlockError, ExecutionError
 from .executor import WARP, BlockState, SMExecutor, WarpState
 from .isa import Imm, Op, Param, Reg, Special, SReg
@@ -84,7 +85,8 @@ __all__ = [
     "FastSMExecutor",
 ]
 
-#: Environment switch: set to ``"0"`` to force the reference interpreter.
+#: Environment switch: set to ``0``/``false``/``no``/``off`` to force the
+#: reference interpreter (parsed strictly by :func:`env_bool`).
 FASTPATH_ENV = "REPRO_EXEC_FASTPATH"
 
 #: Bump when generated code changes observable behavior, so cached
@@ -117,12 +119,15 @@ _INT_BINOP_SYMS = {
 
 
 def fastpath_enabled(override: bool | None = None) -> bool:
-    """Resolve the fastpath switch: explicit override, else environment."""
-    import os
+    """Resolve the fastpath switch: explicit override, else environment.
 
+    The environment value is parsed strictly (``0/false/no/off`` disable,
+    ``1/true/yes/on`` enable, anything else raises) so ``=off`` can never
+    silently *enable* the fast path.
+    """
     if override is not None:
         return bool(override)
-    return os.environ.get(FASTPATH_ENV, "1") != "0"
+    return env_bool(FASTPATH_ENV, default=True)
 
 
 @dataclass

@@ -24,7 +24,6 @@ Example::
 
 from __future__ import annotations
 
-import os
 import threading
 import warnings
 from dataclasses import dataclass, field
@@ -35,6 +34,7 @@ import numpy as np
 from ..core.coalescing import CoalescingPolicy, policy_for
 from ..telemetry import runtime as _telemetry
 from .device import DeviceProperties, G8800GTX, Toolchain
+from .envflags import env_choice
 from .errors import LaunchError
 from .executor import ENGINE_ENV, SM_ENGINES, run_sms
 from .fastpath import fastpath_enabled
@@ -184,6 +184,9 @@ class Device:
     :mod:`repro.cudasim.fastpath` (bit-identical to the reference
     interpreter); it defaults to the ``REPRO_EXEC_FASTPATH`` environment
     variable, else on — pass ``False`` to pin the interpreter.
+    ``name`` labels this device in telemetry spans and Chrome-trace
+    tracks (:class:`~repro.cudasim.device_group.DeviceGroup` names its
+    members ``dev0``, ``dev1``, …).
     """
 
     def __init__(
@@ -194,12 +197,14 @@ class Device:
         sm_engine: str | None = None,
         cache: KernelCache | None | object = _UNSET,
         fastpath: bool | None = None,
+        name: str | None = None,
     ) -> None:
         self.props = props
         self.toolchain = toolchain
+        self.name = name
         self.policy: CoalescingPolicy = policy_for(toolchain)
         self.gmem = GlobalMemory(min(heap_bytes, props.global_mem_bytes))
-        engine = sm_engine or os.environ.get(ENGINE_ENV, "serial")
+        engine = sm_engine or env_choice(ENGINE_ENV, SM_ENGINES, "serial")
         if engine not in SM_ENGINES:
             raise LaunchError(
                 f"unknown SM engine {engine!r}; choose from {SM_ENGINES}"
@@ -311,6 +316,8 @@ class Device:
         span_attrs = {"kernel": lk.name, "grid": grid, "block": block}
         if stream is not None:
             span_attrs["stream"] = stream
+        if self.name is not None:
+            span_attrs["device"] = self.name
         with _telemetry.span("cudasim.launch", **span_attrs) as sp:
             # One cycle simulation at a time per device: concurrent streams
             # interleave on the simulated timeline, not on the host heap.

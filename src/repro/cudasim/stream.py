@@ -202,6 +202,39 @@ class Stream:
                      event=ev.name)
         return ev
 
+    def memcpy_peer_async(
+        self,
+        src: DevicePtr | int,
+        dst_device: "Device",
+        dst: DevicePtr | int,
+        nwords: int,
+        via_host: bool = False,
+    ) -> concurrent.futures.Future:
+        """Queue a device→device copy into another device's heap.
+
+        Models ``cudaMemcpyPeerAsync``: ``nwords`` are read from ``src``
+        on this stream's device and written to ``dst`` on ``dst_device``.
+        The simulated timeline advances by one PCIe traversal when the
+        devices are peer-capable, or two (device→host→device staging,
+        ``via_host=True``) when they are not — the classic cost of
+        forgetting ``cudaDeviceEnablePeerAccess``.
+        """
+        nbytes = 4 * nwords
+        hops = 2 if via_host else 1
+
+        def op() -> None:
+            data = self.device.memcpy_dtoh(src, nwords)
+            dst_device.memcpy_htod(dst, data)
+            self.cycles += hops * self._copy_cycles(nbytes)
+
+        return self._submit(
+            "memcpy_peer",
+            op,
+            nbytes=nbytes,
+            via_host=via_host,
+            dst_device=getattr(dst_device, "name", None) or "device",
+        )
+
     def wait_event(self, event: Event, timeout: float | None = 60.0) -> None:
         """Make all *later* ops on this stream wait for ``event``.
 
@@ -224,7 +257,14 @@ class Stream:
     # -- completion --------------------------------------------------------
 
     def synchronize(self) -> None:
-        """Block until every queued op ran; re-raise the first failure."""
+        """Block until every queued op ran; re-raise the first failure.
+
+        The error is *sticky*, as in CUDA: once any operation on this
+        stream has failed, every subsequent ``synchronize()`` re-raises
+        :class:`StreamError` wrapping the original fault — not just the
+        call that happens to drain the failed future — until the stream
+        is torn down.
+        """
         with self._lock:
             pending, self._pending = self._pending, []
         failure: BaseException | None = None
@@ -234,10 +274,20 @@ class Stream:
             except BaseException as exc:
                 if failure is None:
                     failure = exc
+        if failure is None:
+            # Nothing newly drained, but the stream may already be
+            # poisoned from an earlier drain — sticky-error model.
+            failure = self._error
         if failure is not None:
             raise StreamError(
                 f"stream {self.name!r} failed: {failure}"
             ) from failure
+
+    def _unregister(self) -> None:
+        try:
+            self.device._streams.remove(self)
+        except ValueError:
+            pass
 
     def close(self) -> None:
         """Drain the queue and release the worker thread."""
@@ -246,10 +296,7 @@ class Stream:
         finally:
             self._closed = True
             self._pool.shutdown(wait=True)
-            try:
-                self.device._streams.remove(self)
-            except ValueError:
-                pass
+            self._unregister()
 
     def __enter__(self) -> "Stream":
         return self
@@ -260,6 +307,10 @@ class Stream:
         else:  # don't mask the in-flight exception with a drain failure
             self._closed = True
             self._pool.shutdown(wait=False, cancel_futures=True)
+            # The aborted stream must still leave the device registry, or
+            # Device.synchronize() keeps draining a closed stream and the
+            # list grows without bound across failed sweeps.
+            self._unregister()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else f"{len(self._pending)} queued"

@@ -1,0 +1,230 @@
+"""MULTIGPU — row-block sharding of the force kernel across devices.
+
+The paper tunes one G80's memory system; the era's next lever (and its
+"future work" direction) was adding cards: GeForce 8800-class machines
+shipped with 2–4 GPUs, and the standard n-body decomposition — each
+device computes the forces for a contiguous *row block* of particles
+over all n column particles, then broadcasts its updated positions —
+is embarrassingly parallel in compute but pays a per-step all-to-all
+position exchange.
+
+This experiment runs :class:`repro.gravit.gpu_driver.ShardedGpuSimulation`
+over 1, 2, 4 and 8 simulated devices for each memory layout and asks:
+
+1. **Correctness** — is the sharded run bit-identical to the
+   single-device :class:`~repro.gravit.gpu_driver.GpuSimulation`?
+   (It must be: row sharding only adds an integer index offset.)
+2. **Scaling** — what speedup does M devices buy?  Modeled per-step
+   cost is the slowest shard's compute plus the slowest owner's
+   broadcast.  Scaling saturates once a shard's blocks no longer cover
+   its SMs — visible here because the experiment uses reduced-SM
+   devices so the saturation point falls inside the sweep.
+3. **Copy overhead per layout** — the broadcast ships the posmass
+   *row regions* of each owner (:meth:`MemoryLayout.row_regions`).
+   Interleaved layouts (aos/aoas) must ship whole interleaved records
+   (~32 B/row); grouped layouts (soa/soaoas) ship only the 16 B posmass
+   group — the access-frequency grouping of Sec. IV halves multi-GPU
+   exchange traffic too, which the paper never measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..cudasim.device import G8800GTX
+from ..cudasim.device_group import DeviceGroup
+from ..cudasim.launch import Device
+from ..gravit.gpu_driver import GpuConfig, GpuSimulation, ShardedGpuSimulation
+from ..gravit.spawn import uniform_sphere
+from ..telemetry import runtime as _telemetry
+from .report import ExperimentResult, format_table
+
+__all__ = ["run", "LAYOUT_KINDS", "SHARD_SMS"]
+
+LAYOUT_KINDS = ("aos", "soa", "aoas", "soaoas")
+
+#: SMs per simulated device.  Reduced from the 8800 GTX's 16 — combined
+#: with ``max_blocks_per_sm=1`` below — so extra blocks serialize into
+#: waves and the blocks-per-SM saturation point lands inside the device
+#: sweep at simulation-friendly particle counts (speedup needs
+#: blocks/shard to exceed the SMs' resident capacity, exactly as on
+#: real silicon; at full 8800 GTX residency that takes n in the tens of
+#: thousands, beyond cycle-simulation scale).
+SHARD_SMS = 2
+
+
+def _fields_equal(a, b) -> bool:
+    return all(
+        np.array_equal(getattr(a, f), getattr(b, f))
+        for f in ("px", "py", "pz", "vx", "vy", "vz", "mass")
+    )
+
+
+def run(
+    n: int = 512,
+    devices: tuple[int, ...] = (1, 2, 4, 8),
+    layout_kinds: tuple[str, ...] = LAYOUT_KINDS,
+    block_size: int = 32,
+    steps: int = 2,
+    dt: float = 0.01,
+    seed: int = 0x6B0,
+) -> ExperimentResult:
+    props = replace(
+        G8800GTX,
+        num_sms=SHARD_SMS,
+        max_blocks_per_sm=1,
+        name=f"shard-sim ({SHARD_SMS} SMs, 1 block/SM)",
+    )
+    system = uniform_sphere(n, seed=seed)
+    per_layout: dict[str, dict] = {}
+
+    for kind in layout_kinds:
+        cfg = GpuConfig(layout_kind=kind, block_size=block_size)
+        with _telemetry.span("multigpu.reference", layout=kind, n=n):
+            ref = GpuSimulation(
+                system.copy(), cfg, device=Device(props=props)
+            )
+            ref.run(steps, dt)
+            ref_state = ref.download()
+            ref_forces = ref.download_forces()
+            ref.close()
+
+        rows: dict[int, dict] = {}
+        identical_all = True
+        for ndev in devices:
+            group = DeviceGroup(ndev, props=props, toolchain=cfg.toolchain)
+            with _telemetry.span(
+                "multigpu.sharded", layout=kind, n=n, devices=ndev
+            ):
+                sim = ShardedGpuSimulation(system.copy(), cfg, group=group)
+                sim.run(steps, dt)
+                identical = _fields_equal(
+                    ref_state, sim.download()
+                ) and np.array_equal(ref_forces, sim.download_forces())
+                identical_all = identical_all and identical
+                rows[ndev] = {
+                    "cycles": sim.cycles_total,
+                    "compute_cycles": sim.compute_cycles_total,
+                    "copy_cycles": sim.copy_cycles_total,
+                    "copy_bytes": sim.copy_bytes_total,
+                    "copy_fraction": (
+                        sim.copy_cycles_total / sim.cycles_total
+                        if sim.cycles_total
+                        else 0.0
+                    ),
+                    "bit_identical": identical,
+                }
+                sim.close()
+
+        base = rows[devices[0]]["cycles"]
+        for ndev in devices:
+            rows[ndev]["speedup"] = base / rows[ndev]["cycles"]
+        per_layout[kind] = {
+            "per_device_count": rows,
+            "bit_identical": identical_all,
+            "bit_identical_2dev": rows.get(2, {}).get("bit_identical", True),
+            # Broadcast bytes per step per owned row — the layout's
+            # exchange footprint (independent of the device count modulo
+            # padding rows; reported at the widest sweep point).
+            "copy_bytes_per_step": (
+                rows[devices[-1]]["copy_bytes"] / steps if steps else 0
+            ),
+        }
+
+    headers = ["layout", *[f"x{m} speedup" for m in devices], "copy frac (max M)"]
+    table_rows = [
+        [
+            kind,
+            *[
+                per_layout[kind]["per_device_count"][m]["speedup"]
+                for m in devices
+            ],
+            per_layout[kind]["per_device_count"][devices[-1]]["copy_fraction"],
+        ]
+        for kind in layout_kinds
+    ]
+    table = format_table(headers, table_rows, float_fmt="{:.2f}")
+
+    bit_identical = all(d["bit_identical"] for d in per_layout.values())
+    bit_identical_2dev = all(
+        d["bit_identical_2dev"] for d in per_layout.values()
+    )
+    max_m = devices[-1]
+    best_speedup = max(
+        per_layout[k]["per_device_count"][max_m]["speedup"]
+        for k in layout_kinds
+    )
+    interleaved = [k for k in layout_kinds if k in ("aos", "aoas")]
+    grouped = [k for k in layout_kinds if k in ("soa", "soaoas")]
+    copy_ratio = None
+    if interleaved and grouped:
+        copy_ratio = min(
+            per_layout[k]["copy_bytes_per_step"] for k in interleaved
+        ) / max(per_layout[k]["copy_bytes_per_step"] for k in grouped)
+
+    return ExperimentResult(
+        experiment_id="multigpu",
+        title="Row-block sharded force kernel over a simulated device group",
+        data={
+            "n": n,
+            "steps": steps,
+            "block_size": block_size,
+            "devices": list(devices),
+            "sms_per_device": SHARD_SMS,
+            "layouts": per_layout,
+            "bit_identical": bit_identical,
+            "bit_identical_2dev": bit_identical_2dev,
+            "series": {
+                f"speedup_{kind}": {
+                    "devices": list(devices),
+                    "speedup": [
+                        per_layout[kind]["per_device_count"][m]["speedup"]
+                        for m in devices
+                    ],
+                    "copy_fraction": [
+                        per_layout[kind]["per_device_count"][m][
+                            "copy_fraction"
+                        ]
+                        for m in devices
+                    ],
+                }
+                for kind in layout_kinds
+            },
+        },
+        table=table,
+        paper_claims={
+            "sharded == single-device": (
+                "bit-identical state and forces for every layout and "
+                "device count (row offset is integer-only)"
+            ),
+            "scaling": (
+                f"speedup grows with devices until blocks/shard < "
+                f"{SHARD_SMS} SMs"
+            ),
+            "exchange traffic": (
+                "interleaved layouts (aos/aoas) broadcast ~2x the bytes "
+                "of grouped layouts (soa/soaoas) — Sec. IV grouping "
+                "extends to multi-GPU copies"
+            ),
+        },
+        measured_claims={
+            "sharded == single-device": (
+                "bit-identical" if bit_identical else "MISMATCH"
+            ),
+            "scaling": f"best x{max_m} speedup {best_speedup:.2f}x",
+            "exchange traffic": (
+                f"interleaved/grouped copy-byte ratio {copy_ratio:.2f}x"
+                if copy_ratio is not None
+                else "n/a (need both layout families)"
+            ),
+        },
+        notes=[
+            "Extends the paper: multi-GPU row-block decomposition "
+            "(Belleman et al. 2008 style) on the simulator, with the "
+            "position broadcast costed on the modeled PCIe bus; devices "
+            f"are reduced to {SHARD_SMS} SMs so saturation is visible "
+            "at simulation-scale n.",
+        ],
+    )

@@ -111,6 +111,16 @@ def _frag(quick: bool) -> ExperimentResult:
     return frag_dynamics.run()
 
 
+def _multigpu(quick: bool) -> ExperimentResult:
+    from . import multigpu_scaling
+
+    if quick:
+        return multigpu_scaling.run(
+            n=192, devices=(1, 2, 4), block_size=32, steps=1
+        )
+    return multigpu_scaling.run()
+
+
 def _warp_scaling(quick: bool) -> ExperimentResult:
     from . import warp_scaling
 
@@ -132,6 +142,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
     "bh": ("Barnes-Hut opening-angle trade-off (Sec. I-C)", _bh_tradeoff),
     "bhgpu": ("GPU tree code vs GPU O(n²) kernel (Sec. I-D)", _bh_vs_n2),
     "frag": ("layout coalescing under dynamic populations", _frag),
+    "multigpu": ("row-block sharding across a device group", _multigpu),
 }
 
 

@@ -36,6 +36,7 @@ from .gpu_driver import (
     GpuSimulation,
     HybridTiming,
     PooledSimulation,
+    ShardedGpuSimulation,
     device_buffers,
 )
 from .gpu_kernels import (
@@ -77,6 +78,7 @@ __all__ = [
     "GpuForceBackend",
     "GpuSimulation",
     "PooledSimulation",
+    "ShardedGpuSimulation",
     "device_buffers",
     "bh_forces_gpu",
     "build_bh_kernel",

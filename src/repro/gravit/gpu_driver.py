@@ -22,6 +22,7 @@ block size × unroll × ICM × toolchain) and executes it in three modes:
 from __future__ import annotations
 
 import enum
+import sys
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Literal, Union
@@ -31,6 +32,7 @@ import numpy as np
 from ..core.layouts import LoadStep, MemoryLayout, make_layout
 from ..telemetry import runtime as _telemetry
 from ..cudasim.device import DeviceProperties, G8800GTX, Toolchain
+from ..cudasim.device_group import DeviceGroup
 from ..cudasim.kernel_cache import CompileOptions, Unroll
 from ..cudasim.launch import Device, LaunchResult
 from ..cudasim.lower import LoweredKernel
@@ -53,6 +55,7 @@ __all__ = [
     "GpuSimulation",
     "HybridTiming",
     "PooledSimulation",
+    "ShardedGpuSimulation",
     "PCIE_BYTES_PER_S",
     "device_buffers",
 ]
@@ -67,6 +70,13 @@ def device_buffers(device: Device, *sizes: int):
     allocation in the argument list, raises.  Replaces the hand-rolled
     ``try/finally`` malloc/free pairs that used to be copy-pasted around
     every launch.
+
+    Teardown is all-or-nothing: a ``free`` that raises (e.g.
+    :class:`~repro.cudasim.DoubleFreeError` for a buffer the body already
+    released) does not stop the remaining buffers from being freed; the
+    first failure is re-raised once every pointer has been returned —
+    unless the body itself is already raising, in which case the body's
+    exception propagates unmasked.
     """
     ptrs: list[DevicePtr] = []
     try:
@@ -74,8 +84,15 @@ def device_buffers(device: Device, *sizes: int):
             ptrs.append(device.malloc(nbytes))
         yield tuple(ptrs)
     finally:
+        failure: BaseException | None = None
         for ptr in reversed(ptrs):
-            device.free(ptr)
+            try:
+                device.free(ptr)
+            except BaseException as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None and sys.exc_info()[0] is None:
+            raise failure
 
 
 def _step_view(buf: DevicePtr, layout: MemoryLayout, step: LoadStep) -> DevicePtr:
@@ -502,11 +519,304 @@ class GpuSimulation:
         words = self.device.memcpy_dtoh(self._buf, self.layout.size_words)
         return ParticleSystem.unpack(self.layout, words).take(self.n)
 
+    def download_forces(self) -> np.ndarray:
+        """Raw float32 ``(n, 3)`` force records as the kernel wrote them.
+
+        No ``g`` scaling and no float64 widening — this is the buffer the
+        integration kernel consumes, exposed for bit-exact comparisons
+        (the sharded driver must reproduce it word for word).
+        """
+        words = self.device.memcpy_dtoh(self._forces, 4 * self.n_pad)
+        return words.reshape(-1, 4)[: self.n, :3].copy()
+
     def close(self) -> None:
         self.device.free(self._forces)
         self.device.free(self._buf)
 
     def __enter__(self) -> "GpuSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ShardedGpuSimulation:
+    """:class:`GpuSimulation` row-block-sharded over a :class:`DeviceGroup`.
+
+    The multi-GPU decomposition of the O(n²) far-field kernel (the
+    row-block scheme of Belleman et al.'s multi-card ports): each of the
+    ``M`` devices holds a *full replica* of the particle layout plus a
+    full-size force buffer, and computes forces for its contiguous slice
+    of particle rows over **all** ``n`` column particles.  Per step:
+
+    1. every shard launches the force + integration kernels for its rows
+       on its own stream (asynchronously, so shards overlap);
+    2. the host synchronizes, then each owner broadcasts the *posmass*
+       regions of its rows to every peer replica
+       (:meth:`Stream.memcpy_peer_async`, PCIe-costed; host-staged when
+       the group lacks peer access) — velocities stay owner-local, the
+       access-frequency grouping argument again;
+    3. the step's modeled cost is the slowest shard's compute time plus
+       the slowest owner's broadcast time.
+
+    Row slicing enters the kernels as a single integer ``row0`` offset on
+    the thread index (``row_offset=True`` kernel variants), so the
+    per-particle float instruction sequence is *unchanged* — state and
+    forces are bit-identical to a single-device :class:`GpuSimulation`
+    for every layout, toolchain, SM engine and fastpath setting (pinned
+    by the tests).
+
+    How many bytes the broadcast moves per row is a layout property
+    (:meth:`MemoryLayout.row_regions`): interleaved layouts (aos/aoas)
+    ship whole interleaved records, grouped layouts (soa/soaoas) ship
+    only the posmass group — the copy-overhead asymmetry the ``multigpu``
+    experiment measures.
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        config: GpuConfig | None = None,
+        group: DeviceGroup | None = None,
+        num_devices: int = 2,
+        device_props: DeviceProperties = G8800GTX,
+        sm_engine: str | None = None,
+        fastpath: bool | None = None,
+        peer_access: bool = True,
+        **config_overrides,
+    ) -> None:
+        self.config = config or GpuConfig(**config_overrides)
+        if config is not None and config_overrides:
+            raise ValueError("pass either a GpuConfig or keyword overrides")
+        cfg = self.config
+        self.group = group or DeviceGroup(
+            num_devices,
+            props=device_props,
+            toolchain=cfg.toolchain,
+            sm_engine=sm_engine,
+            fastpath=fastpath,
+            peer_access=peer_access,
+        )
+        self.num_devices = len(self.group)
+        self.n = system.n
+        padded = system.padded(cfg.block_size)
+        self.n_pad = padded.n
+        self.layout = make_layout(cfg.layout_kind, self.n_pad)
+
+        # Contiguous block partition: device d owns blocks [b0, b1) and
+        # therefore rows [b0·k, b1·k).  Trailing devices may own nothing
+        # when there are fewer blocks than devices.
+        k = cfg.block_size
+        blocks = self.n_pad // k
+        per = -(-blocks // self.num_devices)
+        self._row_ranges: list[tuple[int, int]] = []
+        for d in range(self.num_devices):
+            b0 = min(d * per, blocks)
+            b1 = min(b0 + per, blocks)
+            self._row_ranges.append((b0 * k, b1 * k))
+
+        force_kernel, self._force_plan = build_force_kernel(
+            self.layout, block_size=k, row_offset=True
+        )
+        integrate_kernel, self._int_plan = build_integrate_kernel(
+            self.layout, block_size=k, row_offset=True
+        )
+        # One compile per kernel for the whole group: members share the
+        # group's content-addressed cache, so dev1.. are cache hits.
+        self._force_lks = [
+            dev.compile(force_kernel, cfg.compile_options)
+            for dev in self.group
+        ]
+        self._int_lks = [dev.compile(integrate_kernel) for dev in self.group]
+
+        packed = padded.pack(self.layout)
+        self._bufs = [dev.malloc(self.layout.size_bytes) for dev in self.group]
+        self._forces = [dev.malloc(16 * self.n_pad) for dev in self.group]
+        for dev, buf in zip(self.group, self._bufs):
+            dev.memcpy_htod(buf, packed)
+        self._streams = [
+            dev.stream(f"shard{d}") for d, dev in enumerate(self.group)
+        ]
+        #: Merged posmass byte regions per owner — what a broadcast ships.
+        self._regions = [
+            self.layout.row_regions(r0, r1, POSMASS_FIELDS) if r0 < r1 else ()
+            for r0, r1 in self._row_ranges
+        ]
+
+        self.cycles_total = 0.0
+        self.compute_cycles_total = 0.0
+        self.copy_cycles_total = 0.0
+        self.copy_bytes_total = 0
+        self.steps_done = 0
+
+    @property
+    def row_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Per-device owned particle-row ranges ``[lo, hi)``."""
+        return tuple(self._row_ranges)
+
+    # -- per-shard launches --------------------------------------------------
+
+    def _shard_params(self, d: int, plan: KernelPlan, fields) -> dict:
+        return _step_params(self._bufs[d], self.layout, plan, fields)
+
+    def _launch_forces(self, d: int) -> None:
+        cfg = self.config
+        r0, r1 = self._row_ranges[d]
+        grid = (r1 - r0) // cfg.block_size
+        params = self._shard_params(d, self._force_plan, POSMASS_FIELDS)
+        params.update(
+            out=self._forces[d],
+            nslices=self.n_pad // cfg.block_size,
+            eps=cfg.eps,
+            row0=r0,
+        )
+        self._streams[d].launch_async(
+            self._force_lks[d], grid=grid, block=cfg.block_size, params=params
+        )
+
+    def _launch_integrate(self, d: int, kick_dt: float, drift_dt: float) -> None:
+        cfg = self.config
+        r0, r1 = self._row_ranges[d]
+        grid = (r1 - r0) // cfg.block_size
+        params = self._shard_params(d, self._int_plan, ALL_FIELDS)
+        params.update(
+            forces=self._forces[d],
+            kick_dt=kick_dt * cfg.g,
+            drift_dt=drift_dt,
+            row0=r0,
+        )
+        self._streams[d].launch_async(
+            self._int_lks[d], grid=grid, block=cfg.block_size, params=params
+        )
+
+    def _active(self) -> list[int]:
+        return [
+            d for d, (r0, r1) in enumerate(self._row_ranges) if r0 < r1
+        ]
+
+    def _sync_delta(self, start: list[float]) -> float:
+        """Synchronize all shard streams; max per-stream cycle advance."""
+        for s in self._streams:
+            s.synchronize()
+        return max(
+            (s.cycles - c0 for s, c0 in zip(self._streams, start)),
+            default=0.0,
+        )
+
+    def _exchange_posmass(self) -> float:
+        """Broadcast every owner's posmass rows to all peer replicas.
+
+        Copies are issued on the owner's stream, so different owners'
+        broadcasts overlap; the returned makespan is the slowest owner's
+        total.  Returns the modeled copy cycles added this exchange.
+        """
+        if self.num_devices == 1:
+            return 0.0
+        start = [s.cycles for s in self._streams]
+        via_host = self.group.via_host
+        for d in self._active():
+            stream = self._streams[d]
+            for e, peer in enumerate(self.group):
+                if e == d:
+                    continue
+                for offset, nbytes in self._regions[d]:
+                    stream.memcpy_peer_async(
+                        self._bufs[d].slice(offset, nbytes),
+                        peer,
+                        self._bufs[e].slice(offset, nbytes),
+                        nbytes // 4,
+                        via_host=via_host,
+                    )
+                    self.copy_bytes_total += nbytes
+        return self._sync_delta(start)
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self, dt: float, scheme: str = "euler") -> float:
+        """One sharded step; returns its modeled cycle cost.
+
+        Same schemes as :meth:`GpuSimulation.step`.  A position exchange
+        follows every launch phase whose integration drifts positions
+        (the leapfrog closing kick has ``drift_dt=0``, so it needs none).
+        """
+        with _telemetry.span(
+            "gravit.sharded_step",
+            scheme=scheme,
+            n=self.n,
+            devices=self.num_devices,
+        ) as sp:
+            if scheme == "euler":
+                phases = [(dt, dt, True)]
+            elif scheme == "leapfrog":
+                phases = [(dt / 2.0, dt, True), (dt / 2.0, 0.0, False)]
+            else:
+                raise ValueError(f"unknown scheme {scheme!r}")
+            compute = 0.0
+            copy = 0.0
+            for kick_dt, drift_dt, drifts in phases:
+                start = [s.cycles for s in self._streams]
+                for d in self._active():
+                    self._launch_forces(d)
+                    self._launch_integrate(d, kick_dt, drift_dt)
+                compute += self._sync_delta(start)
+                if drifts:
+                    copy += self._exchange_posmass()
+            cycles = compute + copy
+            sp.set(cycles=cycles, copy_cycles=copy)
+        self.compute_cycles_total += compute
+        self.copy_cycles_total += copy
+        self.cycles_total += cycles
+        self.steps_done += 1
+        _telemetry.inc("gravit.sharded_steps", scheme=scheme)
+        return cycles
+
+    def run(self, steps: int, dt: float, scheme: str = "euler") -> float:
+        """Advance ``steps`` steps; returns total modeled cycles."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        total = 0.0
+        for _ in range(steps):
+            total += self.step(dt, scheme=scheme)
+        return total
+
+    # -- state ---------------------------------------------------------------
+
+    def download(self) -> ParticleSystem:
+        """Assemble the particle state from each shard's owned rows."""
+        fields = {
+            name: np.zeros(self.n_pad, dtype=np.float32)
+            for name in self.layout.field_names
+        }
+        for d in self._active():
+            r0, r1 = self._row_ranges[d]
+            words = self.group[d].memcpy_dtoh(
+                self._bufs[d], self.layout.size_words
+            )
+            shard = self.layout.unpack(words)
+            for name, arr in shard.items():
+                fields[name][r0:r1] = arr[r0:r1]
+        return ParticleSystem.from_dict(fields).take(self.n)
+
+    def download_forces(self) -> np.ndarray:
+        """Raw float32 ``(n, 3)`` forces assembled from the owners.
+
+        Bit-comparable against :meth:`GpuSimulation.download_forces`.
+        """
+        out = np.zeros((self.n_pad, 4), dtype=np.float32)
+        for d in self._active():
+            r0, r1 = self._row_ranges[d]
+            words = self.group[d].memcpy_dtoh(self._forces[d], 4 * self.n_pad)
+            out[r0:r1] = words.reshape(-1, 4)[r0:r1]
+        return out[: self.n, :3].copy()
+
+    def close(self) -> None:
+        for stream in self._streams:
+            stream.close()
+        for dev, buf, forces in zip(self.group, self._bufs, self._forces):
+            dev.free(forces)
+            dev.free(buf)
+
+    def __enter__(self) -> "ShardedGpuSimulation":
         return self
 
     def __exit__(self, *exc) -> None:

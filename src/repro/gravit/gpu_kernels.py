@@ -127,6 +127,7 @@ def build_force_kernel(
     block_size: int = 128,
     unroll=None,
     name: str | None = None,
+    row_offset: bool = False,
 ) -> tuple[Kernel, KernelPlan]:
     """The far-field force kernel for ``layout`` (paper Sec. IV).
 
@@ -135,19 +136,35 @@ def build_force_kernel(
     ``nslices = n_pad / block_size`` passed as a parameter.  Output is an
     array of 16-byte records ``(fx, fy, fz, 0)`` at ``out + 16·i`` where
     ``F_i = m_i · Σ_j m_j d / (|d|² + ε²)^{3/2}`` (G applied host-side).
+
+    ``row_offset=True`` builds the multi-device row-block variant: an
+    extra ``row0`` parameter is added to the thread's global index, so a
+    device launched with a *partial* grid computes rows
+    ``[row0, row0 + grid·block)`` of the full interaction matrix while
+    still sweeping all ``nslices`` column slices.  The offset is a single
+    integer add on the index — the per-row floating-point instruction
+    sequence is unchanged, which is what keeps sharded results
+    bit-identical to a single-device run.
     """
     if block_size % 32:
         raise ValueError("block size must be a multiple of the warp size")
     steps = layout.read_plan(POSMASS_FIELDS)
     params = (*step_param_names(steps), "out", "nslices", "eps")
+    if row_offset:
+        params = (*params, "row0")
     b = KernelBuilder(
-        name or f"gravit_forces_{layout.kind}_b{block_size}", params=params
+        name
+        or f"gravit_forces_{layout.kind}_b{block_size}"
+        + ("_rows" if row_offset else ""),
+        params=params,
     )
 
     # ---- S: thread setup -------------------------------------------------
     i = b.reg("i")
     b.imad(i, b.sreg("ctaid"), b.sreg("ntid"), b.sreg("tid"),
            comment="global particle index")
+    if row_offset:
+        b.iadd(i, i, b.param("row0"), comment="row-block offset")
     mine = _load_record(b, steps, i, POSMASS_FIELDS, "my")
     px, py, pz = b.reg("px_i"), b.reg("py_i"), b.reg("pz_i")
     m_i = b.reg("m_i")
@@ -315,6 +332,7 @@ def build_integrate_kernel(
     layout: MemoryLayout,
     block_size: int = 128,
     name: str | None = None,
+    row_offset: bool = False,
 ) -> tuple[Kernel, KernelPlan]:
     """The per-particle update kernel: semi-implicit Euler on the device.
 
@@ -333,17 +351,28 @@ def build_integrate_kernel(
     ``drift_dt`` parameters let the host compose either semi-implicit
     Euler (kick = drift = dt) or kick-drift-kick leapfrog (two dt/2
     kicks around one dt drift) from the same kernel.
+
+    ``row_offset=True`` is the multi-device row-block variant (see
+    :func:`build_force_kernel`): a ``row0`` parameter shifts the global
+    index so a partial grid updates only this device's particle rows.
     """
     if block_size % 32:
         raise ValueError("block size must be a multiple of the warp size")
     steps = layout.read_plan(ALL_FIELDS)
     params = (*step_param_names(steps), "forces", "kick_dt", "drift_dt")
+    if row_offset:
+        params = (*params, "row0")
     b = KernelBuilder(
-        name or f"gravit_integrate_{layout.kind}", params=params
+        name
+        or f"gravit_integrate_{layout.kind}"
+        + ("_rows" if row_offset else ""),
+        params=params,
     )
 
     i = b.reg("i")
     b.imad(i, b.sreg("ctaid"), b.sreg("ntid"), b.sreg("tid"))
+    if row_offset:
+        b.iadd(i, i, b.param("row0"), comment="row-block offset")
     # Load the whole record; remember per-step address and lane registers
     # so the store below reuses them (pad lanes round-trip untouched).
     step_addrs: list[Reg] = []

@@ -166,10 +166,13 @@ def spans_trace_events(records, *, pid: int = HOST_PID) -> list[dict]:
 
     Spans nest naturally as stacked ``X`` slices per thread track; open
     spans are dropped (a Chrome complete event needs a duration).  Spans
-    carrying a ``stream`` attribute (the async stream API sets one) get
-    their own named track per stream, so copy/launch overlap across
-    streams is visible as side-by-side slices; everything else lands on
-    the shared ``host`` track.
+    carrying a ``stream`` and/or ``device`` attribute (the async stream
+    API and named :class:`~repro.cudasim.launch.Device` instances set
+    them) get their own named track per (device, stream) pair, so
+    copy/launch overlap across streams — and across the members of a
+    :class:`~repro.cudasim.device_group.DeviceGroup` — is visible as
+    side-by-side slices; everything else lands on the shared ``host``
+    track.
     """
     events: list[dict] = []
     closed = [r for r in records if r.end_s is not None]
@@ -177,16 +180,26 @@ def spans_trace_events(records, *, pid: int = HOST_PID) -> list[dict]:
         return events
     events.append(_meta(pid, "telemetry spans"))
     events.append(_meta(pid, "host", tid=1))
-    stream_tids: dict[str, int] = {}
+    track_tids: dict[tuple[str | None, str | None], int] = {}
     for rec in closed:
         stream = rec.attrs.get("stream")
-        if stream is None:
+        device = rec.attrs.get("device")
+        if stream is None and device is None:
             tid = 1
         else:
-            tid = stream_tids.get(stream)
+            key = (device, stream)
+            tid = track_tids.get(key)
             if tid is None:
-                tid = stream_tids[stream] = 2 + len(stream_tids)
-                events.append(_meta(pid, f"stream {stream}", tid=tid))
+                tid = track_tids[key] = 2 + len(track_tids)
+                label = " ".join(
+                    part
+                    for part in (
+                        f"device {device}" if device is not None else None,
+                        f"stream {stream}" if stream is not None else None,
+                    )
+                    if part
+                )
+                events.append(_meta(pid, label, tid=tid))
         events.append(
             {
                 "ph": "X",

@@ -234,3 +234,36 @@ class TestCodegenCache:
         assert fastpath_enabled(True) is True
         assert Device(cache=KernelCache()).fastpath is False
         assert Device(cache=KernelCache(), fastpath=True).fastpath is True
+
+    @pytest.mark.parametrize("value", ("off", "false", "no", "OFF", "False"))
+    def test_env_false_spellings_disable(self, monkeypatch, value):
+        """The regression: ``REPRO_EXEC_FASTPATH=off`` used to silently
+        *enable* the fast path (the old ``!= \"0\"`` parse)."""
+        monkeypatch.setenv(FASTPATH_ENV, value)
+        assert fastpath_enabled() is False
+
+    @pytest.mark.parametrize("value", ("1", "true", "yes", "on", "TRUE"))
+    def test_env_true_spellings_enable(self, monkeypatch, value):
+        monkeypatch.setenv(FASTPATH_ENV, value)
+        assert fastpath_enabled() is True
+
+    @pytest.mark.parametrize("value", ("maybe", "2", "enabled", "offf"))
+    def test_env_garbage_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(FASTPATH_ENV, value)
+        with pytest.raises(ValueError, match=FASTPATH_ENV):
+            fastpath_enabled()
+
+    def test_env_empty_means_default_and_whitespace_tolerated(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(FASTPATH_ENV, "")
+        assert fastpath_enabled() is True
+        monkeypatch.setenv(FASTPATH_ENV, " off ")
+        assert fastpath_enabled() is False
+
+    def test_sm_engine_env_rejected_loudly(self, monkeypatch):
+        from repro.cudasim.executor import ENGINE_ENV
+
+        monkeypatch.setenv(ENGINE_ENV, "threads")  # typo of "thread"
+        with pytest.raises(ValueError, match=ENGINE_ENV):
+            Device(cache=KernelCache())

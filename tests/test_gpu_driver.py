@@ -148,3 +148,51 @@ class TestOptimizationOrdering:
             outs[Toolchain.CUDA_1_0][0], outs[Toolchain.CUDA_2_2][0]
         )
         assert outs[Toolchain.CUDA_1_0][1] != outs[Toolchain.CUDA_2_2][1]
+
+
+class TestDeviceBuffers:
+    def test_allocates_and_frees(self):
+        from repro.cudasim import Device
+        from repro.gravit import device_buffers
+
+        dev = Device(heap_bytes=1 << 20)
+        with device_buffers(dev, 256, 512) as (a, b):
+            assert dev.gmem.bytes_in_use >= 256 + 512
+        assert dev.gmem.bytes_in_use == 0
+
+    def test_frees_on_body_exception(self):
+        from repro.cudasim import Device
+        from repro.gravit import device_buffers
+
+        dev = Device(heap_bytes=1 << 20)
+        with pytest.raises(RuntimeError, match="boom"):
+            with device_buffers(dev, 256, 512):
+                raise RuntimeError("boom")
+        assert dev.gmem.bytes_in_use == 0
+
+    def test_poisoned_free_does_not_leak_the_rest(self):
+        """The teardown regression: freeing the *last* buffer inside the
+        body makes the reversed teardown loop hit DoubleFreeError first;
+        before the fix that aborted the loop and leaked every earlier
+        buffer.  All buffers must be freed and the failure re-raised."""
+        from repro.cudasim import Device, DoubleFreeError
+        from repro.gravit import device_buffers
+
+        dev = Device(heap_bytes=1 << 20)
+        with pytest.raises(DoubleFreeError):
+            with device_buffers(dev, 256, 512, 1024) as ptrs:
+                dev.free(ptrs[2])  # teardown trips on this one first
+        assert dev.gmem.bytes_in_use == 0
+
+    def test_body_exception_wins_over_teardown_failure(self):
+        """A body failure must not be masked by the DoubleFreeError the
+        teardown then encounters."""
+        from repro.cudasim import Device
+        from repro.gravit import device_buffers
+
+        dev = Device(heap_bytes=1 << 20)
+        with pytest.raises(RuntimeError, match="body"):
+            with device_buffers(dev, 256, 512) as ptrs:
+                dev.free(ptrs[1])
+                raise RuntimeError("body")
+        assert dev.gmem.bytes_in_use == 0

@@ -154,6 +154,71 @@ class TestFailurePoisoning:
         with pytest.raises(StreamError, match="closed"):
             s.memcpy_htod_async(bx, x)
 
+    def test_synchronize_stays_poisoned_after_drain(self, dev, launched):
+        """The sticky-error regression: the *second* synchronize (whose
+        pending list is already empty) must still re-raise."""
+        lk, x, bx, by = launched
+        s = dev.stream()
+        s.launch_async(lk, grid=-1, block=BLOCK, params={})
+        with pytest.raises(StreamError, match="failed"):
+            s.synchronize()
+        # Nothing left to drain — the error must re-raise anyway.
+        with pytest.raises(StreamError, match="failed"):
+            s.synchronize()
+        with pytest.raises(StreamError, match="failed"):
+            s.synchronize()
+
+    def test_exception_in_with_block_unregisters_stream(self, dev, launched):
+        """The ``__exit__`` regression: a body exception must still remove
+        the aborted stream from the device registry, or every subsequent
+        ``Device.synchronize`` drains a closed stream."""
+        lk, x, bx, by = launched
+        with pytest.raises(RuntimeError, match="boom"):
+            with dev.stream("doomed") as s:
+                s.memcpy_htod_async(bx, x)
+                raise RuntimeError("boom")
+        assert s not in dev._streams
+        dev.synchronize()  # must not touch the aborted stream
+
+    def test_clean_exit_unregisters_stream(self, dev):
+        with dev.stream() as s:
+            pass
+        assert s not in dev._streams
+
+
+class TestPeerCopy:
+    def test_peer_copy_moves_data(self, dev):
+        peer = Device(heap_bytes=1 << 20, name="peer")
+        src = dev.malloc(4 * N)
+        dst = peer.malloc(4 * N)
+        x = np.arange(N, dtype=np.float32)
+        dev.memcpy_htod(src, x)
+        with dev.stream() as s:
+            s.memcpy_peer_async(src, peer, dst, N)
+        assert np.array_equal(peer.memcpy_dtoh(dst, N), x)
+
+    def test_peer_copy_costs_one_pcie_traversal(self, dev):
+        peer = Device(heap_bytes=1 << 20)
+        src = dev.malloc(4 * N)
+        dst = peer.malloc(4 * N)
+        one_hop = (4 * N / PCIE_BYTES_PER_S) * dev.props.clock_mhz * 1e6
+        with dev.stream() as s:
+            s.memcpy_peer_async(src, peer, dst, N)
+            s.synchronize()
+            assert s.cycles == pytest.approx(one_hop)
+
+    def test_host_staged_copy_costs_double(self, dev):
+        peer = Device(heap_bytes=1 << 20)
+        src = dev.malloc(4 * N)
+        dst = peer.malloc(4 * N)
+        with dev.stream() as direct:
+            direct.memcpy_peer_async(src, peer, dst, N)
+            direct.synchronize()
+        with dev.stream() as staged:
+            staged.memcpy_peer_async(src, peer, dst, N, via_host=True)
+            staged.synchronize()
+        assert staged.cycles == pytest.approx(2 * direct.cycles)
+
 
 class TestDeviceIntegration:
     def test_device_synchronize_drains_all_streams(self, dev, launched):
