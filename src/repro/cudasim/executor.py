@@ -135,8 +135,10 @@ class WarpState:
         "at_barrier",
         "done",
         "tid",
+        "mem_ready",
         "_fp_act",
         "_fp_na",
+        "_prof_t0",
     )
 
     def __init__(
@@ -154,10 +156,16 @@ class WarpState:
         # (0.0 = always ready) instead of a dict, so readiness checks are
         # one vectorized gather+max instead of a per-register dict walk.
         self.pending = np.zeros(max(reg_count, 1), dtype=_F64)
+        # Profiler shadow scoreboard, allocated lazily on the first
+        # profiled load: ready cycles written only by the memory path, so
+        # a stalling register with ``pending[r] == mem_ready[r]`` is
+        # waiting on memory, anything else on an ALU/SFU latency.
+        self.mem_ready: np.ndarray | None = None
         self.next_issue = 0.0
         self.at_barrier = False
         self.done = False
         self.tid = warp_in_block * WARP + np.arange(WARP, dtype=np.int64)
+        self._prof_t0 = 0.0  # activation cycle, for achieved occupancy
         # Fastpath cache: active-lane count keyed by the identity of
         # ``active`` (every change rebinds a fresh array, see _exit_if
         # and _retire, and the cache keeps the old object alive so its
@@ -215,6 +223,7 @@ class SMExecutor:
         stats: KernelStats | None = None,
         trace=None,
         sm_index: int = 0,
+        profile=None,
     ) -> None:
         self.device = device
         self.policy = policy
@@ -225,6 +234,10 @@ class SMExecutor:
         self.grid_dim = grid_dim
         self.trace = trace  # optional per-global-access hook
         self.sm_index = sm_index
+        # Optional SMProfile; every hook below is guarded by a single
+        # ``is not None`` read, and no hook mutates simulation state, so
+        # disabled profiling is free and enabled profiling bit-identical.
+        self.profile = profile
         self.stats = stats if stats is not None else KernelStats()
         self.pipeline = MemoryPipeline(device, policy)
         self.texcache = TextureCache(device, self.pipeline)
@@ -354,6 +367,53 @@ class SMExecutor:
         t = self._wake_time(warp)
         return t is not None and t <= now
 
+    # -------------------------------------------------------- profiling
+
+    def _prof_gap(self, warps, now: float, new_now: float) -> None:
+        """Attribute one issue-port idle gap to a stall reason.
+
+        The gap ends when the earliest warp wakes, so the gap *is* that
+        warp's stall; scan in flat warp order with strict ``<`` so the
+        attribution is independent of scheduler bookkeeping (the fast
+        path calls this with the same warp list and produces the same
+        winner).
+        """
+        best = None
+        best_t = 0.0
+        for w in warps:
+            t = self._wake_time(w)
+            if t is not None and (best is None or t < best_t):
+                best, best_t = w, t
+        if best is None:  # pragma: no cover - defensive
+            reason = "other"
+        elif best_t > best.next_issue:
+            # Blocked on the scoreboard: some needed register is pending
+            # past the issue port's own availability.
+            reason = self._prof_dep_reason(
+                best, self._prepped[best.pc].need_arr, best_t
+            )
+        elif best.next_issue > now:
+            # The only mechanism pushing next_issue past the current
+            # cycle at a no-issue point is a barrier release.
+            reason = "barrier"
+        else:  # pragma: no cover - defensive
+            reason = "other"
+        self.profile.gap(now, new_now - now, reason)
+
+    @staticmethod
+    def _prof_dep_reason(warp: WarpState, need, t: float) -> str:
+        """Memory or execution dependency?  The binding register is the
+        one whose ready cycle equals the wake time; it was produced by
+        the memory pipeline iff the shadow scoreboard agrees exactly."""
+        pending = warp.pending
+        mem_ready = warp.mem_ready
+        for r in need:
+            if pending[r] == t:
+                if mem_ready is not None and mem_ready[r] == t:
+                    return "mem_dependency"
+                return "exec_dependency"
+        return "other"
+
     # ------------------------------------------------------------------ run
 
     def run(self, block_ids: list[int], max_resident: int) -> float:
@@ -392,6 +452,7 @@ class SMExecutor:
                         blk, w, self.lk.reg_count, self.lk.pred_count
                     )
                     ws.next_issue = now
+                    ws._prof_t0 = now
                     blk.warps.append(ws)
                 resident.append(blk)
                 self.stats.blocks_executed += 1
@@ -439,6 +500,8 @@ class SMExecutor:
                     f"kernel {self.lk.name!r}: scheduler stuck at {now:.0f}"
                 )
             self.stats.idle_cycles += new_now - now
+            if self.profile is not None:
+                self._prof_gap(warps, now, new_now)
             now = new_now
         self.stats.sm_cycles.append(now)
         return now
@@ -447,12 +510,16 @@ class SMExecutor:
 
     def _issue(self, warp: WarpState, now: float) -> float:
         """Execute one instruction for ``warp``; returns the new SM clock."""
+        prof = self.profile
         # Reconvergence check: lanes parked for this pc rejoin.
         while warp.div_stack and warp.pc == warp.div_stack[-1][0]:
             _, mask = warp.div_stack.pop()
             warp.active = (warp.active | mask) & warp.alive
+            if prof is not None:
+                prof.reconvergences += 1
 
-        p = self._prepped[warp.pc]
+        pc = warp.pc
+        p = self._prepped[pc]
         op = p.op
         dev = self.device
 
@@ -461,7 +528,8 @@ class SMExecutor:
             pv = warp.preds[p.pred]
             mask &= (~pv) if p.pred_neg else pv
 
-        self.stats.count(op, p.issue_class, int(mask.sum()))
+        active_lanes = int(mask.sum())
+        self.stats.count(op, p.issue_class, active_lanes)
         issue = dev.alu_issue_cycles
         advance_pc = True
 
@@ -548,6 +616,8 @@ class SMExecutor:
             warp.pc += 1
             if warp.pc >= len(self._prepped):
                 self._retire(warp, now)
+        if prof is not None:
+            prof.note_issue(pc, active_lanes, issue)
         warp.next_issue = now + issue
         return now + issue
 
@@ -557,6 +627,17 @@ class SMExecutor:
     def _mark(warp: WarpState, dst: int, ready: float) -> None:
         if dst >= 0:
             warp.pending[dst] = ready
+
+    @staticmethod
+    def _prof_mark_mem(warp: WarpState, dsts, ready: float) -> None:
+        """Record memory-produced ready cycles in the shadow scoreboard
+        (profiling only; never read by the simulation itself)."""
+        mem_ready = warp.mem_ready
+        if mem_ready is None:
+            mem_ready = warp.mem_ready = np.zeros_like(warp.pending)
+        for dst in dsts:
+            if dst >= 0:
+                mem_ready[dst] = ready
 
     def _branch(self, warp: WarpState, p: _Prep) -> bool:
         target = p.target
@@ -571,6 +652,8 @@ class SMExecutor:
         if bool(np.array_equal(taken, warp.active)):
             warp.pc = target
             return False
+        if self.profile is not None:
+            self.profile.divergent_branches += 1
         if target <= warp.pc:
             # Divergent backward branch (a per-lane data-dependent loop,
             # e.g. Barnes-Hut traversal): lanes leaving the loop park at
@@ -609,6 +692,8 @@ class SMExecutor:
                 pc, mask = warp.div_stack.pop()
                 warp.pc = pc
                 warp.active = mask & warp.alive
+                if self.profile is not None:
+                    self.profile.reconvergences += 1
                 return False
             self._retire(warp, now)
             return False
@@ -617,6 +702,8 @@ class SMExecutor:
     def _retire(self, warp: WarpState, now: float) -> None:
         if warp.done:
             return
+        if self.profile is not None:
+            self.profile.warp_resident_cycles += now - warp._prof_t0
         warp.done = True
         warp.active = np.zeros(WARP, dtype=bool)
         # A retiring warp may release a barrier its siblings wait on.
@@ -680,6 +767,7 @@ class SMExecutor:
                 active=mask,
             )
         # Timing: coalesce per half-warp, queue the transactions.
+        prof = self.profile
         txs = []
         per_half = []
         width = 4 * lanes
@@ -689,13 +777,22 @@ class SMExecutor:
             half_txs = self.policy.transactions(acc)
             per_half.append(half_txs)
             txs.extend(half_txs)
+            if prof is not None and half_txs:
+                prof.note_global(
+                    warp.pc, half_txs, self.policy.is_coalesced(acc)
+                )
         ready = self.pipeline.request(txs, now, width, is_load)
         if is_load:
             for dst in p.dsts:
                 self._mark(warp, dst, ready)
+            if prof is not None:
+                prof.mem_latency[warp.pc] += ready - now
+                self._prof_mark_mem(warp, p.dsts, ready)
         replays = 0
         if self.policy.charges_replays:
             replays = sum(max(0, len(h) - 1) for h in per_half)
+            if prof is not None and replays:
+                prof.replays[warp.pc] += replays
         return dev.alu_issue_cycles + replays * dev.memory.replay_issue_cycles
 
     def _tex_access(
@@ -729,6 +826,12 @@ class SMExecutor:
         ready = self.texcache.access(sel, 4 * lanes, now)
         for dst in p.dsts:
             self._mark(warp, dst, ready)
+        if self.profile is not None:
+            # Texture traffic reaches the pipeline only on cache misses
+            # (inside TextureCache), so no per-pc transaction split here;
+            # fills are still in the pipeline-level byte totals.
+            self.profile.mem_latency[warp.pc] += ready - now
+            self._prof_mark_mem(warp, p.dsts, ready)
         return dev.alu_issue_cycles
 
     def _shared_access(
@@ -761,6 +864,8 @@ class SMExecutor:
             idx = mask.nonzero()[0]
             shared.scatter(addrs[idx], self._store_values(warp, p, lanes, idx))
         degree = shared.conflict_degree(addrs, lanes, mask)
+        if self.profile is not None and degree > 1:
+            self.profile.bank_conflicts[warp.pc] += degree - 1
         return dev.alu_issue_cycles * degree
 
 
@@ -793,6 +898,8 @@ class SMRun:
     sm_index: int
     end_cycle: float
     stats: KernelStats
+    #: SMProfile when the launch ran with profiling enabled, else None.
+    profile: object | None = None
 
 
 class _WriteLogMemory(GlobalMemory):
@@ -830,8 +937,14 @@ def _run_sm_serial(
     sm_index: int,
     trace=None,
     fastpath: bool = False,
+    profile_spec=None,
 ) -> SMRun:
     stats = KernelStats()
+    profile = None
+    if profile_spec is not None:
+        from .profiler import SMProfile
+
+        profile = SMProfile(len(lk.instructions), sm_index, profile_spec)
     if fastpath:
         from .fastpath import FastSMExecutor as executor_cls
     else:
@@ -847,22 +960,28 @@ def _run_sm_serial(
         stats=stats,
         trace=trace,
         sm_index=sm_index,
+        profile=profile,
     )
     end = ex.run(block_ids, resident)
     stats.memory.merge(ex.pipeline.stats)
-    return SMRun(sm_index=sm_index, end_cycle=end, stats=stats)
+    if profile is not None:
+        profile.end_cycle = end
+    return SMRun(
+        sm_index=sm_index, end_cycle=end, stats=stats, profile=profile
+    )
 
 
 def _run_sm_task(payload: tuple):
     """Process-pool task: rebuild the heap, simulate one SM, return stores."""
     (device, policy, size_bytes, segments, lk, params, block_dim, grid_dim,
-     block_ids, resident, sm_index, fastpath) = payload
+     block_ids, resident, sm_index, fastpath, profile_spec) = payload
     gmem = _WriteLogMemory(size_bytes)
     for addr, words in segments:
         gmem.write(addr, words)
     run = _run_sm_serial(
         device, policy, gmem, lk, params, block_dim, grid_dim,
         block_ids, resident, sm_index, fastpath=fastpath,
+        profile_spec=profile_spec,
     )
     return run, gmem.store_log
 
@@ -910,6 +1029,7 @@ def run_sms(
     max_workers: int | None = None,
     trace=None,
     fastpath: bool = False,
+    profile=None,
 ) -> list[SMRun]:
     """Simulate every (sm_index, block_ids) assignment; results in SM order.
 
@@ -919,7 +1039,10 @@ def run_sms(
     order, so race-free kernels end with a bit-identical heap.
     ``fastpath`` selects the codegen'd executor
     (:class:`repro.cudasim.fastpath.FastSMExecutor`); every engine ×
-    fastpath combination produces identical results.
+    fastpath combination produces identical results.  ``profile`` is an
+    optional picklable :class:`~repro.cudasim.profiler.ProfileSpec`;
+    it travels in the payload (not via the profiler's module global) so
+    ``process`` workers collect the same counters as in-process engines.
     """
     if engine not in SM_ENGINES:
         raise ValueError(f"unknown SM engine {engine!r}; choose from {SM_ENGINES}")
@@ -931,6 +1054,7 @@ def run_sms(
             _run_sm_serial(
                 device, policy, gmem, lk, params, block_dim, grid_dim,
                 block_ids, resident, sm, trace=trace, fastpath=fastpath,
+                profile_spec=profile,
             )
             for sm, block_ids in assignments
         ]
@@ -945,7 +1069,7 @@ def run_sms(
                     lambda a: _run_sm_serial(
                         device, policy, gmem, lk, params, block_dim,
                         grid_dim, a[1], resident, a[0], trace=trace,
-                        fastpath=fastpath,
+                        fastpath=fastpath, profile_spec=profile,
                     ),
                     assignments,
                 )
@@ -957,7 +1081,7 @@ def run_sms(
     segments = _heap_segments(gmem)
     payloads = [
         (device, policy, size_bytes, segments, lk, params, block_dim,
-         grid_dim, block_ids, resident, sm, fastpath)
+         grid_dim, block_ids, resident, sm, fastpath, profile)
         for sm, block_ids in assignments
     ]
     pool = _get_process_pool()

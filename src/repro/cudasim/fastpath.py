@@ -70,7 +70,7 @@ from .device import DeviceProperties
 from .envflags import env_bool
 from .errors import DeadlockError, ExecutionError
 from .executor import WARP, BlockState, SMExecutor, WarpState
-from .isa import Imm, Op, Param, Reg, Special, SReg
+from .isa import SFU_OPS, Imm, Op, Param, Reg, Special, SReg
 from .kernel_cache import KernelCache, default_cache
 from .lower import LoweredKernel
 from .memory import SharedMemory
@@ -586,6 +586,7 @@ class FastSMExecutor(SMExecutor):
         steps = self._steps
         prepped = self._prepped
         stats = self.stats
+        prof = self.profile
         wake_of = self._wake_inf
         deps = self._program.deps
         ends = self._ends
@@ -615,6 +616,7 @@ class FastSMExecutor(SMExecutor):
                         blk, w, self.lk.reg_count, self.lk.pred_count
                     )
                     ws.next_issue = now
+                    ws._prof_t0 = now
                     blk.warps.append(ws)
                 resident.append(blk)
                 self.stats.blocks_executed += 1
@@ -680,6 +682,8 @@ class FastSMExecutor(SMExecutor):
                     while warp.div_stack and warp.pc == warp.div_stack[-1][0]:
                         _, mask = warp.div_stack.pop()
                         warp.active = (warp.active | mask) & warp.alive
+                        if prof is not None:
+                            prof.reconvergences += 1
                     act = warp.active
                     if act is warp._fp_act:
                         na = warp._fp_na
@@ -710,6 +714,18 @@ class FastSMExecutor(SMExecutor):
                                 break
                             stats.scoreboard_stalls += countable_others + 1
                             stats.idle_cycles += wk - now
+                            if prof is not None:
+                                # The running warp is provably the gap's
+                                # earliest waker (others wake at or past
+                                # t_other > wk), so attribute directly —
+                                # same verdict as the interpreter's scan.
+                                prof.gap(
+                                    now,
+                                    wk - now,
+                                    self._prof_dep_reason(
+                                        warp, deps[pc], wk
+                                    ),
+                                )
                             now = wk
                         stats.scoreboard_stalls += countable_others
                         now = steps[pc](warp, now, act, full, na)
@@ -782,6 +798,8 @@ class FastSMExecutor(SMExecutor):
                     f"kernel {self.lk.name!r}: scheduler stuck at {now:.0f}"
                 )
             stats.idle_cycles += new_now - now
+            if prof is not None:
+                self._prof_gap(warps, now, new_now)
             now = new_now
         stats.sm_cycles.append(now)
         self._flush_counts()
@@ -794,10 +812,19 @@ class FastSMExecutor(SMExecutor):
 
         Dynamic counts are order-independent integer sums, so batching
         them per pc leaves ``by_op``/``by_class`` and the instruction
-        totals identical to per-issue counting.
+        totals identical to per-issue counting.  The same holds for the
+        profiler's per-pc counters: every fused op has a static issue
+        cost (SFU ops 16 cycles, everything else 4 — mirroring
+        ``_value_expr``), so ``count × cost`` equals the interpreter's
+        per-issue accumulation exactly.
         """
         stats = self.stats
+        prof = self.profile
         program = self._program
+        if prof is not None:
+            dev = self.device
+            alu_i = float(dev.alu_issue_cycles)
+            sfu_i = float(dev.sfu_issue_cycles)
         for pc, c in enumerate(self._cnt):
             if not c:
                 continue
@@ -807,5 +834,11 @@ class FastSMExecutor(SMExecutor):
             op = program.ops[pc]
             stats.by_class[cls] = stats.by_class.get(cls, 0) + c
             stats.by_op[op] = stats.by_op.get(op, 0) + c
+            if prof is not None:
+                prof.issue_count[pc] += c
+                prof.lanes[pc] += self._lanes_acc[pc]
+                prof.issue_cycles[pc] += c * (
+                    sfu_i if op in SFU_OPS else alu_i
+                )
             self._cnt[pc] = 0
             self._lanes_acc[pc] = 0

@@ -44,6 +44,7 @@ from .lower import LoweredKernel, lower
 from .memory import DevicePtr, GlobalMemory
 from .occupancy import OccupancyResult, occupancy
 from .profiler import KernelStats
+from .profiler import runtime as _profiler
 from .regalloc import allocate
 from .transforms import (
     eliminate_dead_code,
@@ -161,6 +162,9 @@ class LaunchResult:
     #: (only SMs that received blocks appear).  The timeline exporter
     #: reads these to draw one slice + memory-pipe track per SM.
     sm_stats: list[KernelStats] = field(repr=False, default_factory=list)
+    #: Merged :class:`~repro.cudasim.profiler.KernelProfile` when the
+    #: launch ran with the profiler enabled, else ``None``.
+    profile: object | None = field(repr=False, default=None)
 
     @property
     def time_s(self) -> float:
@@ -318,6 +322,7 @@ class Device:
             span_attrs["stream"] = stream
         if self.name is not None:
             span_attrs["device"] = self.name
+        profile_spec = _profiler.spec()
         with _telemetry.span("cudasim.launch", **span_attrs) as sp:
             # One cycle simulation at a time per device: concurrent streams
             # interleave on the simulated timeline, not on the host heap.
@@ -326,7 +331,7 @@ class Device:
                     self.props, self.policy, self.gmem, lk, values,
                     block, grid, assignments, resident,
                     engine=self.sm_engine, trace=trace,
-                    fastpath=self.fastpath,
+                    fastpath=self.fastpath, profile=profile_spec,
                 )
             for run in runs:
                 end = max(end, run.end_cycle)
@@ -338,6 +343,14 @@ class Device:
                 warp_instructions=stats.warp_instructions,
                 transactions=stats.memory.transactions,
             )
+        profile = None
+        if profile_spec is not None:
+            from .profiler import KernelProfile
+
+            profile = KernelProfile.from_runs(
+                lk, runs, self.props, self.toolchain, grid, block, end,
+                occ, stats,
+            )
         result = LaunchResult(
             kernel_name=lk.name,
             grid=grid,
@@ -347,6 +360,11 @@ class Device:
             occupancy=occ,
             device=self.props,
             sm_stats=per_sm,
+            profile=profile,
         )
+        if profile is not None:
+            session = _profiler.get()
+            if session is not None:
+                session.record(profile)
         _telemetry.record_launch(result)
         return result

@@ -1,0 +1,290 @@
+"""Profile documents: the ``repro.profile/v1`` schema, console reports,
+and the recursive numeric diff behind ``gravit-prof diff``.
+
+A *document* is the JSON-safe envelope written by ``gravit-prof --json``
+and validated in CI: schema tag, the launch configuration, the full
+counter dump, and the roofline analysis.  Every value inside is
+simulated (cycles / transactions / bytes) — never wall-clock — so two
+documents produced from the same configuration are byte-identical and
+:func:`diff_documents` of them is empty.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .counters import STALL_REASONS, KernelProfile
+from .roofline import render_roofline, roofline
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "profile_document",
+    "validate_profile",
+    "render_report",
+    "diff_documents",
+    "render_diff",
+    "load_document",
+    "write_document",
+]
+
+PROFILE_SCHEMA = "repro.profile/v1"
+
+#: Top-level keys a v1 document must carry.
+_REQUIRED_TOP = ("schema", "config", "profile", "roofline")
+#: Keys every ``profile`` block must carry (a subset of the dump —
+#: enough that a report/diff of a valid document cannot KeyError).
+_REQUIRED_PROFILE = (
+    "kernel", "grid", "block", "cycles", "toolchain",
+    "warp_instructions", "thread_instructions",
+    "issue_count", "lanes", "issue_cycles",
+    "tx_coalesced", "tx_uncoalesced", "mem_bytes", "replays",
+    "mem_latency", "bank_conflicts", "stall_cycles",
+    "divergent_branches", "reconvergences",
+    "region_tx", "region_bytes",
+    "flops", "pipeline_bytes", "pipeline_transactions",
+    "occupancy_theoretical", "occupancy_achieved",
+    "warp_execution_efficiency", "blocks", "per_sm",
+)
+_REQUIRED_ROOFLINE = (
+    "arithmetic_intensity", "ridge_point", "bound",
+    "peak_flops_per_cycle", "peak_bytes_per_cycle",
+)
+_PER_PC_ARRAYS = (
+    "issue_count", "lanes", "issue_cycles", "tx_coalesced",
+    "tx_uncoalesced", "mem_bytes", "replays", "mem_latency",
+    "bank_conflicts",
+)
+
+
+def profile_document(
+    profile: KernelProfile, config: dict | None = None
+) -> dict:
+    """Wrap one profile in the ``repro.profile/v1`` envelope."""
+    cfg = {
+        "kernel": profile.kernel_name,
+        "grid": profile.grid,
+        "block": profile.block,
+        "toolchain": profile.toolchain,
+    }
+    if config:
+        cfg.update(config)
+    doc = {
+        "schema": PROFILE_SCHEMA,
+        "generator": "gravit-prof",
+        "config": cfg,
+        "profile": profile.as_dict(),
+        "roofline": roofline(profile),
+        "instructions": [
+            profile.instruction_row(pc) for pc in range(profile.n_pcs)
+        ],
+    }
+    return doc
+
+
+def validate_profile(doc: dict) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    for key in _REQUIRED_TOP:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if doc.get("schema") != PROFILE_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {PROFILE_SCHEMA!r}"
+        )
+    prof = doc.get("profile")
+    if not isinstance(prof, dict):
+        problems.append("profile block is not an object")
+        return problems
+    for key in _REQUIRED_PROFILE:
+        if key not in prof:
+            problems.append(f"profile missing key {key!r}")
+    n = len(prof.get("issue_count", []))
+    for key in _PER_PC_ARRAYS:
+        arr = prof.get(key)
+        if isinstance(arr, list) and len(arr) != n:
+            problems.append(
+                f"profile.{key} has {len(arr)} entries, expected {n}"
+            )
+    stalls = prof.get("stall_cycles")
+    if isinstance(stalls, dict):
+        for reason in STALL_REASONS:
+            if reason not in stalls:
+                problems.append(f"stall_cycles missing reason {reason!r}")
+    rl = doc.get("roofline")
+    if isinstance(rl, dict):
+        for key in _REQUIRED_ROOFLINE:
+            if key not in rl:
+                problems.append(f"roofline missing key {key!r}")
+        if rl.get("bound") not in ("memory", "compute"):
+            problems.append(f"roofline.bound is {rl.get('bound')!r}")
+    elif rl is not None:
+        problems.append("roofline block is not an object")
+    return problems
+
+
+# -- console rendering -----------------------------------------------------
+
+
+def _table(headers: list[str], rows: list[list]) -> str:
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [f"{v:.2f}" if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_report(doc: dict, top: int = 10) -> str:
+    """Nsight-style console report of one profile document."""
+    prof = doc["profile"]
+    rl = doc["roofline"]
+    lines = [
+        f"kernel {prof['kernel']!r}  grid={prof['grid']} "
+        f"block={prof['block']}  toolchain={prof['toolchain']}",
+        f"cycles               : {prof['cycles']:.0f}",
+        f"warp instructions    : {prof['warp_instructions']}"
+        f"  (thread {prof['thread_instructions']})",
+        f"warp exec efficiency : "
+        f"{100 * prof['warp_execution_efficiency']:.1f}%"
+        f"  (divergent branches {prof['divergent_branches']},"
+        f" reconvergences {prof['reconvergences']})",
+        f"occupancy            : "
+        f"{100 * prof['occupancy_achieved']:.1f}% achieved / "
+        f"{100 * prof['occupancy_theoretical']:.1f}% theoretical",
+        "",
+        "memory traffic",
+        f"  global transactions: {sum(prof['tx_coalesced'])} coalesced + "
+        f"{sum(prof['tx_uncoalesced'])} uncoalesced",
+        f"  bytes (pipeline)   : {prof['pipeline_bytes']}"
+        f"  replays: {sum(prof['replays'])}"
+        f"  bank conflicts: {sum(prof['bank_conflicts'])}",
+    ]
+    if prof["region_bytes"]:
+        lines.append("  by region:")
+        for name in sorted(prof["region_bytes"]):
+            lines.append(
+                f"    {name:<16} {prof['region_tx'].get(name, 0):>8} tx  "
+                f"{prof['region_bytes'][name]:>10} B"
+            )
+    total_stall = sum(prof["stall_cycles"].values())
+    lines += ["", f"stall cycles (issue gaps): {total_stall:.0f}"]
+    for reason in STALL_REASONS:
+        cyc = prof["stall_cycles"].get(reason, 0.0)
+        share = 100 * cyc / total_stall if total_stall else 0.0
+        lines.append(f"  {reason:<16} {cyc:>12.0f}  ({share:5.1f}%)")
+    lines += ["", "roofline", render_roofline(rl), ""]
+    instrs = doc.get("instructions") or []
+    hot = sorted(instrs, key=lambda r: -r["issue_cycles"])[:top]
+    hot = [r for r in hot if r["count"]]
+    if hot:
+        lines.append(f"top {len(hot)} instructions by issue cycles")
+        lines.append(
+            _table(
+                ["pc", "instr", "count", "lanes", "issue cyc",
+                 "tx unc", "bytes", "mem lat"],
+                [
+                    [r["pc"], r["text"][:44], r["count"], r["lanes"],
+                     r["issue_cycles"], r["tx_uncoalesced"], r["bytes"],
+                     r["mem_latency"]]
+                    for r in hot
+                ],
+            )
+        )
+    return "\n".join(lines)
+
+
+# -- diffing ---------------------------------------------------------------
+
+
+def diff_documents(
+    a: dict, b: dict, tolerance: float = 0.0
+) -> list[dict]:
+    """Per-counter deltas between two documents.
+
+    Walks both JSON trees in lockstep; numbers differing by more than
+    ``tolerance`` (relative, against the larger magnitude) are reported
+    with their path.  Structural mismatches (missing keys, length or
+    type changes) are always reported.  Non-numeric leaves must be
+    equal.  The ``generator`` key is ignored.
+    """
+    deltas: list[dict] = []
+
+    def note(path, va, vb, kind="value"):
+        entry = {"path": path, "a": va, "b": vb, "kind": kind}
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            entry["delta"] = vb - va
+        deltas.append(entry)
+
+    def walk(path, va, vb):
+        if isinstance(va, bool) or isinstance(vb, bool):
+            if va is not vb:
+                note(path, va, vb)
+        elif isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            scale = max(abs(va), abs(vb))
+            if abs(vb - va) > tolerance * scale:
+                note(path, va, vb)
+        elif isinstance(va, dict) and isinstance(vb, dict):
+            for key in sorted(set(va) | set(vb)):
+                if key == "generator":
+                    continue
+                sub = f"{path}.{key}" if path else str(key)
+                if key not in va:
+                    note(sub, None, vb[key], "added")
+                elif key not in vb:
+                    note(sub, va[key], None, "removed")
+                else:
+                    walk(sub, va[key], vb[key])
+        elif isinstance(va, list) and isinstance(vb, list):
+            if len(va) != len(vb):
+                note(path, len(va), len(vb), "length")
+            else:
+                for i, (xa, xb) in enumerate(zip(va, vb)):
+                    walk(f"{path}[{i}]", xa, xb)
+        elif va != vb:
+            note(path, va, vb, "type" if type(va) != type(vb) else "value")
+
+    walk("", a, b)
+    return deltas
+
+
+def render_diff(deltas: list[dict], limit: int = 50) -> str:
+    if not deltas:
+        return "no deltas: profiles are identical within tolerance"
+    lines = [f"{len(deltas)} counter delta(s)"]
+    for d in deltas[:limit]:
+        if "delta" in d:
+            lines.append(
+                f"  {d['path']}: {d['a']} -> {d['b']}  ({d['delta']:+g})"
+            )
+        else:
+            lines.append(
+                f"  {d['path']}: {d['a']!r} -> {d['b']!r}  [{d['kind']}]"
+            )
+    if len(deltas) > limit:
+        lines.append(f"  ... {len(deltas) - limit} more")
+    return "\n".join(lines)
+
+
+# -- file IO ---------------------------------------------------------------
+
+
+def load_document(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_document(path: str, doc: dict) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .isa import IssueClass, Op
-from .pipeline import PipelineStats
+from ..isa import IssueClass, Op
+from ..pipeline import PipelineStats
 
 __all__ = ["KernelStats"]
 

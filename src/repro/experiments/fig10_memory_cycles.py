@@ -17,6 +17,7 @@ import numpy as np
 from ..core.layouts import LAYOUT_KINDS, make_layout
 from ..core.timing import estimate_cycles_per_element
 from ..core.coalescing import policy_for
+from ..cudasim import profiler
 from ..cudasim.device import G8800GTX, Toolchain
 from ..cudasim.launch import Device
 from ..gravit.gpu_kernels import ALL_FIELDS, build_membench_kernel
@@ -55,6 +56,11 @@ def submit_layout(
     dev = Device(toolchain=toolchain, heap_bytes=1 << 22)
     lk = dev.compile(kernel)
     buf = dev.malloc(layout.size_bytes)
+    if profiler.enabled():
+        # Advertise the layout's field spans so profiled traffic is
+        # binned per region.  Regions are session state, so profiled
+        # sweeps should collect serially (measure_layout / serial=True).
+        profiler.set_regions(profiler.regions_for_layout(layout, buf.addr))
     rng = np.random.default_rng(seed)
     data = {f: rng.random(n).astype(np.float32) for f in ALL_FIELDS}
     threads = block * grid

@@ -1,0 +1,154 @@
+"""PROFILE — fig11 layout ranking re-derived from profiler counters.
+
+The paper's Fig. 11 speedups come from *timing* the four particle
+layouts.  This experiment shows the `gravit-prof` counters explain the
+ranking without reading the clock: the memory microbenchmark (the fig10
+kernel) is profiled per layout under CUDA 1.0 and the layouts are
+ranked by the profiler's **attributed global-load latency** counter
+(``mem_latency``).  That one counter folds together both effects the
+paper describes — uncoalesced accesses serializing into per-thread
+transactions (AoS ≫ AoaS, visible in ``tx_uncoalesced``) and extra
+dependent load round-trips per record (SoA's seven stride-4 loads,
+invisible to the coalescing counters alone).  The check is that the
+counter ranking matches the measured cycles-per-element ranking — the
+fig11 speedup order — exactly.
+
+Each configuration also gets a roofline classification and its hottest
+IR instructions, so the report doubles as a worked example of the
+profiler's attribution output.
+
+Collection is serial by necessity: the profiler's address-region table
+is session state set by the driver right before each launch.
+"""
+
+from __future__ import annotations
+
+from ..cudasim import profiler
+from ..cudasim.device import Toolchain
+from .fig10_memory_cycles import measure_layout
+from .report import ExperimentResult, format_table
+
+__all__ = ["run", "profile_layout", "RANK_KINDS"]
+
+#: The four layouts of the fig11 comparison, paper order.
+RANK_KINDS = ("aos", "soa", "aoas", "soaoas")
+
+
+def profile_layout(
+    kind: str, toolchain: Toolchain = Toolchain.CUDA_1_0, **kwargs
+) -> dict:
+    """Profile one fig10 configuration; returns measurement + counters.
+
+    Runs inside its own profiler session slice (``reset`` between
+    configurations) so ``last_profile`` is unambiguous.
+    """
+    was_enabled = profiler.enabled()
+    profiler.enable()
+    profiler.reset()
+    try:
+        measurement = measure_layout(kind, toolchain, **kwargs)
+        profile = profiler.last_profile()
+    finally:
+        if not was_enabled:
+            profiler.disable()
+    assert profile is not None
+    analysis = profiler.roofline(profile)
+    return {
+        "kind": kind,
+        "toolchain": toolchain.value,
+        "cycles_per_element": measurement["cycles_per_element"],
+        "tx_coalesced": int(profile.tx_coalesced.sum()),
+        "tx_uncoalesced": int(profile.tx_uncoalesced.sum()),
+        "mem_latency": float(profile.mem_latency.sum()),
+        "mem_bytes": int(profile.mem_bytes.sum()),
+        "stall_cycles": dict(profile.stall_cycles),
+        "region_bytes": dict(profile.region_bytes),
+        "occupancy_achieved": profile.occupancy_achieved,
+        "warp_execution_efficiency": profile.warp_execution_efficiency,
+        "roofline_bound": analysis["bound"],
+        "arithmetic_intensity": analysis["arithmetic_intensity"],
+        "hot_instructions": profile.hot_instructions(5),
+    }
+
+
+def run(
+    kinds: tuple[str, ...] = RANK_KINDS,
+    toolchain: Toolchain = Toolchain.CUDA_1_0,
+    **kwargs,
+) -> ExperimentResult:
+    profiles = {kind: profile_layout(kind, toolchain, **kwargs) for kind in kinds}
+
+    # Slowest-first rankings: by the profiler's attributed global-load
+    # latency counter, and by the measured cycles.
+    by_counter = sorted(
+        kinds, key=lambda k: profiles[k]["mem_latency"], reverse=True
+    )
+    by_cycles = sorted(
+        kinds, key=lambda k: profiles[k]["cycles_per_element"], reverse=True
+    )
+    rankings_agree = by_counter == by_cycles
+
+    headers = [
+        "layout",
+        "cycles/elem",
+        "mem latency",
+        "tx uncoalesced",
+        "tx coalesced",
+        "bytes",
+        "bound",
+    ]
+    rows = [
+        [
+            kind,
+            profiles[kind]["cycles_per_element"],
+            profiles[kind]["mem_latency"],
+            profiles[kind]["tx_uncoalesced"],
+            profiles[kind]["tx_coalesced"],
+            profiles[kind]["mem_bytes"],
+            profiles[kind]["roofline_bound"],
+        ]
+        for kind in by_counter
+    ]
+    table = format_table(headers, rows, float_fmt="{:.1f}")
+
+    return ExperimentResult(
+        experiment_id="profile",
+        title="gravit-prof counters vs the fig11 layout ranking "
+        f"(CUDA {toolchain.value})",
+        data={
+            "profiles": profiles,
+            "ranking_by_counters": list(by_counter),
+            "ranking_by_cycles": list(by_cycles),
+            "rankings_agree": rankings_agree,
+            "series": {
+                "counters": {
+                    "layout_index": list(range(len(kinds))),
+                    "cycles_per_element": [
+                        profiles[k]["cycles_per_element"] for k in kinds
+                    ],
+                    "mem_latency": [
+                        profiles[k]["mem_latency"] for k in kinds
+                    ],
+                    "tx_uncoalesced": [
+                        float(profiles[k]["tx_uncoalesced"]) for k in kinds
+                    ],
+                }
+            },
+        },
+        table=table,
+        paper_claims={
+            "ranking": "fig11 speedup order is explained by the memory "
+            "counters (coalescing + load round-trips)",
+        },
+        measured_claims={
+            "ranking": (
+                "counter ranking == cycle ranking: "
+                + " > ".join(by_counter)
+                if rankings_agree
+                else "DISAGREE: counters "
+                + " > ".join(by_counter)
+                + " vs cycles "
+                + " > ".join(by_cycles)
+            ),
+        },
+    )

@@ -128,6 +128,12 @@ def _warp_scaling(quick: bool) -> ExperimentResult:
     return warp_scaling.run(warp_counts=counts)
 
 
+def _profile(quick: bool) -> ExperimentResult:
+    from . import profile_report
+
+    return profile_report.run()
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
     "fig10": ("memory microbenchmark: cycles per 4-byte read", _fig10),
     "fig11": ("layout speedups over AoS", _fig11),
@@ -143,6 +149,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
     "bhgpu": ("GPU tree code vs GPU O(n²) kernel (Sec. I-D)", _bh_vs_n2),
     "frag": ("layout coalescing under dynamic populations", _frag),
     "multigpu": ("row-block sharding across a device group", _multigpu),
+    "profile": ("gravit-prof counters vs the fig11 ranking", _profile),
 }
 
 
@@ -214,6 +221,13 @@ def main(argv: list[str] | None = None) -> int:
         "env var, else serial)",
     )
     runp.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the gravit-prof profiler for the run and print a "
+        "per-kernel counter summary afterwards (forces --serial, since "
+        "profiler region state is per-launch)",
+    )
+    runp.add_argument(
         "--no-fastpath",
         action="store_true",
         help="pin the reference cycle interpreter instead of the "
@@ -229,6 +243,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.telemetry:
         _telemetry.enable()
+    if args.profile:
+        from ..cudasim import profiler as _profiler
+
+        _profiler.enable()
+        args.serial = True
     if args.engine:
         from ..cudasim.executor import ENGINE_ENV
 
@@ -272,7 +291,31 @@ def main(argv: list[str] | None = None) -> int:
             f"({100 * cs.hit_rate:.0f}% hit rate)",
             file=human,
         )
+    if args.profile:
+        from ..cudasim import profiler as _profiler
+
+        _print_profile_summary(_profiler.profiles(), file=human)
     return status
+
+
+def _print_profile_summary(profiles, file) -> None:
+    """One line of headline counters per profiled launch."""
+    print(f"\ngravit-prof: {len(profiles)} profiled launches", file=file)
+    for p in profiles:
+        stalls = ", ".join(
+            f"{reason}={cycles:.0f}"
+            for reason, cycles in p.stall_cycles.items()
+            if cycles
+        )
+        print(
+            f"  {p.kernel_name}: cycles={p.cycles:.0f} "
+            f"tx={int(p.tx_coalesced.sum())}c/"
+            f"{int(p.tx_uncoalesced.sum())}u "
+            f"occ={p.occupancy_achieved:.2f} "
+            f"eff={p.warp_execution_efficiency:.2f}"
+            + (f" stalls[{stalls}]" if stalls else ""),
+            file=file,
+        )
 
 
 def _experiment_manifest(

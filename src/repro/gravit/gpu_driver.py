@@ -30,6 +30,7 @@ from typing import Literal, Union
 import numpy as np
 
 from ..core.layouts import LoadStep, MemoryLayout, make_layout
+from ..cudasim import profiler as _profiler
 from ..telemetry import runtime as _telemetry
 from ..cudasim.device import DeviceProperties, G8800GTX, Toolchain
 from ..cudasim.device_group import DeviceGroup
@@ -294,6 +295,13 @@ class GpuForceBackend:
             with device_buffers(
                 self.device, layout.size_bytes, 16 * padded.n
             ) as (buf, out):
+                if _profiler.enabled():
+                    # Bin profiled traffic per layout field span plus the
+                    # force-accumulator output.  Regions are profiler
+                    # session state, so profiled runs must stay serial.
+                    regions = _profiler.regions_for_layout(layout, buf.addr)
+                    regions += (("out", out.addr, out.addr + 16 * padded.n),)
+                    _profiler.set_regions(regions)
                 self.device.memcpy_htod(buf, padded.pack(layout))
                 params = _step_params(buf, layout, self._plan, POSMASS_FIELDS)
                 params.update(

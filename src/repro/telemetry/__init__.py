@@ -29,6 +29,7 @@ Quick tour::
 from .chrome_trace import (
     chrome_trace,
     launch_trace_events,
+    profile_trace_events,
     spans_trace_events,
     write_chrome_trace,
 )
@@ -87,6 +88,7 @@ __all__ = [
     "NOOP_SPAN",
     "chrome_trace",
     "launch_trace_events",
+    "profile_trace_events",
     "spans_trace_events",
     "write_chrome_trace",
     "MANIFEST_SCHEMA",

@@ -28,6 +28,7 @@ import os
 
 __all__ = [
     "launch_trace_events",
+    "profile_trace_events",
     "spans_trace_events",
     "chrome_trace",
     "write_chrome_trace",
@@ -158,6 +159,67 @@ def launch_trace_events(
                         },
                     }
                 )
+    return events
+
+
+def profile_trace_events(
+    profile,
+    *,
+    pid: int = DEVICE_PID,
+    base_us: float = 0.0,
+    max_events_per_sm: int = 4096,
+) -> list[dict]:
+    """Stall-phase counter tracks for one profiler ``KernelProfile``.
+
+    Each SM gets a ``stalls SM{k}`` counter track whose series are the
+    profiler's stall reasons; every retained gap event becomes a square
+    pulse (reason high over the gap, everything low outside it), so the
+    Perfetto counter view shows *when* an SM sat in each stall phase, not
+    just the totals.  Timestamps are simulated cycles converted through
+    the profile's recorded device clock (``clock_mhz`` cycles per µs).
+    ``max_events_per_sm`` caps the pulses per SM; the per-reason totals
+    in the track's closing event are always exact.
+    """
+    from ..cudasim.profiler import STALL_REASONS
+
+    clock_mhz = float(profile.device.get("clock_mhz", 1.0)) or 1.0
+
+    def us(cycles: float) -> float:
+        return float(cycles) / clock_mhz
+
+    zeros = {reason: 0.0 for reason in STALL_REASONS}
+    events: list[dict] = []
+    for sm_profile in profile.per_sm:
+        counter = f"stalls SM{sm_profile.sm_index}"
+        for start, cycles, reason in sm_profile.gap_events[:max_events_per_sm]:
+            pulse = dict(zeros)
+            pulse[reason] = 1.0
+            for ts, args in (
+                (base_us + us(start), pulse),
+                (base_us + us(start + cycles), zeros),
+            ):
+                events.append(
+                    {
+                        "ph": "C",
+                        "pid": pid,
+                        "ts": ts,
+                        "name": counter,
+                        "args": dict(args),
+                    }
+                )
+        # Closing event restates the exact totals (caps never drop them).
+        events.append(
+            {
+                "ph": "C",
+                "pid": pid,
+                "ts": base_us + us(sm_profile.end_cycle),
+                "name": counter,
+                "args": {
+                    reason: float(sm_profile.stall_cycles[reason])
+                    for reason in STALL_REASONS
+                },
+            }
+        )
     return events
 
 

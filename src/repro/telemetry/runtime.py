@@ -14,6 +14,7 @@ from collections import deque
 
 from .chrome_trace import (
     launch_trace_events,
+    profile_trace_events,
     spans_trace_events,
     write_chrome_trace,
 )
@@ -150,6 +151,26 @@ def record_launch(result) -> None:
     reg.gauge(
         "cudasim.occupancy", "achieved occupancy of the last launch"
     ).set(result.occupancy.occupancy(result.device), **labels)
+    profile = getattr(result, "profile", None)
+    if profile is not None:
+        stall_counter = reg.counter(
+            "cudasim.profiler.stall_cycles",
+            "profiler stall cycles by attributed reason",
+        )
+        for reason, cycles in profile.stall_cycles.items():
+            stall_counter.inc(float(cycles), reason=reason, **labels)
+        reg.counter(
+            "cudasim.profiler.tx_uncoalesced",
+            "profiler uncoalesced global transactions",
+        ).inc(int(profile.tx_uncoalesced.sum()), **labels)
+        reg.counter(
+            "cudasim.profiler.bank_conflicts",
+            "profiler shared-memory bank-conflict replays",
+        ).inc(int(profile.bank_conflicts.sum()), **labels)
+        reg.gauge(
+            "cudasim.profiler.occupancy_achieved",
+            "profiler achieved occupancy of the last launch",
+        ).set(profile.occupancy_achieved, **labels)
     active.last_launch = result
     active.launches.append(
         {
@@ -195,6 +216,9 @@ def export_chrome_trace(path: str, result=None, memory_trace=None) -> str:
         result = active.last_launch
     if result is not None:
         events.extend(launch_trace_events(result, memory_trace))
+        profile = getattr(result, "profile", None)
+        if profile is not None:
+            events.extend(profile_trace_events(profile))
     if active is not None:
         events.extend(spans_trace_events(active.tracer.records))
     if not events:
