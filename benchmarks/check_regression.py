@@ -42,14 +42,24 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: Machine-description keys that never participate in the comparison.
 ENV_KEYS = {"benchmark", "python", "cpu_count", "note"}
 
-#: name -> (module, committed baseline, extra argv, quick extra argv).
-#: --quick only reduces *repeats* — problem sizes stay the baseline's,
-#: so every deterministic leaf remains comparable.
+#: name -> (module, committed baseline, extra argv, quick extra argv[,
+#: skip prefixes]).  --quick only reduces *repeats* — problem sizes stay
+#: the baseline's, so every deterministic leaf remains comparable.  The
+#: optional fifth element names report subtrees that are excluded from
+#: the comparison entirely (live thread-timing sections whose *shape*
+#: changes under --quick, not just their values).
 BENCHMARKS = {
     "alloc": ("alloc_benchmark", "BENCH_alloc.json", [], []),
     "exec": ("exec_benchmark", "BENCH_exec.json", [], ["--repeats", "1"]),
     "multigpu": ("multigpu_benchmark", "BENCH_multigpu.json", [], []),
     "sweep": ("sweep_benchmark", "BENCH_sweep.json", [], ["--repeats", "1"]),
+    "service": (
+        "service_benchmark",
+        "BENCH_service.json",
+        [],
+        ["--quick"],
+        ("live",),
+    ),
 }
 
 
@@ -195,10 +205,13 @@ def main(argv=None) -> int:
     status = 0
     for name in args.names:
         try:
-            module_name, baseline_name, extra, quick_extra = BENCHMARKS[name]
+            module_name, baseline_name, extra, quick_extra, *rest = (
+                BENCHMARKS[name]
+            )
         except KeyError:
             print(f"error: unknown benchmark {name!r}", file=sys.stderr)
             return 2
+        skip_prefixes = rest[0] if rest else ()
         baseline_path = os.path.join(REPO_ROOT, baseline_name)
         if not os.path.exists(baseline_path):
             print(f"error: no committed baseline {baseline_path}", file=sys.stderr)
@@ -219,6 +232,7 @@ def main(argv=None) -> int:
             fresh,
             det_tolerance=args.det_tolerance,
             tolerance=args.tolerance,
+            skip_prefixes=skip_prefixes,
         )
         if args.strict_timing:
             failures += warnings

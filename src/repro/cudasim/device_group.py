@@ -105,6 +105,25 @@ class DeviceGroup:
 
     # -- group-wide operations -----------------------------------------------
 
+    def open_streams(self, prefix: str = "q") -> list:
+        """One named stream per member, for host-side job dispatch.
+
+        Streams are named ``<prefix><i>`` after their device index so
+        telemetry spans and Chrome-trace tracks line up with
+        :attr:`devices`; the caller owns (and must close) them.
+        """
+        return [
+            dev.stream(f"{prefix}{i}") for i, dev in enumerate(self.devices)
+        ]
+
+    def queue_depths(self) -> tuple[int, ...]:
+        """Per-member pending-op counts across each device's streams."""
+        return tuple(dev.queue_depth() for dev in self.devices)
+
+    def queue_depth(self) -> int:
+        """Total pending ops across the whole group."""
+        return sum(self.queue_depths())
+
     def synchronize(self) -> None:
         """Drain every stream on every member device."""
         for dev in self.devices:

@@ -250,6 +250,14 @@ class Device:
         for s in list(self._streams):
             s.synchronize()
 
+    def queue_depth(self) -> int:
+        """Submitted-but-unfinished ops across this device's streams.
+
+        The host-side load signal schedulers (the simulation service)
+        use for placement and backpressure decisions.
+        """
+        return sum(s.depth for s in list(self._streams))
+
     # -- memory management ---------------------------------------------------
 
     def malloc(self, nbytes: int) -> DevicePtr:

@@ -110,8 +110,35 @@ class Stream:
         self._pending: list[concurrent.futures.Future] = []
         self._lock = threading.Lock()
         self._closed = False
+        self._depth = 0
 
     # -- queue plumbing ----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Submitted-but-unfinished operations (the queue-depth gauge)."""
+        return self._depth
+
+    def _set_depth_gauge(self) -> None:
+        _telemetry.set_gauge(
+            "cudasim.stream.depth",
+            self._depth,
+            device=getattr(self.device, "name", None) or "device",
+            stream=self.name,
+        )
+
+    def _on_op_done(self, fut: concurrent.futures.Future) -> None:
+        with self._lock:
+            self._depth -= 1
+            if fut.cancelled():
+                # A future cancelled before its queue entry ran must leave
+                # the FIFO, or synchronize() chokes on a corpse that never
+                # produced a result (and the list grows without bound).
+                try:
+                    self._pending.remove(fut)
+                except ValueError:
+                    pass
+        self._set_depth_gauge()
 
     def _submit(
         self, label: str, fn: Callable[[], object], **attrs
@@ -125,7 +152,27 @@ class Stream:
                 ) from self._error
             fut = self._pool.submit(self._run_op, label, fn, attrs)
             self._pending.append(fut)
-            return fut
+            self._depth += 1
+        fut.add_done_callback(self._on_op_done)
+        self._set_depth_gauge()
+        return fut
+
+    def submit(
+        self, label: str, fn: Callable[[], object], **attrs
+    ) -> concurrent.futures.Future:
+        """Queue an arbitrary host closure on this stream's FIFO.
+
+        The public face of the internal queue plumbing, used by host-side
+        schedulers (the simulation service) to serialize work per device:
+        ``fn`` runs on the stream's worker thread after every previously
+        queued operation, inside a ``cudasim.stream.<label>`` telemetry
+        span carrying ``attrs``.  The returned future supports
+        :meth:`~concurrent.futures.Future.cancel` while the closure is
+        still queued; a cancelled entry is unregistered from the FIFO so
+        :meth:`synchronize` neither deadlocks nor reports it as a stream
+        failure.
+        """
+        return self._submit(label, fn, **attrs)
 
     def _run_op(self, label: str, fn: Callable[[], object], attrs: dict):
         if self._error is not None:
@@ -271,6 +318,10 @@ class Stream:
         for fut in pending:
             try:
                 fut.result()
+            except concurrent.futures.CancelledError:
+                # A host-cancelled op never ran on the device; it is not
+                # a stream failure and must not poison the queue.
+                continue
             except BaseException as exc:
                 if failure is None:
                     failure = exc

@@ -134,6 +134,16 @@ def _profile(quick: bool) -> ExperimentResult:
     return profile_report.run()
 
 
+def _service(quick: bool) -> ExperimentResult:
+    from . import service_saturation
+
+    if quick:
+        return service_saturation.run(
+            n=96, tenants=2, jobs_per_tenant=3, steps=1
+        )
+    return service_saturation.run()
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
     "fig10": ("memory microbenchmark: cycles per 4-byte read", _fig10),
     "fig11": ("layout speedups over AoS", _fig11),
@@ -150,6 +160,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
     "frag": ("layout coalescing under dynamic populations", _frag),
     "multigpu": ("row-block sharding across a device group", _multigpu),
     "profile": ("gravit-prof counters vs the fig11 ranking", _profile),
+    "service": ("multi-tenant job service over a device group", _service),
 }
 
 

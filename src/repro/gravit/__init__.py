@@ -47,6 +47,7 @@ from .gpu_kernels import (
     build_force_kernel_notile,
     build_membench_kernel,
 )
+from .simulation_api import Simulation, SimulationConfig
 from .integrator import euler_step, integrate, leapfrog_step
 from .octree import Octree, build_octree
 from .particles import ParticleSystem
@@ -73,6 +74,8 @@ from .timing_cpu import CORE2DUO_2_4GHZ, CpuTimingModel
 __all__ = [
     "ParticleSystem",
     "GravitSimulator",
+    "Simulation",
+    "SimulationConfig",
     "ExecutionMode",
     "GpuConfig",
     "GpuForceBackend",

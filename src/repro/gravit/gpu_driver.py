@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 import sys
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Literal, Union
@@ -60,6 +61,33 @@ __all__ = [
     "PCIE_BYTES_PER_S",
     "device_buffers",
 ]
+
+
+#: Simulation classes whose legacy kwarg constructor already warned this
+#: process — each warns exactly once, like compile_kernel's kwarg shim.
+_legacy_ctor_warned: set[str] = set()
+
+
+def _warn_legacy_ctor(cls_name: str, overrides: dict) -> None:
+    """One-per-process deprecation warning for kwarg-style constructors.
+
+    ``GpuSimulation(system, layout_kind="soa")`` and friends still work,
+    but the blessed spelling is the unified front door::
+
+        Simulation.create(SimulationConfig(layout="soa"), system)
+
+    (or passing an explicit :class:`GpuConfig`, which never warns).
+    """
+    if not overrides or cls_name in _legacy_ctor_warned:
+        return
+    _legacy_ctor_warned.add(cls_name)
+    warnings.warn(
+        f"{cls_name}(system, {', '.join(sorted(overrides))}=...) keyword "
+        "configuration is deprecated; build a repro.gravit.SimulationConfig "
+        "and call Simulation.create(config, system) (or pass a GpuConfig)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @contextmanager
@@ -437,9 +465,10 @@ class GpuSimulation:
         device: Device | None = None,
         **config_overrides,
     ) -> None:
-        self.config = config or GpuConfig(**config_overrides)
         if config is not None and config_overrides:
             raise ValueError("pass either a GpuConfig or keyword overrides")
+        _warn_legacy_ctor("GpuSimulation", config_overrides)
+        self.config = config or GpuConfig(**config_overrides)
         self.device = device or Device(toolchain=self.config.toolchain)
         self.n = system.n
         cfg = self.config
@@ -593,9 +622,10 @@ class ShardedGpuSimulation:
         peer_access: bool = True,
         **config_overrides,
     ) -> None:
-        self.config = config or GpuConfig(**config_overrides)
         if config is not None and config_overrides:
             raise ValueError("pass either a GpuConfig or keyword overrides")
+        _warn_legacy_ctor("ShardedGpuSimulation", config_overrides)
+        self.config = config or GpuConfig(**config_overrides)
         cfg = self.config
         self.group = group or DeviceGroup(
             num_devices,
@@ -860,9 +890,10 @@ class PooledSimulation:
                 "device must own the pool's heap "
                 "(expected device.gmem is pool.memory)"
             )
-        self.config = config or GpuConfig(**config_overrides)
         if config is not None and config_overrides:
             raise ValueError("pass either a GpuConfig or keyword overrides")
+        _warn_legacy_ctor("PooledSimulation", config_overrides)
+        self.config = config or GpuConfig(**config_overrides)
         self.pool = pool
         self.device = device
         self.handles = (

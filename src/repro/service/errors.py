@@ -1,0 +1,98 @@
+"""Host-side service failures, machine-readable.
+
+Every error the job service raises derives from :class:`ServiceError`
+and carries structured fields (tenant, job id, queue depth, retry-after)
+so API clients can react programmatically — back off for
+``retry_after_s`` on :class:`QueueFullError`, shed load on
+:class:`TenantQuotaError` — instead of parsing message strings.  Device-
+side failures keep their existing :class:`~repro.cudasim.errors.LaunchError`
+family; ``repro.service`` re-exports both so one import site covers the
+whole failure surface of a submission.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "QueueFullError",
+    "TenantQuotaError",
+    "JobCancelledError",
+    "ServiceClosedError",
+]
+
+
+class ServiceError(Exception):
+    """Base class for host-side job-service failures.
+
+    All fields are optional and ``None`` when not applicable; they are
+    keyword-only so subclasses stay positional-message-first.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str | None = None,
+        job_id: str | None = None,
+        queue_depth: int | None = None,
+        retry_after_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.job_id = job_id
+        self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
+
+    def as_dict(self) -> dict:
+        """JSON-safe view for API responses and logs (``None``s dropped)."""
+        out = {"error": type(self).__name__, "message": str(self)}
+        for key in ("tenant", "job_id", "queue_depth", "retry_after_s"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+class QueueFullError(ServiceError):
+    """Admission refused: the service's bounded queue is at capacity.
+
+    ``queue_depth`` is the depth at refusal, ``capacity`` the bound, and
+    ``retry_after_s`` the scheduler's estimate of when a slot frees up
+    (queue depth × smoothed job service time ÷ device count).
+    """
+
+    def __init__(self, message: str, *, capacity: int | None = None, **kw):
+        super().__init__(message, **kw)
+        self.capacity = capacity
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        if self.capacity is not None:
+            out["capacity"] = self.capacity
+        return out
+
+
+class TenantQuotaError(ServiceError):
+    """Admission refused: this tenant is over its own pending-job quota."""
+
+    def __init__(self, message: str, *, quota: int | None = None, **kw):
+        super().__init__(message, **kw)
+        self.quota = quota
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        if self.quota is not None:
+            out["quota"] = self.quota
+        return out
+
+
+class JobCancelledError(ServiceError):
+    """The job was cancelled before producing a result.
+
+    Raised from :meth:`JobHandle.result` for jobs cancelled while queued
+    or while still waiting in a device FIFO.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """Submission refused: the service is draining or closed."""

@@ -227,11 +227,15 @@ def spans_trace_events(records, *, pid: int = HOST_PID) -> list[dict]:
     """Render telemetry :class:`~repro.telemetry.spans.SpanRecord` list.
 
     Spans nest naturally as stacked ``X`` slices per thread track; open
-    spans are dropped (a Chrome complete event needs a duration).  Spans
-    carrying a ``stream`` and/or ``device`` attribute (the async stream
-    API and named :class:`~repro.cudasim.launch.Device` instances set
-    them) get their own named track per (device, stream) pair, so
-    copy/launch overlap across streams — and across the members of a
+    spans are dropped (a Chrome complete event needs a duration).  Track
+    assignment, most-specific attribute first: a ``track`` attribute
+    names the span's track verbatim (the job service tags each tenant's
+    spans ``track="svc <tenant>"`` so a multi-tenant run reads as one
+    lane per tenant); otherwise spans carrying a ``stream`` and/or
+    ``device`` attribute (the async stream API and named
+    :class:`~repro.cudasim.launch.Device` instances set them) get a
+    track per (device, stream) pair, so copy/launch overlap across
+    streams — and across the members of a
     :class:`~repro.cudasim.device_group.DeviceGroup` — is visible as
     side-by-side slices; everything else lands on the shared ``host``
     track.
@@ -242,26 +246,33 @@ def spans_trace_events(records, *, pid: int = HOST_PID) -> list[dict]:
         return events
     events.append(_meta(pid, "telemetry spans"))
     events.append(_meta(pid, "host", tid=1))
-    track_tids: dict[tuple[str | None, str | None], int] = {}
+    track_tids: dict[tuple[str | None, ...], int] = {}
+
+    def named_track(key: tuple[str | None, ...], label: str) -> int:
+        tid = track_tids.get(key)
+        if tid is None:
+            tid = track_tids[key] = 2 + len(track_tids)
+            events.append(_meta(pid, label, tid=tid))
+        return tid
+
     for rec in closed:
+        track = rec.attrs.get("track")
         stream = rec.attrs.get("stream")
         device = rec.attrs.get("device")
-        if stream is None and device is None:
+        if track is not None:
+            tid = named_track(("track", str(track)), str(track))
+        elif stream is None and device is None:
             tid = 1
         else:
-            key = (device, stream)
-            tid = track_tids.get(key)
-            if tid is None:
-                tid = track_tids[key] = 2 + len(track_tids)
-                label = " ".join(
-                    part
-                    for part in (
-                        f"device {device}" if device is not None else None,
-                        f"stream {stream}" if stream is not None else None,
-                    )
-                    if part
+            label = " ".join(
+                part
+                for part in (
+                    f"device {device}" if device is not None else None,
+                    f"stream {stream}" if stream is not None else None,
                 )
-                events.append(_meta(pid, label, tid=tid))
+                if part
+            )
+            tid = named_track((device, stream), label)
         events.append(
             {
                 "ph": "X",

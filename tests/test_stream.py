@@ -186,6 +186,78 @@ class TestFailurePoisoning:
         assert s not in dev._streams
 
 
+class TestCancellation:
+    """A future cancelled before its queue entry runs must unregister
+    from the stream's FIFO — the pre-service leak left the corpse in
+    ``_pending`` where ``synchronize()`` choked on it."""
+
+    def test_cancelled_op_leaves_fifo_and_sync_completes(self, dev):
+        import threading
+
+        gate = threading.Event()
+        ran = []
+        s = dev.stream()
+        blocker = s.submit("block", gate.wait)
+        doomed = s.submit("doomed", lambda: ran.append("doomed"))
+        assert doomed.cancel()  # still queued behind the blocker
+        gate.set()
+        s.synchronize()  # must neither raise nor deadlock
+        assert doomed not in s._pending
+        assert ran == []
+        assert blocker.result() is True
+        s.close()
+
+    def test_cancelled_op_does_not_poison_stream(self, dev):
+        import threading
+
+        gate = threading.Event()
+        ran = []
+        s = dev.stream()
+        s.submit("block", gate.wait)
+        s.submit("doomed", lambda: ran.append("doomed")).cancel()
+        gate.set()
+        s.synchronize()
+        # Later work still runs: the cancellation was not an error.
+        s.submit("after", lambda: ran.append("after"))
+        s.synchronize()
+        assert ran == ["after"]
+        s.close()
+
+    def test_depth_gauge_tracks_cancellation(self, dev):
+        import threading
+
+        gate = threading.Event()
+        s = dev.stream()
+        s.submit("block", gate.wait)
+        doomed = s.submit("doomed", lambda: None)
+        assert s.depth == 2
+        doomed.cancel()
+        gate.set()
+        s.synchronize()
+        assert s.depth == 0
+        s.close()
+
+    def test_running_op_cannot_be_cancelled(self, dev):
+        import threading
+
+        started = threading.Event()
+        gate = threading.Event()
+
+        def op():
+            started.set()
+            gate.wait()
+            return "done"
+
+        s = dev.stream()
+        fut = s.submit("running", op)
+        assert started.wait(5.0)
+        assert not fut.cancel()  # already executing
+        gate.set()
+        assert fut.result(5.0) == "done"
+        s.synchronize()
+        s.close()
+
+
 class TestPeerCopy:
     def test_peer_copy_moves_data(self, dev):
         peer = Device(heap_bytes=1 << 20, name="peer")
