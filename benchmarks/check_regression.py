@@ -52,6 +52,7 @@ BENCHMARKS = {
     "alloc": ("alloc_benchmark", "BENCH_alloc.json", [], []),
     "exec": ("exec_benchmark", "BENCH_exec.json", [], ["--repeats", "1"]),
     "multigpu": ("multigpu_benchmark", "BENCH_multigpu.json", [], []),
+    "outofcore": ("outofcore_benchmark", "BENCH_outofcore.json", [], []),
     "sweep": ("sweep_benchmark", "BENCH_sweep.json", [], ["--repeats", "1"]),
     "service": (
         "service_benchmark",

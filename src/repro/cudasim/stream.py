@@ -181,8 +181,13 @@ class Stream:
             ) from self._error
         begin = self.cycles
         try:
+            span_attrs = {
+                "stream": self.name,
+                "device": getattr(self.device, "name", None) or "device",
+                **attrs,  # caller attrs win (e.g. service job spans)
+            }
             with _telemetry.span(
-                f"cudasim.stream.{label}", stream=self.name, **attrs
+                f"cudasim.stream.{label}", **span_attrs
             ) as sp:
                 value = fn()
                 sp.set(sim_begin_cycle=begin, sim_end_cycle=self.cycles)

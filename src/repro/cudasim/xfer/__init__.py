@@ -1,0 +1,26 @@
+"""Host↔device transfer pipeline: tile plans, staging, overlap stats.
+
+The out-of-core subsystem.  :class:`TilePlan` cuts a layout's rows into
+minimal byte bundles (via ``MemoryLayout.row_regions``),
+:class:`StagingBuffer` holds the ping-pong device slots they stream
+through, :class:`TransferPipeline` overlaps each tile's upload with the
+previous tile's compute using cross-stream events, and
+:class:`XferStats` turns the event timestamps into the copy-exposed
+fraction the benchmarks report.
+"""
+
+from .plan import REGION_SLOT_ALIGN, TilePlan, TileSpec
+from .staging import StagingBuffer
+from .pipeline import TransferPipeline
+from .stats import CopyRecord, TileRecord, XferStats
+
+__all__ = [
+    "REGION_SLOT_ALIGN",
+    "TilePlan",
+    "TileSpec",
+    "StagingBuffer",
+    "TransferPipeline",
+    "XferStats",
+    "TileRecord",
+    "CopyRecord",
+]

@@ -1,0 +1,163 @@
+"""Tile plans: cutting a layout's row space into shippable byte bundles.
+
+Out-of-core execution streams *row tiles* of a population through small
+device staging buffers.  What a tile physically ships depends on the
+memory layout: :meth:`~repro.core.layouts.MemoryLayout.row_regions`
+merges the per-step byte spans of rows ``[lo, hi)`` into minimal
+word-aligned intervals, so grouped layouts (soa/soaoas) ship only the
+requested field group while interleaved layouts (aos/aoas) drag whole
+records along — the same copy-overhead asymmetry the multi-GPU broadcast
+measures, now on the host↔device bus.
+
+A :class:`TilePlan` assigns each merged interval a *slot-relative*
+offset: the staging buffer holds the compacted concatenation of a tile's
+intervals, and :meth:`TilePlan.step_offsets` translates every layout
+load step into the ``(slot_offset, extent)`` pair the kernel's
+base-pointer parameter must receive.  Because every layout in this
+package is affine with an *n-independent* stride, the same compiled
+kernel reads a full-population buffer or a compacted tile slot — only
+the base pointers change, which is what keeps the streamed results
+bit-identical to the in-core path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ...core.layouts import MemoryLayout
+
+__all__ = ["TileSpec", "TilePlan", "REGION_SLOT_ALIGN"]
+
+#: Slot-relative region starts are rounded up to this many bytes so a
+#: float4 load step compacted behind an odd-sized neighbour never loses
+#: its natural alignment inside the staging buffer.
+REGION_SLOT_ALIGN = 16
+
+
+def _align_up(value: int, align: int) -> int:
+    return -(-value // align) * align
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One row tile: which rows it covers and which bytes it ships.
+
+    ``regions`` holds ``(layout_offset, nbytes, slot_offset)`` triples:
+    the merged interval's byte offset in the full layout image, its
+    length, and where it lands inside a staging slot.
+    """
+
+    index: int
+    lo: int
+    hi: int
+    regions: tuple[tuple[int, int, int], ...]
+    nbytes: int  #: payload bytes shipped (sum of region lengths)
+
+    @property
+    def rows(self) -> int:
+        return self.hi - self.lo
+
+
+class TilePlan:
+    """Cut ``layout``'s ``n`` rows into tiles of ``tile_rows`` rows.
+
+    ``fields`` restricts the shipped bytes to the steps covering those
+    fields (``None`` ships the whole record) — the force pipeline ships
+    only the posmass group, the resident row slice ships everything.
+    The last tile is short when ``tile_rows`` does not divide ``n``.
+    """
+
+    def __init__(
+        self,
+        layout: MemoryLayout,
+        tile_rows: int,
+        fields: Sequence[str] | None = None,
+    ) -> None:
+        if tile_rows < 1:
+            raise ValueError(f"tile_rows must be >= 1, got {tile_rows}")
+        self.layout = layout
+        self.tile_rows = min(int(tile_rows), layout.n)
+        self.fields = tuple(fields) if fields is not None else None
+        tiles: list[TileSpec] = []
+        slot_bytes = 0
+        for index, lo in enumerate(range(0, layout.n, self.tile_rows)):
+            hi = min(lo + self.tile_rows, layout.n)
+            regions: list[tuple[int, int, int]] = []
+            cursor = 0
+            for offset, nbytes in layout.row_regions(lo, hi, self.fields):
+                regions.append((offset, nbytes, cursor))
+                cursor += _align_up(nbytes, REGION_SLOT_ALIGN)
+            tiles.append(
+                TileSpec(
+                    index=index,
+                    lo=lo,
+                    hi=hi,
+                    regions=tuple(regions),
+                    nbytes=sum(nb for _, nb, _ in regions),
+                )
+            )
+            slot_bytes = max(slot_bytes, cursor)
+        self.tiles = tuple(tiles)
+        #: Bytes one staging slot needs to hold any tile of this plan.
+        self.slot_bytes = slot_bytes
+
+    def __len__(self) -> int:
+        return len(self.tiles)
+
+    def __iter__(self) -> Iterator[TileSpec]:
+        return iter(self.tiles)
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes shipped when every tile streams through once."""
+        return sum(t.nbytes for t in self.tiles)
+
+    def step_offsets(
+        self, tile: TileSpec, fields: Sequence[str] | None = None
+    ) -> tuple[tuple[int, int], ...]:
+        """Per-step ``(slot_offset, extent)`` for a kernel reading ``tile``.
+
+        One pair per step of ``layout.read_plan(fields)`` (default: this
+        plan's own field subset), in plan order.  A kernel indexing the
+        tile with local row ``j`` must receive ``slot_base + slot_offset``
+        for the step's base-pointer parameter; ``extent`` bounds the
+        pointer to exactly the rows the slot holds.  Raises
+        :class:`LookupError` if a step's span is not covered by the
+        tile's shipped regions (asking for fields the plan never shipped).
+        """
+        if fields is None:
+            fields = self.fields
+        out: list[tuple[int, int]] = []
+        for step in self.layout.read_plan(fields):
+            span_start = step.base + step.stride * tile.lo
+            extent = step.stride * (tile.rows - 1) + step.vector.nbytes
+            for offset, nbytes, slot_offset in tile.regions:
+                if offset <= span_start and span_start + extent <= offset + nbytes:
+                    out.append((slot_offset + span_start - offset, extent))
+                    break
+            else:
+                raise LookupError(
+                    f"step {step} of rows [{tile.lo}, {tile.hi}) is not "
+                    "covered by the tile's shipped regions — was the plan "
+                    "built for a narrower field subset?"
+                )
+        return tuple(out)
+
+    def host_views(self, tile: TileSpec, image):
+        """``(slot_offset, words)`` pairs: what to copy from a packed image.
+
+        ``image`` is the full layout's float32 word image (the host
+        system of record); each yielded view is the word slice backing
+        one merged region, ready for ``memcpy_htod_async`` into the
+        staging slot at ``slot_offset``.
+        """
+        for offset, nbytes, slot_offset in tile.regions:
+            yield slot_offset, image[offset // 4 : (offset + nbytes) // 4]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TilePlan({self.layout.kind}, n={self.layout.n}, "
+            f"tile_rows={self.tile_rows}, tiles={len(self.tiles)}, "
+            f"slot_bytes={self.slot_bytes})"
+        )

@@ -1,0 +1,77 @@
+"""Ping-pong staging buffers carved from the device freelist heap.
+
+A :class:`StagingBuffer` owns ``slots`` equally-sized device
+allocations (two by default — the classic ping-pong pair).  The
+transfer pipeline uploads tile *k+1* into one slot while the compute
+stream still reads tile *k* out of the other; slot reuse is gated by
+the pipeline's consumed-events, not by this class.  Allocations go
+through :meth:`Device.malloc`, i.e. the PR 3 first-fit freelist, so
+staging capacity shows up in the same heap accounting (and OOM
+behaviour) as every other buffer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..launch import Device
+    from ..memory import DevicePtr
+
+__all__ = ["StagingBuffer"]
+
+
+class StagingBuffer:
+    """``slots`` device buffers of ``nbytes`` each, freed as a unit."""
+
+    def __init__(self, device: "Device", nbytes: int, slots: int = 2) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if nbytes < 4:
+            raise ValueError(f"nbytes must be >= 4, got {nbytes}")
+        self.device = device
+        self.nbytes = int(nbytes)
+        self._ptrs: list["DevicePtr"] = []
+        try:
+            for _ in range(slots):
+                self._ptrs.append(device.malloc(self.nbytes))
+        except Exception:
+            self.free()
+            raise
+
+    @property
+    def slots(self) -> int:
+        return len(self._ptrs)
+
+    def __len__(self) -> int:
+        return len(self._ptrs)
+
+    def slot(self, index: int) -> "DevicePtr":
+        """Slot for tick ``index`` — indices rotate through the pool."""
+        if not self._ptrs:
+            raise RuntimeError("staging buffer already freed")
+        return self._ptrs[index % len(self._ptrs)]
+
+    def free(self) -> None:
+        """Return every slot to the heap (idempotent)."""
+        ptrs, self._ptrs = self._ptrs, []
+        failure: BaseException | None = None
+        for ptr in reversed(ptrs):
+            try:
+                self.device.free(ptr)
+            except BaseException as exc:  # keep freeing the rest
+                failure = failure or exc
+        if failure is not None:
+            raise failure
+
+    def __enter__(self) -> "StagingBuffer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StagingBuffer(slots={len(self._ptrs)}, nbytes={self.nbytes}, "
+            f"device={getattr(self.device, 'name', '?')})"
+        )

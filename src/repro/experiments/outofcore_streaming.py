@@ -1,0 +1,281 @@
+"""OUTOFCORE — streaming populations through a double-buffered pipeline.
+
+The paper sizes every structure to fit the G80's on-board memory; its
+large-data-structures story ends at the heap boundary.  This experiment
+crosses it: :class:`repro.gravit.gpu_driver.OutOfCoreSimulation` keeps
+the packed layout image on the *host* and streams it through the device
+in row tiles, prefetching tile *t+1* over PCIe while the force kernel
+consumes tile *t* (:mod:`repro.cudasim.xfer`).  Three questions:
+
+1. **Correctness** — is the tiled run bit-identical to the in-core
+   :class:`~repro.gravit.gpu_driver.GpuSimulation` for every layout and
+   tile size?  (It must be: tiling only changes which buffer a float is
+   loaded from, never the value or order of any float operation.)
+2. **Overlap** — what share of the pipelined tile traffic does the
+   double-buffering fail to hide (the *copy-exposed fraction*, from
+   :class:`~repro.cudasim.xfer.XferStats`)?  With enough column tiles
+   per slice the fraction should fall well under 0.5 — the prefetch
+   claim the Chrome trace shows visually, asserted numerically.
+3. **Traffic per layout** — the tiles ship ``row_regions`` intervals,
+   so the access-frequency grouping of Sec. IV cuts streamed bytes the
+   same way it cut the multi-GPU broadcast: grouped layouts (soa/
+   soaoas) stream only the 16 B posmass group per column row, while
+   interleaved layouts (aos/aoas) drag whole records over the bus.
+
+A small-heap demonstration rides along: a population whose packed image
+exceeds the device heap must fail to construct in-core and still run —
+and match the big-heap ground truth — out-of-core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cudasim.errors import OutOfMemoryError
+from ..cudasim.launch import Device
+from ..gravit.gpu_driver import GpuConfig, GpuSimulation, OutOfCoreSimulation
+from ..gravit.spawn import uniform_sphere
+from ..telemetry import runtime as _telemetry
+from .report import ExperimentResult, format_table
+
+__all__ = ["run", "LAYOUT_KINDS", "OOM_HEAP_BYTES"]
+
+LAYOUT_KINDS = ("aos", "soa", "aoas", "soaoas")
+
+#: Heap for the out-of-memory demonstration: fits the resident slice,
+#: the staging pair and the force buffer — not a 2048-particle image.
+OOM_HEAP_BYTES = 48 * 1024
+
+
+def _fields_equal(a, b) -> bool:
+    return all(
+        np.array_equal(getattr(a, f), getattr(b, f))
+        for f in ("px", "py", "pz", "vx", "vy", "vz", "mass")
+    )
+
+
+def _oom_demo(steps: int, dt: float) -> dict:
+    """In-core OOM, out-of-core runs — on the same small-heap device."""
+    n = 2048
+    cfg = GpuConfig(layout_kind="soaoas", block_size=128)
+    system = uniform_sphere(n, seed=9)
+    try:
+        GpuSimulation(
+            system.copy(), cfg, device=Device(heap_bytes=OOM_HEAP_BYTES)
+        )
+        incore_oom = False
+    except OutOfMemoryError:
+        incore_oom = True
+    sim = OutOfCoreSimulation(
+        system.copy(),
+        cfg,
+        device=Device(heap_bytes=OOM_HEAP_BYTES),
+        tile_rows=256,
+    )
+    sim.run(steps, dt)
+    state, forces = sim.download(), sim.download_forces()
+    sim.close()
+    ref = GpuSimulation(system.copy(), cfg)
+    ref.run(steps, dt)
+    matches = _fields_equal(ref.download(), state) and np.array_equal(
+        ref.download_forces(), forces
+    )
+    ref.close()
+    return {
+        "n": n,
+        "heap_bytes": OOM_HEAP_BYTES,
+        "incore_oom": incore_oom,
+        "outofcore_matches_reference": matches,
+    }
+
+
+def run(
+    n: int = 512,
+    tile_rows_sweep: tuple[int, ...] = (64, 128, 256),
+    layout_kinds: tuple[str, ...] = LAYOUT_KINDS,
+    block_size: int = 32,
+    steps: int = 2,
+    dt: float = 0.01,
+    seed: int = 0x00C,
+    oom_demo: bool = True,
+) -> ExperimentResult:
+    system = uniform_sphere(n, seed=seed)
+    per_layout: dict[str, dict] = {}
+
+    for kind in layout_kinds:
+        cfg = GpuConfig(layout_kind=kind, block_size=block_size)
+        with _telemetry.span("outofcore.reference", layout=kind, n=n):
+            ref = GpuSimulation(system.copy(), cfg)
+            ref.run(steps, dt)
+            ref_state = ref.download()
+            ref_forces = ref.download_forces()
+            ref_cycles = ref.cycles_total
+            ref.close()
+
+        rows: dict[int, dict] = {}
+        identical_all = True
+        for tile_rows in tile_rows_sweep:
+            with _telemetry.span(
+                "outofcore.tiled", layout=kind, n=n, tile_rows=tile_rows
+            ):
+                sim = OutOfCoreSimulation(
+                    system.copy(), cfg, tile_rows=tile_rows
+                )
+                sim.run(steps, dt)
+                identical = _fields_equal(
+                    ref_state, sim.download()
+                ) and np.array_equal(ref_forces, sim.download_forces())
+                identical_all = identical_all and identical
+                summary = sim.xfer_summary()
+                rows[tile_rows] = {
+                    "cycles": sim.cycles_total,
+                    "slowdown_vs_incore": (
+                        sim.cycles_total / ref_cycles if ref_cycles else 0.0
+                    ),
+                    "tiles": summary["tiles"],
+                    "copy_bytes": summary["copy_bytes"],
+                    "copy_bytes_per_step": (
+                        summary["copy_bytes"] / steps if steps else 0
+                    ),
+                    "tile_copy_cycles": summary["tile_copy_cycles"],
+                    "exposed_cycles": summary["exposed_cycles"],
+                    "copy_exposed_fraction": summary["copy_exposed_fraction"],
+                    "bit_identical": identical,
+                }
+                sim.close()
+
+        best_tr = tile_rows_sweep[0]
+        per_layout[kind] = {
+            "per_tile_rows": rows,
+            "bit_identical": identical_all,
+            # Headline numbers at the smallest (most-tiled) sweep point,
+            # where the pipeline has the most compute to hide under.
+            "copy_exposed_fraction": rows[best_tr]["copy_exposed_fraction"],
+            "copy_bytes_per_step": rows[best_tr]["copy_bytes_per_step"],
+            "slowdown_vs_incore": rows[best_tr]["slowdown_vs_incore"],
+        }
+
+    headers = [
+        "layout",
+        *[f"exposed@{tr}" for tr in tile_rows_sweep],
+        "MB/step",
+        "slowdown",
+    ]
+    table_rows = [
+        [
+            kind,
+            *[
+                per_layout[kind]["per_tile_rows"][tr]["copy_exposed_fraction"]
+                for tr in tile_rows_sweep
+            ],
+            per_layout[kind]["copy_bytes_per_step"] / 1e6,
+            per_layout[kind]["slowdown_vs_incore"],
+        ]
+        for kind in layout_kinds
+    ]
+    table = format_table(headers, table_rows, float_fmt="{:.3f}")
+
+    bit_identical = all(d["bit_identical"] for d in per_layout.values())
+    demo = _oom_demo(1, dt) if oom_demo else None
+    soaoas_fraction = (
+        per_layout["soaoas"]["copy_exposed_fraction"]
+        if "soaoas" in per_layout
+        else None
+    )
+    interleaved = [k for k in layout_kinds if k in ("aos", "aoas")]
+    grouped = [k for k in layout_kinds if k in ("soa", "soaoas")]
+    traffic_ratio = None
+    if interleaved and grouped:
+        traffic_ratio = min(
+            per_layout[k]["copy_bytes_per_step"] for k in interleaved
+        ) / max(per_layout[k]["copy_bytes_per_step"] for k in grouped)
+
+    return ExperimentResult(
+        experiment_id="outofcore",
+        title="Out-of-core tiled simulation with a prefetching pipeline",
+        data={
+            "n": n,
+            "steps": steps,
+            "block_size": block_size,
+            "tile_rows_sweep": list(tile_rows_sweep),
+            "layouts": per_layout,
+            "bit_identical": bit_identical,
+            "soaoas_copy_exposed_fraction": soaoas_fraction,
+            "oom_demo": demo,
+            "series": {
+                f"exposed_{kind}": {
+                    "tile_rows": list(tile_rows_sweep),
+                    "copy_exposed_fraction": [
+                        per_layout[kind]["per_tile_rows"][tr][
+                            "copy_exposed_fraction"
+                        ]
+                        for tr in tile_rows_sweep
+                    ],
+                    "slowdown_vs_incore": [
+                        per_layout[kind]["per_tile_rows"][tr][
+                            "slowdown_vs_incore"
+                        ]
+                        for tr in tile_rows_sweep
+                    ],
+                }
+                for kind in layout_kinds
+            },
+        },
+        table=table,
+        paper_claims={
+            "tiled == in-core": (
+                "bit-identical state and forces for every layout and tile "
+                "size (tiling changes buffers, never float order)"
+            ),
+            "prefetch overlap": (
+                "double-buffering hides the majority of tile-upload "
+                "cycles under the force kernels (soaoas exposed "
+                "fraction < 0.5 at the smallest tile size)"
+            ),
+            "streamed traffic": (
+                "grouped layouts (soa/soaoas) stream only the posmass "
+                "group per column tile — Sec. IV grouping cuts PCIe "
+                "traffic like it cut the multi-GPU broadcast"
+            ),
+            "beyond the heap": (
+                "a population whose image exceeds the device heap OOMs "
+                "in-core but runs — and matches — out-of-core"
+            ),
+        },
+        measured_claims={
+            "tiled == in-core": (
+                "bit-identical" if bit_identical else "MISMATCH"
+            ),
+            "prefetch overlap": (
+                f"soaoas exposed fraction {soaoas_fraction:.3f}"
+                if soaoas_fraction is not None
+                else "n/a (soaoas not in sweep)"
+            ),
+            "streamed traffic": (
+                f"interleaved/grouped streamed-byte ratio "
+                f"{traffic_ratio:.2f}x"
+                if traffic_ratio is not None
+                else "n/a (need both layout families)"
+            ),
+            "beyond the heap": (
+                (
+                    "in-core OOM, out-of-core "
+                    + (
+                        "matches reference"
+                        if demo["outofcore_matches_reference"]
+                        else "MISMATCH"
+                    )
+                )
+                if demo
+                else "skipped"
+            ),
+        },
+        notes=[
+            "Extends the paper past the heap boundary: the host image is "
+            "the system of record and row tiles stream through a "
+            "ping-pong staging pair, force partials round-tripping "
+            "bit-exactly through the f32 accumulator buffer.",
+            "Run with --telemetry and export the Chrome trace to see the "
+            "ooc-copy uploads sitting under the ooc-compute launches.",
+        ],
+    )

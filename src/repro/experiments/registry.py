@@ -121,6 +121,16 @@ def _multigpu(quick: bool) -> ExperimentResult:
     return multigpu_scaling.run()
 
 
+def _outofcore(quick: bool) -> ExperimentResult:
+    from . import outofcore_streaming
+
+    if quick:
+        return outofcore_streaming.run(
+            n=192, tile_rows_sweep=(32, 64), steps=1, oom_demo=False
+        )
+    return outofcore_streaming.run()
+
+
 def _warp_scaling(quick: bool) -> ExperimentResult:
     from . import warp_scaling
 
@@ -159,6 +169,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
     "bhgpu": ("GPU tree code vs GPU O(n²) kernel (Sec. I-D)", _bh_vs_n2),
     "frag": ("layout coalescing under dynamic populations", _frag),
     "multigpu": ("row-block sharding across a device group", _multigpu),
+    "outofcore": ("streaming tiles through a prefetch pipeline", _outofcore),
     "profile": ("gravit-prof counters vs the fig11 ranking", _profile),
     "service": ("multi-tenant job service over a device group", _service),
 }

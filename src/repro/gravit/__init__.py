@@ -35,6 +35,7 @@ from .gpu_driver import (
     GpuForceBackend,
     GpuSimulation,
     HybridTiming,
+    OutOfCoreSimulation,
     PooledSimulation,
     ShardedGpuSimulation,
     device_buffers,
@@ -80,6 +81,7 @@ __all__ = [
     "GpuConfig",
     "GpuForceBackend",
     "GpuSimulation",
+    "OutOfCoreSimulation",
     "PooledSimulation",
     "ShardedGpuSimulation",
     "device_buffers",

@@ -40,13 +40,17 @@ from ..cudasim.launch import Device, LaunchResult
 from ..cudasim.lower import LoweredKernel
 from ..cudasim.memory import DevicePtr
 from ..cudasim.occupancy import occupancy
+from ..cudasim.xfer import StagingBuffer, TilePlan, TransferPipeline, XferStats
 from .forces_cpu import direct_forces_f32_tiled
 from .gpu_kernels import (
     ALL_FIELDS,
     POSMASS_FIELDS,
     KernelPlan,
     build_force_kernel,
+    build_force_kernel_ooc,
     build_integrate_kernel,
+    column_param_names,
+    step_param_names,
 )
 from .particles import ParticleSystem
 
@@ -56,6 +60,7 @@ __all__ = [
     "GpuForceBackend",
     "GpuSimulation",
     "HybridTiming",
+    "OutOfCoreSimulation",
     "PooledSimulation",
     "ShardedGpuSimulation",
     "PCIE_BYTES_PER_S",
@@ -571,6 +576,345 @@ class GpuSimulation:
         self.device.free(self._buf)
 
     def __enter__(self) -> "GpuSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class OutOfCoreSimulation:
+    """Tiled Gravit run for populations larger than the device heap.
+
+    The host keeps the packed layout image as the system of record; the
+    device only ever holds (a) one *resident* row slice of full records,
+    (b) a 16-byte-per-row force accumulator for that slice, and (c) a
+    ping-pong pair of staging slots through which every posmass column
+    tile streams.  Per phase (one force evaluation + one integration),
+    for each resident slice:
+
+    1. the copy stream uploads the slice's full records (merged
+       ``row_regions`` intervals, compacted into the resident slab);
+    2. every column tile of the *pre-phase* image streams through the
+       :class:`~repro.cudasim.xfer.TransferPipeline` — tile *t+1*
+       prefetched while the chained force kernel
+       (:func:`~repro.gravit.gpu_kernels.build_force_kernel_ooc`)
+       consumes tile *t*, partial accumulators round-tripping bit-exactly
+       through the force buffer;
+    3. the integration kernel updates the resident records in place, and
+       the copy stream writes them (and the forces) back to the host
+       image — double-buffered host-side too, so later slices still read
+       pre-phase state.
+
+    Column tiles launch in increasing order with the in-core kernel's
+    instruction sequence, so every float32 operation happens in the same
+    order on the same values: results are **bit-identical** to
+    :class:`GpuSimulation` for every layout × toolchain × engine ×
+    fastpath combination (the differential suite in
+    ``tests/test_outofcore.py`` is the gate).
+
+    ``tile_rows`` (default ``4 · block_size``, rounded up to a block
+    multiple) sizes both the resident slice and the streamed column
+    tiles.  ``tile_rows >= n`` degenerates to an in-core
+    :class:`GpuSimulation` behind the same interface.
+    """
+
+    def __init__(
+        self,
+        system: ParticleSystem,
+        config: GpuConfig | None = None,
+        device: Device | None = None,
+        tile_rows: int | None = None,
+        **config_overrides,
+    ) -> None:
+        if config is not None and config_overrides:
+            raise ValueError("pass either a GpuConfig or keyword overrides")
+        _warn_legacy_ctor("OutOfCoreSimulation", config_overrides)
+        self.config = config or GpuConfig(**config_overrides)
+        cfg = self.config
+        self.device = device or Device(toolchain=cfg.toolchain)
+        self.n = system.n
+        padded = system.padded(cfg.block_size)
+        self.n_pad = padded.n
+        self.layout = make_layout(cfg.layout_kind, self.n_pad)
+        k = cfg.block_size
+        if tile_rows is None:
+            tile_rows = 4 * k
+        tile_rows = int(tile_rows)
+        if tile_rows < 1:
+            raise ValueError(f"tile_rows must be >= 1, got {tile_rows}")
+        self.tile_rows = min(-(-tile_rows // k) * k, self.n_pad)
+        self.degenerate = self.tile_rows >= self.n_pad
+        self.cycles_total = 0.0
+        self.steps_done = 0
+        if self.degenerate:
+            # Everything fits in one tile: the streaming machinery would
+            # only re-derive the in-core schedule, so use it directly.
+            self._incore: GpuSimulation | None = GpuSimulation(
+                system, cfg, device=self.device
+            )
+            return
+        self._incore = None
+
+        #: Host system of record: the packed layout image (padded).
+        self._image = padded.pack(self.layout)
+        self._host_forces = np.zeros((self.n_pad, 4), dtype=np.float32)
+
+        # Resident slices ship whole records; column tiles only posmass.
+        self._rplan = TilePlan(self.layout, self.tile_rows)
+        self._cplan = TilePlan(self.layout, self.tile_rows, POSMASS_FIELDS)
+        self._psteps = self.layout.read_plan(POSMASS_FIELDS)
+        self._pb_names = step_param_names(self._psteps)
+        self._cb_names = column_param_names(self._psteps)
+        self._isteps = self.layout.read_plan(ALL_FIELDS)
+
+        self._resident = None
+        self._forces = None
+        self._staging = None
+        self._copy = None
+        self._compute = None
+        try:
+            self._resident = self.device.malloc(self._rplan.slot_bytes)
+            self._forces = self.device.malloc(16 * self.tile_rows)
+            self._staging = StagingBuffer(
+                self.device, self._cplan.slot_bytes, slots=2
+            )
+            self._copy = self.device.stream("ooc-copy")
+            self._compute = self.device.stream("ooc-compute")
+        except Exception:
+            self.close()
+            raise
+        self.stats = XferStats()
+        self._pipeline = TransferPipeline(
+            self._copy, self._compute, self._staging, self.stats
+        )
+
+        integrate_kernel, self._int_plan = build_integrate_kernel(
+            self.layout, block_size=k
+        )
+        self._int_lk = self.device.compile(integrate_kernel)
+        self._force_lks: dict[tuple[bool, bool], LoweredKernel] = {}
+
+    def _force_lk(self, first: bool, last: bool) -> LoweredKernel:
+        key = (first, last)
+        if key not in self._force_lks:
+            kernel, _ = build_force_kernel_ooc(
+                self.layout,
+                block_size=self.config.block_size,
+                first=first,
+                last=last,
+            )
+            self._force_lks[key] = self.device.compile(
+                kernel, self.config.compile_options
+            )
+        return self._force_lks[key]
+
+    def _phase(self, kick_dt: float, drift_dt: float) -> float:
+        """One force evaluation + one integration over every row.
+
+        Forces for *all* rows are computed from the pre-phase image
+        before any integrated state is visible (the writebacks land in a
+        second host image), matching the in-core driver's force-then-
+        integrate launch order exactly.
+        """
+        cfg = self.config
+        k = cfg.block_size
+        image = self._image
+        next_image = image.copy()
+        copy0, compute0 = self._copy.cycles, self._compute.cycles
+        ntiles = len(self._cplan)
+        inflight = []
+        for rtile in self._rplan:
+            grid = rtile.rows // k
+
+            # 1. resident slice up (full records, merged regions).
+            ev_a = self._copy.record_event()
+            res_bytes = 0
+            for soff, words in self._rplan.host_views(rtile, image):
+                self._copy.memcpy_htod_async(
+                    self._resident.slice(soff, 4 * words.size), words
+                )
+                res_bytes += 4 * words.size
+            ev_res = self._copy.record_event()
+            self.stats.add_copy("resident", res_bytes, ev_a, ev_res)
+            self._compute.wait_event(ev_res)
+            # Fresh exposure reference: time the compute stream spent on
+            # the previous slice's integrate (or waiting for this upload)
+            # is not the prefetcher's failure.
+            self._pipeline.mark()
+
+            pb_params = {
+                name: self._resident.slice(soff, extent)
+                for name, (soff, extent) in zip(
+                    self._pb_names,
+                    self._rplan.step_offsets(rtile, POSMASS_FIELDS),
+                )
+            }
+
+            # 2. stream every column tile, prefetch overlapped.
+            for ctile in self._cplan:
+                self._pipeline.stage(
+                    self._make_upload(ctile, image),
+                    self._make_compute(ctile, ntiles, grid, pb_params),
+                )
+
+            # 3. integrate the resident slice in place, then write back.
+            iparams = {
+                name: self._resident.slice(soff, extent)
+                for name, (soff, extent) in zip(
+                    self._int_plan.param_for_step,
+                    self._rplan.step_offsets(rtile, ALL_FIELDS),
+                )
+            }
+            iparams.update(
+                forces=self._forces,
+                kick_dt=kick_dt * cfg.g,
+                drift_dt=drift_dt,
+            )
+            self._compute.launch_async(
+                self._int_lk, grid, k, params=iparams
+            )
+            ev_int = self._compute.record_event()
+            self._copy.wait_event(ev_int)
+            wb_a = self._copy.record_event()
+            region_futs = [
+                (offset, nbytes,
+                 self._copy.memcpy_dtoh_async(
+                     self._resident.slice(soff, nbytes), nbytes // 4
+                 ))
+                for offset, nbytes, soff in rtile.regions
+            ]
+            force_fut = self._copy.memcpy_dtoh_async(
+                self._forces, 4 * rtile.rows
+            )
+            wb_b = self._copy.record_event()
+            self.stats.add_copy(
+                "writeback",
+                sum(nb for _, nb, _ in rtile.regions) + 16 * rtile.rows,
+                wb_a,
+                wb_b,
+            )
+            inflight.append((rtile, region_futs, force_fut))
+
+        self._pipeline.synchronize()
+        for rtile, region_futs, force_fut in inflight:
+            for offset, nbytes, fut in region_futs:
+                next_image[offset // 4 : (offset + nbytes) // 4] = fut.result()
+            self._host_forces[rtile.lo : rtile.hi] = (
+                force_fut.result().reshape(-1, 4)
+            )
+        self._image = next_image
+        return max(
+            self._copy.cycles - copy0, self._compute.cycles - compute0
+        )
+
+    def _make_upload(self, ctile, image):
+        def upload(slot: DevicePtr) -> int:
+            total = 0
+            for soff, words in self._cplan.host_views(ctile, image):
+                self._copy.memcpy_htod_async(
+                    slot.slice(soff, 4 * words.size), words
+                )
+                total += 4 * words.size
+            return total
+
+        return upload
+
+    def _make_compute(self, ctile, ntiles, grid, pb_params):
+        cfg = self.config
+
+        def compute(slot: DevicePtr) -> None:
+            params = dict(pb_params)
+            for name, (soff, extent) in zip(
+                self._cb_names, self._cplan.step_offsets(ctile)
+            ):
+                params[name] = slot.slice(soff, extent)
+            params.update(
+                out=self._forces,
+                nslices=ctile.rows // cfg.block_size,
+                eps=cfg.eps,
+            )
+            lk = self._force_lk(
+                ctile.index == 0, ctile.index == ntiles - 1
+            )
+            self._compute.launch_async(
+                lk, grid, cfg.block_size, params=params
+            )
+
+        return compute
+
+    def step(self, dt: float, scheme: str = "euler") -> float:
+        """One integration step, streamed; returns its cycle cost."""
+        if self._incore is not None:
+            cycles = self._incore.step(dt, scheme=scheme)
+            self.cycles_total = self._incore.cycles_total
+            self.steps_done = self._incore.steps_done
+            return cycles
+        with _telemetry.span(
+            "gravit.ooc_step", scheme=scheme, n=self.n,
+            tile_rows=self.tile_rows,
+        ) as sp:
+            if scheme == "euler":
+                cycles = self._phase(dt, dt)
+            elif scheme == "leapfrog":
+                cycles = self._phase(dt / 2.0, dt)  # kick + drift
+                cycles += self._phase(dt / 2.0, 0.0)  # closing kick
+            else:
+                raise ValueError(f"unknown scheme {scheme!r}")
+            sp.set(cycles=cycles)
+        self.cycles_total += cycles
+        self.steps_done += 1
+        _telemetry.inc("gravit.ooc_steps", scheme=scheme)
+        return cycles
+
+    def run(self, steps: int, dt: float, scheme: str = "euler") -> float:
+        """Advance ``steps`` steps; returns total device cycles."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        total = 0.0
+        for _ in range(steps):
+            total += self.step(dt, scheme=scheme)
+        return total
+
+    def download(self) -> ParticleSystem:
+        """The current particle state (padding dropped) — no device I/O:
+        the host image *is* the system of record."""
+        if self._incore is not None:
+            return self._incore.download()
+        return ParticleSystem.unpack(self.layout, self._image).take(self.n)
+
+    def download_forces(self) -> np.ndarray:
+        """Raw float32 ``(n, 3)`` forces of the last evaluation, matching
+        :meth:`GpuSimulation.download_forces` word for word."""
+        if self._incore is not None:
+            return self._incore.download_forces()
+        return self._host_forces[: self.n, :3].copy()
+
+    def xfer_summary(self) -> dict:
+        """Transfer-pipeline accounting (see :class:`XferStats.summary`);
+        empty when degenerate (no streaming happened)."""
+        if self._incore is not None:
+            return {}
+        return self.stats.summary()
+
+    def close(self) -> None:
+        if self._incore is not None:
+            self._incore.close()
+            self._incore = None
+            return
+        for stream in (self._compute, self._copy):
+            if stream is not None:
+                stream.close()
+        self._compute = self._copy = None
+        if self._staging is not None:
+            self._staging.free()
+            self._staging = None
+        for attr in ("_forces", "_resident"):
+            ptr = getattr(self, attr)
+            if ptr is not None:
+                self.device.free(ptr)
+                setattr(self, attr, None)
+
+    def __enter__(self) -> "OutOfCoreSimulation":
         return self
 
     def __exit__(self, *exc) -> None:

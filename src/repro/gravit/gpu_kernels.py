@@ -53,9 +53,11 @@ __all__ = [
     "KernelPlan",
     "build_force_kernel",
     "build_force_kernel_notile",
+    "build_force_kernel_ooc",
     "build_integrate_kernel",
     "build_membench_kernel",
     "step_param_names",
+    "column_param_names",
 ]
 
 #: Fields the force kernel needs — the access-frequency group of Sec. IV.
@@ -99,15 +101,19 @@ def _load_record(
     wanted: tuple[str, ...],
     prefix: str,
     via_texture: bool = False,
+    param_prefix: str = "pb",
 ) -> dict[str, Reg]:
     """Emit the layout's loads for record ``index_reg``; return the
     registers holding each wanted field.  ``via_texture`` routes the
-    fetches through the read-only texture path (tex1Dfetch-style)."""
+    fetches through the read-only texture path (tex1Dfetch-style);
+    ``param_prefix`` selects which base-pointer parameter family the
+    addresses build on (``pb*`` resident buffers, ``cb*`` staging
+    slots for the out-of-core column tiles)."""
     out: dict[str, Reg] = {}
     emit = b.ld_tex if via_texture else b.ld_global
     for k, step in enumerate(steps):
         addr = b.tmp(f"{prefix}a")
-        b.imad(addr, index_reg, step.stride, b.param(f"pb{k}"),
+        b.imad(addr, index_reg, step.stride, b.param(f"{param_prefix}{k}"),
                comment=f"addr of step {k}")
         lanes = [b.tmp(f"{prefix}q") for _ in range(step.vector.lanes)]
         emit(tuple(lanes), addr, comment=f"layout step {k}")
@@ -120,6 +126,75 @@ def _load_record(
             f"layout plan does not cover fields {sorted(missing)}"
         )
     return out
+
+
+def _emit_slice_sweep(
+    b: KernelBuilder,
+    steps: tuple[LoadStep, ...],
+    block_size: int,
+    unroll,
+    px: Reg,
+    py: Reg,
+    pz: Reg,
+    soft: Reg,
+    fx: Reg,
+    fy: Reg,
+    fz: Reg,
+    column_param_prefix: str = "pb",
+) -> None:
+    """The force kernel's shared-memory slice sweep (B + P phases).
+
+    Emits the outer loop over ``nslices`` column slices — fetch one
+    K-particle slice through the layout into shared memory, barrier,
+    run the ~20-instruction interaction body against it, barrier — the
+    identical instruction sequence for the in-core and out-of-core
+    builders.  ``column_param_prefix`` picks the base-pointer family
+    the slice fetch addresses (``pb*`` when columns live in the main
+    population buffer, ``cb*`` when they live in a staging slot)."""
+    with b.loop(0, b.param("nslices"), var=b.reg("s")) as s:
+        # B: fetch this block's slice into shared memory.
+        jg = b.tmp("jg")
+        b.imad(jg, s, block_size, b.sreg("tid"), comment="slice particle")
+        theirs = _load_record(
+            b, steps, jg, POSMASS_FIELDS, "sl",
+            param_prefix=column_param_prefix,
+        )
+        st_addr = b.tmp("st")
+        b.shl(st_addr, b.sreg("tid"), 4, comment="my tile slot")
+        b.st_shared(
+            st_addr,
+            (theirs["px"], theirs["py"], theirs["pz"], theirs["mass"]),
+            comment="tile posmass",
+        )
+        b.bar_sync()
+        saddr = b.reg("saddr")
+        b.mov(saddr, 0, comment="tile cursor")
+        # P: the interaction loop (the paper's ~20-instruction body).
+        with b.loop(0, block_size, var=b.reg("j"), unroll=unroll):
+            jx, jy, jz, jm = (b.tmp("jx"), b.tmp("jy"), b.tmp("jz"), b.tmp("jm"))
+            b.ld_shared((jx, jy, jz, jm), saddr, comment="tile particle")
+            e = b.tmp("e")
+            b.mul(e, soft, soft, comment="eps^2 (invariant, naively in-loop)")
+            dx, dy, dz = b.tmp("dx"), b.tmp("dy"), b.tmp("dz")
+            b.sub(dx, jx, px)
+            b.sub(dy, jy, py)
+            b.sub(dz, jz, pz)
+            t = b.tmp("t")
+            b.mul(t, dx, dx)
+            b.mad(t, dy, dy, t)
+            b.mad(t, dz, dz, t)
+            b.add(t, t, e, comment="softened r^2")
+            inv = b.tmp("inv")
+            b.rsqrt(inv, t)
+            w = b.tmp("w")
+            b.mul(w, jm, inv)
+            b.mul(w, w, inv)
+            b.mul(w, w, inv, comment="m_j / r^3")
+            b.mad(fx, dx, w, fx)
+            b.mad(fy, dy, w, fy)
+            b.mad(fz, dz, w, fz)
+            b.iadd(saddr, saddr, TILE_ENTRY_BYTES, comment="tile cursor++")
+        b.bar_sync()
 
 
 def build_force_kernel(
@@ -186,47 +261,9 @@ def build_force_kernel(
     b.alloc_shared(tile_words)
 
     # ---- outer loop over slices -------------------------------------------
-    with b.loop(0, b.param("nslices"), var=b.reg("s")) as s:
-        # B: fetch this block's slice into shared memory.
-        jg = b.tmp("jg")
-        b.imad(jg, s, block_size, b.sreg("tid"), comment="slice particle")
-        theirs = _load_record(b, steps, jg, POSMASS_FIELDS, "sl")
-        st_addr = b.tmp("st")
-        b.shl(st_addr, b.sreg("tid"), 4, comment="my tile slot")
-        b.st_shared(
-            st_addr,
-            (theirs["px"], theirs["py"], theirs["pz"], theirs["mass"]),
-            comment="tile posmass",
-        )
-        b.bar_sync()
-        saddr = b.reg("saddr")
-        b.mov(saddr, 0, comment="tile cursor")
-        # P: the interaction loop (the paper's ~20-instruction body).
-        with b.loop(0, block_size, var=b.reg("j"), unroll=unroll):
-            jx, jy, jz, jm = (b.tmp("jx"), b.tmp("jy"), b.tmp("jz"), b.tmp("jm"))
-            b.ld_shared((jx, jy, jz, jm), saddr, comment="tile particle")
-            e = b.tmp("e")
-            b.mul(e, soft, soft, comment="eps^2 (invariant, naively in-loop)")
-            dx, dy, dz = b.tmp("dx"), b.tmp("dy"), b.tmp("dz")
-            b.sub(dx, jx, px)
-            b.sub(dy, jy, py)
-            b.sub(dz, jz, pz)
-            t = b.tmp("t")
-            b.mul(t, dx, dx)
-            b.mad(t, dy, dy, t)
-            b.mad(t, dz, dz, t)
-            b.add(t, t, e, comment="softened r^2")
-            inv = b.tmp("inv")
-            b.rsqrt(inv, t)
-            w = b.tmp("w")
-            b.mul(w, jm, inv)
-            b.mul(w, w, inv)
-            b.mul(w, w, inv, comment="m_j / r^3")
-            b.mad(fx, dx, w, fx)
-            b.mad(fy, dy, w, fy)
-            b.mad(fz, dz, w, fz)
-            b.iadd(saddr, saddr, TILE_ENTRY_BYTES, comment="tile cursor++")
-        b.bar_sync()
+    _emit_slice_sweep(
+        b, steps, block_size, unroll, px, py, pz, soft, fx, fy, fz
+    )
 
     # ---- epilogue: F = m_i * acc, store ------------------------------------
     b.mul(fx, fx, m_i)
@@ -234,6 +271,112 @@ def build_force_kernel(
     b.mul(fz, fz, m_i)
     oaddr = b.tmp("oaddr")
     b.imad(oaddr, i, 16, b.param("out"))
+    zero = b.tmp("z")
+    b.mov(zero, 0.0)
+    b.st_global(oaddr, (fx, fy, fz, zero), comment="force record")
+    kernel = b.build()
+    return kernel, KernelPlan(steps=steps, param_for_step=step_param_names(steps))
+
+
+def column_param_names(steps: tuple[LoadStep, ...]) -> tuple[str, ...]:
+    """Parameter names for the out-of-core column-tile base pointers."""
+    return tuple(f"cb{k}" for k in range(len(steps)))
+
+
+def build_force_kernel_ooc(
+    layout: MemoryLayout,
+    block_size: int = 128,
+    first: bool = True,
+    last: bool = True,
+    unroll=None,
+    name: str | None = None,
+) -> tuple[Kernel, KernelPlan]:
+    """The out-of-core force kernel: rows resident, columns streamed.
+
+    Generalizes the PR 5 ``row_offset`` integer-index trick one step
+    further: instead of offsetting indices into one full-population
+    buffer, the thread's own record and the swept column slices live in
+    *different* buffers.  ``pb*`` base pointers address the resident row
+    tile (local row index, compacted per
+    :meth:`~repro.cudasim.xfer.TilePlan.step_offsets`); a second ``cb*``
+    family addresses the staging slot holding the current column tile,
+    of which ``nslices`` K-particle slices are swept.  Because every
+    layout's stride is n-independent, the emitted instruction sequence —
+    in particular the interaction body — is byte-for-byte the in-core
+    kernel's; only the base-pointer parameters differ, which is what
+    keeps streamed results bit-identical.
+
+    A full force evaluation chains one launch per column tile, in
+    column order, accumulating through the ``out`` buffer:
+
+    * ``first=True`` (column tile 0) zeroes the accumulators with the
+      in-core kernel's ``mov 0.0``; later launches reload the partial
+      sums from ``out + 16·i``.  The reload is bit-exact: every ``mad``
+      result is already rounded to float32, so the f32 store/load
+      round-trip reproduces the register value.
+    * ``last=True`` (final column tile) applies the ``F = m_i · acc``
+      scaling exactly once, matching the in-core epilogue.
+
+    With a single column tile (``first and last``) the emitted kernel is
+    the in-core kernel under different parameter names.
+    """
+    if block_size % 32:
+        raise ValueError("block size must be a multiple of the warp size")
+    steps = layout.read_plan(POSMASS_FIELDS)
+    params = (
+        *step_param_names(steps),
+        *column_param_names(steps),
+        "out",
+        "nslices",
+        "eps",
+    )
+    b = KernelBuilder(
+        name
+        or f"gravit_forces_ooc_{layout.kind}_b{block_size}"
+        + ("_f" if first else "")
+        + ("_l" if last else ""),
+        params=params,
+    )
+
+    # ---- S: thread setup (local row index into the resident tile) --------
+    i = b.reg("i")
+    b.imad(i, b.sreg("ctaid"), b.sreg("ntid"), b.sreg("tid"),
+           comment="local row index")
+    mine = _load_record(b, steps, i, POSMASS_FIELDS, "my")
+    px, py, pz = b.reg("px_i"), b.reg("py_i"), b.reg("pz_i")
+    m_i = b.reg("m_i")
+    b.mov(px, mine["px"])
+    b.mov(py, mine["py"])
+    b.mov(pz, mine["pz"])
+    b.mov(m_i, mine["mass"])
+    oaddr = b.reg("oaddr")
+    b.imad(oaddr, i, 16, b.param("out"), comment="accumulator record")
+    fx, fy, fz = b.reg("fx"), b.reg("fy"), b.reg("fz")
+    if first:
+        b.mov(fx, 0.0)
+        b.mov(fy, 0.0)
+        b.mov(fz, 0.0)
+    else:
+        fpad = b.tmp("fp")
+        b.ld_global((fx, fy, fz, fpad), oaddr,
+                    comment="partial accumulators from earlier column tiles")
+    soft = b.reg("soft")
+    b.mov(soft, b.param("eps"), comment="softening length (naive residency)")
+
+    tile_words = block_size * TILE_ENTRY_BYTES // 4
+    b.alloc_shared(tile_words)
+
+    # ---- outer loop over the column tile's slices -------------------------
+    _emit_slice_sweep(
+        b, steps, block_size, unroll, px, py, pz, soft, fx, fy, fz,
+        column_param_prefix="cb",
+    )
+
+    # ---- epilogue: scale on the last column tile only ---------------------
+    if last:
+        b.mul(fx, fx, m_i)
+        b.mul(fy, fy, m_i)
+        b.mul(fz, fz, m_i)
     zero = b.tmp("z")
     b.mov(zero, 0.0)
     b.st_global(oaddr, (fx, fy, fz, zero), comment="force record")

@@ -40,6 +40,7 @@ from ..cudasim.launch import DEFAULT_HEAP_BYTES, Device
 from .gpu_driver import (
     GpuConfig,
     GpuSimulation,
+    OutOfCoreSimulation,
     PooledSimulation,
     ShardedGpuSimulation,
 )
@@ -79,6 +80,11 @@ class SimulationConfig:
     #: When set, the simulation is pool-backed (dynamic population):
     #: records live in a BlockPool of this many records per block.
     pool_records_per_block: int | None = None
+    #: Stream the population through device tiles instead of holding it
+    #: resident — for populations larger than the device heap.
+    out_of_core: bool = False
+    #: Rows per streamed tile (out-of-core only); None = 4 x block_size.
+    tile_rows: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "unroll", Unroll.coerce(self.unroll))
@@ -95,6 +101,22 @@ class SimulationConfig:
                 raise ValueError(
                     "pooled simulations are single-device; got "
                     f"devices={self.devices}"
+                )
+        if self.tile_rows is not None and not self.out_of_core:
+            raise ValueError("tile_rows requires out_of_core=True")
+        if self.out_of_core:
+            if self.tile_rows is not None and self.tile_rows < 1:
+                raise ValueError(
+                    f"tile_rows must be >= 1, got {self.tile_rows}"
+                )
+            if self.devices != 1:
+                raise ValueError(
+                    "out-of-core simulations are single-device; got "
+                    f"devices={self.devices}"
+                )
+            if self.pool_records_per_block is not None:
+                raise ValueError(
+                    "out_of_core and pool_records_per_block are exclusive"
                 )
 
     # -- derived views -------------------------------------------------------
@@ -134,6 +156,8 @@ class SimulationConfig:
             bits.append(f"x{self.devices}dev")
         if self.pool_records_per_block is not None:
             bits.append("pooled")
+        if self.out_of_core:
+            bits.append("ooc")
         return "+".join(bits)
 
     def replace(self, **changes) -> "SimulationConfig":
@@ -226,6 +250,13 @@ class Simulation:
         if group is not None or cfg.devices > 1:
             return ShardedGpuSimulation(
                 system, cfg.gpu_config, group=group or cfg.make_group()
+            )
+        if cfg.out_of_core:
+            return OutOfCoreSimulation(
+                system,
+                cfg.gpu_config,
+                device=device or cfg.make_device(),
+                tile_rows=cfg.tile_rows,
             )
         return GpuSimulation(
             system, cfg.gpu_config, device=device or cfg.make_device()

@@ -157,7 +157,7 @@ class TestRegistryAndReport:
         assert set(EXPERIMENTS) == {
             "fig10", "fig11", "fig12", "unroll", "occupancy",
             "diagrams", "ablation", "portability", "warps", "model", "bh",
-            "bhgpu", "frag", "multigpu", "profile", "service",
+            "bhgpu", "frag", "multigpu", "outofcore", "profile", "service",
         }
 
     def test_unknown_experiment(self):

@@ -213,3 +213,93 @@ class TestCustomStructs:
                                  "y": np.zeros(16, np.float32)}))["x"],
             np.arange(16, dtype=np.float32),
         )
+
+
+class TestRowRegions:
+    """Edge cases of the transfer-interval builder the out-of-core tile
+    planner (and the multi-GPU broadcast) sits on."""
+
+    @pytest.mark.parametrize("kind", LAYOUT_KINDS)
+    def test_empty_field_subset_ships_nothing(self, kind):
+        assert make_layout(kind, 128).row_regions(0, 128, ()) == ()
+
+    @pytest.mark.parametrize("kind", LAYOUT_KINDS)
+    def test_single_row_range(self, kind):
+        """One row's regions: one span per step group, each exactly the
+        step's vector bytes, at that row's addresses."""
+        layout = make_layout(kind, 128)
+        regions = layout.row_regions(7, 8)
+        spans = {
+            (step.base + step.stride * 7, step.vector.nbytes)
+            for step in layout.read_plan(None)
+        }
+        covered = set()
+        for offset, nbytes in regions:
+            assert nbytes > 0
+            for start, width in spans:
+                if offset <= start and start + width <= offset + nbytes:
+                    covered.add((start, width))
+        assert covered == spans
+        # regions are disjoint, sorted, and no wider than the row's spans
+        for (o1, n1), (o2, _) in zip(regions, regions[1:]):
+            assert o1 + n1 < o2  # disjoint with a real gap (else merged)
+        assert sum(n for _, n in regions) <= sum(w for _, w in spans)
+
+    @pytest.mark.parametrize("kind", LAYOUT_KINDS)
+    def test_full_range_merges_to_whole_buffer(self, kind):
+        """With n a multiple of the 256-byte array alignment quantum,
+        every per-array span touches its neighbour and the full-range
+        request collapses to ONE region — the whole buffer (up to the
+        final record's unpadded tail)."""
+        layout = make_layout(kind, 128)
+        regions = layout.row_regions(0, 128)
+        assert len(regions) == 1
+        offset, nbytes = regions[0]
+        assert offset == 0
+        last_touched = max(
+            step.base + step.stride * 127 + step.vector.nbytes
+            for step in layout.read_plan(None)
+        )
+        assert nbytes == last_touched
+        assert nbytes <= layout.size_bytes
+
+    def test_adjacent_arrays_coalesce_across_field_boundaries(self):
+        """soa: px's 512-byte array ends exactly where py's begins, so a
+        two-field full-range request merges into one 1024-byte region."""
+        layout = make_layout("soa", 128)
+        assert layout.row_regions(0, 128, ("px", "py")) == ((0, 1024),)
+        # ...but a partial row range leaves a gap between the arrays.
+        partial = layout.row_regions(0, 64, ("px", "py"))
+        assert len(partial) == 2
+        assert partial[0] == (0, 256)
+        assert partial[1] == (512, 256)
+
+    def test_soaoas_group_boundary_coalescing(self):
+        """soaoas: the posmass group's 2048-byte array is followed
+        immediately by the velocity group; asking for all fields over
+        the full range fuses the two group arrays into one region."""
+        layout = make_layout("soaoas", 128)
+        full = layout.row_regions(0, 128)
+        assert len(full) == 1
+        # The posmass group alone stops at the group-array boundary.
+        posmass = layout.row_regions(0, 128, POSMASS)
+        assert posmass == ((0, 2048),)
+
+    @pytest.mark.parametrize("kind", LAYOUT_KINDS)
+    def test_interleaved_layouts_drag_whole_records(self, kind):
+        """Posmass-only requests: grouped layouts ship just the group,
+        interleaved layouts ship (nearly) the whole record span."""
+        layout = make_layout(kind, 128)
+        posmass_bytes = sum(n for _, n in layout.row_regions(0, 128, POSMASS))
+        full_bytes = sum(n for _, n in layout.row_regions(0, 128))
+        if kind in ("soa", "soaoas"):
+            assert posmass_bytes <= full_bytes * 4 / 7 + ARRAY_BASE_ALIGN
+        else:
+            assert posmass_bytes > full_bytes * 0.85
+
+    @pytest.mark.parametrize("kind", LAYOUT_KINDS)
+    def test_rejects_bad_ranges(self, kind):
+        layout = make_layout(kind, 64)
+        for lo, hi in ((0, 0), (5, 5), (-1, 4), (10, 9), (0, 65)):
+            with pytest.raises(IndexError):
+                layout.row_regions(lo, hi)

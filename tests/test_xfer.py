@@ -1,0 +1,274 @@
+"""Unit tests for the transfer-pipeline subsystem (repro.cudasim.xfer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layouts import make_layout
+from repro.cudasim.launch import Device
+from repro.cudasim.xfer import (
+    REGION_SLOT_ALIGN,
+    StagingBuffer,
+    TilePlan,
+    TransferPipeline,
+    XferStats,
+)
+from repro.gravit.gpu_kernels import POSMASS_FIELDS
+
+LAYOUTS = ("aos", "aoas", "soa", "soaoas")
+
+
+# ---------------------------------------------------------------------------
+# TilePlan
+# ---------------------------------------------------------------------------
+
+
+class TestTilePlan:
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    @pytest.mark.parametrize("n,tile_rows", [(128, 32), (100, 32), (64, 64)])
+    def test_tiles_cover_rows_exactly(self, kind, n, tile_rows):
+        plan = TilePlan(make_layout(kind, n), tile_rows)
+        assert plan.tiles[0].lo == 0
+        assert plan.tiles[-1].hi == n
+        for prev, cur in zip(plan.tiles, plan.tiles[1:]):
+            assert cur.lo == prev.hi
+        for tile in plan:
+            assert 0 < tile.rows <= tile_rows
+
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    def test_short_last_tile_when_not_dividing(self, kind):
+        plan = TilePlan(make_layout(kind, 100), 32)
+        assert [t.rows for t in plan] == [32, 32, 32, 4]
+
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    def test_slot_bytes_bounds_every_tile(self, kind):
+        plan = TilePlan(make_layout(kind, 100), 32, POSMASS_FIELDS)
+        for tile in plan:
+            for _, nbytes, slot_offset in tile.regions:
+                assert slot_offset + nbytes <= plan.slot_bytes
+                assert slot_offset % REGION_SLOT_ALIGN == 0
+
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    def test_step_offsets_cover_every_step(self, kind):
+        layout = make_layout(kind, 128)
+        plan = TilePlan(layout, 32, POSMASS_FIELDS)
+        steps = layout.read_plan(POSMASS_FIELDS)
+        for tile in plan:
+            offsets = plan.step_offsets(tile)
+            assert len(offsets) == len(steps)
+            for (soff, extent), step in zip(offsets, steps):
+                assert soff >= 0
+                assert extent == step.stride * (tile.rows - 1) + step.vector.nbytes
+                assert soff + extent <= plan.slot_bytes
+
+    def test_step_offsets_rejects_unshipped_fields(self):
+        layout = make_layout("soaoas", 128)
+        plan = TilePlan(layout, 32, POSMASS_FIELDS)
+        with pytest.raises(LookupError):
+            plan.step_offsets(plan.tiles[0], ("vx", "vy", "vz"))
+
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    def test_grouped_layouts_ship_fewer_posmass_bytes(self, kind):
+        """Field-restricted plans never ship more than full-record ones."""
+        layout = make_layout(kind, 128)
+        posmass = TilePlan(layout, 32, POSMASS_FIELDS)
+        full = TilePlan(layout, 32)
+        assert posmass.total_bytes <= full.total_bytes
+
+    def test_soaoas_posmass_beats_aos(self):
+        soaoas = TilePlan(make_layout("soaoas", 256), 64, POSMASS_FIELDS)
+        aos = TilePlan(make_layout("aos", 256), 64, POSMASS_FIELDS)
+        assert soaoas.total_bytes < aos.total_bytes
+
+    def test_tile_rows_clamped_to_n(self):
+        plan = TilePlan(make_layout("soa", 64), 1024)
+        assert len(plan) == 1
+        assert plan.tiles[0].rows == 64
+
+    def test_rejects_nonpositive_tile_rows(self):
+        with pytest.raises(ValueError):
+            TilePlan(make_layout("soa", 64), 0)
+
+    @pytest.mark.parametrize("kind", LAYOUTS)
+    def test_host_views_round_trip(self, kind):
+        """Shipping every tile's views reassembles the shipped intervals."""
+        layout = make_layout(kind, 96)
+        plan = TilePlan(layout, 32)
+        image = np.arange(layout.size_words, dtype=np.float32)
+        rebuilt = np.full_like(image, np.nan)
+        for tile in plan:
+            for (offset, nbytes, soff), (soff2, words) in zip(
+                tile.regions, plan.host_views(tile, image)
+            ):
+                assert soff == soff2
+                assert 4 * words.size == nbytes
+                rebuilt[offset // 4 : (offset + nbytes) // 4] = words
+        # A full-record plan ships every row of every array at least once.
+        for step in layout.read_plan(None):
+            for row in range(layout.n):
+                addr = step.base + step.stride * row
+                span = rebuilt[addr // 4 : (addr + step.vector.nbytes) // 4]
+                assert not np.isnan(span).any()
+
+
+# ---------------------------------------------------------------------------
+# StagingBuffer
+# ---------------------------------------------------------------------------
+
+
+class TestStagingBuffer:
+    def test_allocates_through_the_freelist(self):
+        device = Device()
+        free0 = device.gmem.bytes_free
+        with StagingBuffer(device, 1024, slots=2) as staging:
+            assert staging.slots == 2
+            assert len(staging) == 2
+            assert device.gmem.bytes_free < free0
+            a, b = staging.slot(0), staging.slot(1)
+            assert a.addr != b.addr
+            # tick indices rotate through the ping-pong pair
+            assert staging.slot(2).addr == a.addr
+            assert staging.slot(3).addr == b.addr
+        assert device.gmem.bytes_free == free0
+
+    def test_free_is_idempotent_and_slot_after_free_raises(self):
+        device = Device()
+        staging = StagingBuffer(device, 256)
+        staging.free()
+        staging.free()
+        with pytest.raises(RuntimeError):
+            staging.slot(0)
+
+    def test_rejects_bad_shapes(self):
+        device = Device()
+        with pytest.raises(ValueError):
+            StagingBuffer(device, 256, slots=0)
+        with pytest.raises(ValueError):
+            StagingBuffer(device, 0)
+
+
+# ---------------------------------------------------------------------------
+# TransferPipeline + XferStats
+# ---------------------------------------------------------------------------
+
+
+class TestTransferPipeline:
+    def _roundtrip(self, tiles, slots=2):
+        """Stream ``tiles`` host arrays through a pipeline; the compute
+        stage copies each staged tile into a per-tile result buffer."""
+        device = Device()
+        copy, compute = device.stream("t-copy"), device.stream("t-compute")
+        results = []
+        with StagingBuffer(device, tiles[0].nbytes, slots=slots) as staging:
+            pipeline = TransferPipeline(copy, compute, staging)
+            for data in tiles:
+                def upload(slot, data=data):
+                    copy.memcpy_htod_async(slot, data)
+                    return data.nbytes
+
+                def consume(slot, data=data):
+                    results.append(
+                        compute.memcpy_dtoh_async(slot, data.size)
+                    )
+
+                pipeline.stage(upload, consume)
+            pipeline.synchronize()
+            summary = pipeline.stats.summary()
+        out = [f.result() for f in results]
+        copy.close()
+        compute.close()
+        return out, summary
+
+    def test_round_trip_preserves_data(self):
+        tiles = [
+            np.full(64, fill, dtype=np.float32) for fill in (1.0, 2.0, 3.0, 4.0)
+        ]
+        out, summary = self._roundtrip(tiles)
+        for want, got in zip(tiles, out):
+            assert np.array_equal(want, got)
+        assert summary["tiles"] == 4
+        assert summary["copy_bytes"] == 4 * 64 * 4
+
+    def test_stats_account_exposure_sanely(self):
+        tiles = [np.zeros(256, dtype=np.float32) for _ in range(6)]
+        _, summary = self._roundtrip(tiles)
+        assert summary["tile_copy_cycles"] > 0
+        assert 0.0 <= summary["copy_exposed_fraction"] <= 1.0
+        assert summary["exposed_cycles"] <= summary["tile_copy_cycles"] + 1e-9
+
+    def test_rejects_shared_stream(self):
+        device = Device()
+        stream = device.stream("only")
+        with StagingBuffer(device, 256) as staging:
+            with pytest.raises(ValueError):
+                TransferPipeline(stream, stream, staging)
+        stream.close()
+
+    def test_summary_before_sync_raises(self):
+        device = Device()
+        copy, compute = device.stream("c1"), device.stream("c2")
+        data = np.zeros(64, dtype=np.float32)
+        with StagingBuffer(device, data.nbytes) as staging:
+            pipeline = TransferPipeline(copy, compute, staging)
+            stats = XferStats()
+            from repro.cudasim.stream import Event
+
+            stats.add_tile(0, 1, Event(), Event(), Event(), Event(), Event())
+            with pytest.raises(RuntimeError):
+                stats.summary()
+            pipeline.synchronize()
+        copy.close()
+        compute.close()
+
+    def test_slot_rotation_is_double_buffered(self):
+        """Consecutive tiles land in different slots; slot k reappears
+        at tick k+slots."""
+        device = Device()
+        copy, compute = device.stream("r1"), device.stream("r2")
+        seen = []
+        data = np.zeros(32, dtype=np.float32)
+        with StagingBuffer(device, data.nbytes, slots=2) as staging:
+            pipeline = TransferPipeline(copy, compute, staging)
+            for _ in range(5):
+                def upload(slot):
+                    copy.memcpy_htod_async(slot, data)
+                    return data.nbytes
+
+                slot = pipeline.stage(upload, lambda slot: None)
+                seen.append(slot.addr)
+            pipeline.synchronize()
+        assert seen[0] != seen[1]
+        assert seen[0] == seen[2] == seen[4]
+        assert seen[1] == seen[3]
+        copy.close()
+        compute.close()
+
+
+class TestCopySpanAttrs:
+    def test_copy_spans_carry_bytes_and_device(self):
+        """Chrome-trace food: every async copy span reports nbytes and
+        the device it ran on (not just peer copies)."""
+        from repro.telemetry import runtime as telemetry
+
+        device = Device(name="dev-attr")
+        stream = device.stream("attr-test")
+        telemetry.enable()
+        telemetry.reset()
+        try:
+            buf = device.malloc(256)
+            data = np.zeros(64, dtype=np.float32)
+            stream.memcpy_htod_async(buf, data)
+            stream.memcpy_dtoh_async(buf, 64).result()
+            stream.synchronize()
+            spans = [
+                s for s in telemetry.spans()
+                if s.name.startswith("cudasim.stream.memcpy_")
+            ]
+            assert len(spans) == 2
+            for span in spans:
+                assert span.attrs["nbytes"] == 256
+                assert span.attrs["device"] == "dev-attr"
+                assert span.attrs["stream"] == "attr-test"
+            device.free(buf)
+        finally:
+            telemetry.disable()
+            stream.close()
