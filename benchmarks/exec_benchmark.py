@@ -2,14 +2,22 @@
 
 Times the paper's two simulation-heavy sweeps — the Fig. 10 layout ×
 toolchain grid (which also powers Fig. 11's derived speedups) and the
-unroll-factor sweep — once with the reference interpreter
-(``REPRO_EXEC_FASTPATH=0``) and once with the codegen fast path of
-:mod:`repro.cudasim.fastpath`.  Each mode gets one warm-up pass so the
-kernel-compilation and fastpath-codegen caches are hot and the numbers
-measure cycle simulation, not compilation; the reported time is then the
-best of ``--repeats`` runs.
+unroll-factor sweep — under all three execution modes of
+:mod:`repro.cudasim.fastpath`: the reference interpreter
+(``REPRO_EXEC_FASTPATH=0``), the per-warp compiled path (``1``) and the
+cross-warp vectorized path (``2``).  Each mode gets one warm-up pass so
+the kernel-compilation and fastpath-codegen caches are hot and the
+numbers measure cycle simulation, not compilation; the reported time is
+then the best of ``--repeats`` runs.
 
-The fast path is bit-identical to the interpreter by construction
+A paper-scale point (the largest n that fits the CI budget, unroll 16)
+is timed under the two compiled modes only — the interpreter needs
+minutes per repeat there, which is exactly the affordability problem the
+vectorized executor solves.  The v2 runs also report scheduler shape:
+warps per vector dispatch and the fraction of warp-stretches that fell
+back to the per-warp path.
+
+Every mode is bit-identical to the interpreter by construction
 (``tests/test_fastpath.py`` pins memory images, stats and cycle counts),
 so this benchmark only reports time.
 
@@ -30,6 +38,15 @@ import time
 #: points, and fully unrolled (the largest generated kernel).
 UNROLL_FACTORS = (1, 4, 16, 128)
 
+#: The paper-scale point: largest n affordable in the CI budget under
+#: the compiled modes (the source paper sweeps 40k..1M; the cycle-level
+#: interpreter needs ~1 min per repeat already at this size).
+PAPER_N = 2048
+PAPER_UNROLL = 16
+
+#: Execution modes: env value -> report key suffix.
+MODES = (("0", "interpreter"), ("1", "fastpath_v1"), ("2", "fastpath_v2"))
+
 
 def _best_of(fn, repeats: int) -> float:
     times = []
@@ -40,7 +57,21 @@ def _best_of(fn, repeats: int) -> float:
     return min(times)
 
 
+def _vec_shape(counters: dict) -> dict:
+    """Scheduler shape of the vectorized executor from its counters."""
+    dispatches = counters.get("dispatches", 0)
+    warps = counters.get("warps", 0)
+    fallbacks = counters.get("fallbacks", 0)
+    return {
+        "warps_per_dispatch": warps / dispatches if dispatches else 0.0,
+        "fallback_fraction": (
+            fallbacks / (warps + fallbacks) if warps + fallbacks else 0.0
+        ),
+    }
+
+
 def bench_sweeps(repeats: int) -> dict:
+    from repro.cudasim import fastpath
     from repro.cudasim.fastpath import FASTPATH_ENV
     from repro.cudasim.kernel_cache import KernelCache, set_default_cache
     from repro.experiments import (
@@ -56,30 +87,51 @@ def bench_sweeps(repeats: int) -> dict:
     def sweep_unroll():
         unrolling_sweep.run(factors=UNROLL_FACTORS, serial=True)
 
-    sweeps = (
-        ("fig10_fig11", sweep_fig10_fig11),
-        ("unroll", sweep_unroll),
-    )
+    def sweep_paper_scale():
+        unrolling_sweep.run(
+            factors=(PAPER_UNROLL,), serial=True, n=PAPER_N
+        )
+
     saved = os.environ.get(FASTPATH_ENV)
     out: dict = {}
+
+    def timed(name, sweep, env, suffix):
+        os.environ[FASTPATH_ENV] = env
+        set_default_cache(KernelCache())
+        sweep()  # warm the compile + codegen caches
+        fastpath.reset_vec_counters()
+        out[f"{name}_{suffix}_s"] = _best_of(sweep, repeats)
+        if env == "2":
+            for key, val in _vec_shape(fastpath.vec_counters()).items():
+                out[f"{name}_{key}"] = val
+
     try:
-        for name, sweep in sweeps:
-            for mode, env in (("interpreter", "0"), ("fastpath", "1")):
-                os.environ[FASTPATH_ENV] = env
-                set_default_cache(KernelCache())
-                sweep()  # warm the compile + codegen caches
-                out[f"{name}_{mode}_s"] = _best_of(sweep, repeats)
-            out[f"{name}_speedup"] = (
-                out[f"{name}_interpreter_s"] / out[f"{name}_fastpath_s"]
-            )
+        for name, sweep in (
+            ("fig10_fig11", sweep_fig10_fig11),
+            ("unroll", sweep_unroll),
+        ):
+            for env, suffix in MODES:
+                timed(name, sweep, env, suffix)
+            for env, suffix in MODES[1:]:
+                out[f"{name}_speedup_{suffix[-2:]}"] = (
+                    out[f"{name}_interpreter_s"] / out[f"{name}_{suffix}_s"]
+                )
+        # Paper-scale point: compiled modes only (see module docstring).
+        for env, suffix in MODES[1:]:
+            timed("paper_scale", sweep_paper_scale, env, suffix)
+        out["paper_scale_n"] = PAPER_N
+        out["paper_scale_unroll"] = PAPER_UNROLL
+        out["paper_scale_speedup_v2_vs_v1"] = (
+            out["paper_scale_fastpath_v1_s"] / out["paper_scale_fastpath_v2_s"]
+        )
     finally:
         if saved is None:
             os.environ.pop(FASTPATH_ENV, None)
         else:
             os.environ[FASTPATH_ENV] = saved
         set_default_cache(None)
-    interp = sum(out[f"{n}_interpreter_s"] for n, _ in sweeps)
-    fast = sum(out[f"{n}_fastpath_s"] for n, _ in sweeps)
+    interp = out["fig10_fig11_interpreter_s"] + out["unroll_interpreter_s"]
+    fast = out["fig10_fig11_fastpath_v2_s"] + out["unroll_fastpath_v2_s"]
     out["total_interpreter_s"] = interp
     out["total_fastpath_s"] = fast
     out["overall_speedup"] = interp / fast
@@ -93,14 +145,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = {
-        "benchmark": "executor fastpath vs interpreter (fig10+fig11 / unroll)",
+        "benchmark": (
+            "executor fastpath v1/v2 vs interpreter "
+            "(fig10+fig11 / unroll / paper-scale)"
+        ),
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),
         "unroll_factors": list(UNROLL_FACTORS),
         "note": (
-            "best-of-N with warm compile/codegen caches; both modes "
+            "best-of-N with warm compile/codegen caches; all modes "
             "produce bit-identical memory, stats and cycles "
-            "(tests/test_fastpath.py)"
+            "(tests/test_fastpath.py); paper-scale point runs the "
+            "compiled modes only"
         ),
         "results": bench_sweeps(args.repeats),
     }

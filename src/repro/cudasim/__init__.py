@@ -50,10 +50,13 @@ from .executor import SM_ENGINES
 from .cfg import BasicBlock, FUSIBLE_OPS, fusible_run_ends, split_blocks
 from .fastpath import (
     FASTPATH_ENV,
+    FASTPATH_MODES,
     FastProgram,
     FastSMExecutor,
     compile_fastpath,
     fastpath_enabled,
+    fastpath_mode,
+    vec_counters,
 )
 from .ir import IfStmt, Kernel, KernelBuilder, LoopStmt, RawStmt, Seq
 from .isa import Imm, Instr, Op, Param, Reg, Special, SReg
@@ -67,7 +70,7 @@ from .kernel_cache import (
     set_default_cache,
 )
 from .device_group import DeviceGroup
-from .envflags import env_bool, env_choice
+from .envflags import env_bool, env_choice, env_mapped
 from .launch import Device, LaunchResult, compile_kernel, lower_kernel
 from .stream import Event, Stream
 from .liveness import analyze as liveness_analyze
@@ -142,12 +145,16 @@ __all__ = [
     "fusible_run_ends",
     "split_blocks",
     "FASTPATH_ENV",
+    "FASTPATH_MODES",
     "FastProgram",
     "FastSMExecutor",
     "compile_fastpath",
     "fastpath_enabled",
+    "fastpath_mode",
+    "vec_counters",
     "env_bool",
     "env_choice",
+    "env_mapped",
     "Event",
     "SM_ENGINES",
     "lower",

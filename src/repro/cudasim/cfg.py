@@ -41,6 +41,7 @@ __all__ = [
     "leaders",
     "split_blocks",
     "fusible_run_ends",
+    "replay_schedulable",
 ]
 
 #: Instructions executable inside a fused block: warp-private effects only
@@ -138,6 +139,35 @@ def split_blocks(lk: LoweredKernel) -> list[BasicBlock]:
             succ = (start + 1,)
         blocks.append(BasicBlock(start=start, end=end, kind=kind, successors=succ))
     return blocks
+
+
+def replay_schedulable(instr: Instr) -> bool:
+    """True when the v2 replay scheduler may issue ``instr`` inside a
+    cross-warp vector window.
+
+    The vectorized executor (``REPRO_EXEC_FASTPATH=2``) schedules whole
+    multi-block stretches ahead of time and *validates* its assumptions
+    at dispatch, so the window rule is looser than the per-warp
+    ``FUSIBLE_OPS`` split: besides warp-private ALU work it admits
+
+    * an **unpredicated** ``LD_SHARED`` — assumed conflict-free, its
+      real issue cost is checked against the assumption and a mismatch
+      aborts the window (a predicated one can skip its destination
+      marks entirely, which would make dependent wakes dynamic);
+    * ``BRA`` — scheduled under a direction assumption (backward and
+      unconditional branches taken, forward predicated ones
+      fall-through) that the dispatcher verifies per execution.
+
+    Everything else still parks the row: barriers and global-memory ops
+    couple to shared SM state whose timing cannot be pre-validated, and
+    ``EXIT`` retires the warp.
+    """
+    op = instr.op
+    if op in FUSIBLE_OPS:
+        return True
+    if op is Op.LD_SHARED:
+        return instr.pred is None
+    return op is Op.BRA
 
 
 def fusible_run_ends(lk: LoweredKernel) -> list[int]:

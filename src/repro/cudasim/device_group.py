@@ -64,7 +64,7 @@ class DeviceGroup:
         heap_bytes: int = DEFAULT_HEAP_BYTES,
         sm_engine: str | None = None,
         cache: KernelCache | None | object = _UNSET,
-        fastpath: bool | None = None,
+        fastpath: bool | int | None = None,
         peer_access: bool = True,
     ) -> None:
         if count < 1:

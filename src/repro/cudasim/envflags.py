@@ -11,7 +11,10 @@ flag now goes through one of two strict parsers:
   rejects anything else with a :class:`ValueError` naming the variable,
   the offending value and the accepted spellings;
 * :func:`env_choice` — for enumerated flags: the value must be one of
-  the given choices, rejected loudly otherwise.
+  the given choices, rejected loudly otherwise;
+* :func:`env_mapped` — for flags whose spellings map onto a small value
+  domain (``REPRO_EXEC_FASTPATH=0|1|2`` with boolean aliases): the value
+  must be a key of the mapping, rejected loudly otherwise.
 
 Rejecting beats guessing: a typo in a CI environment block should fail
 the job, not quietly run the wrong configuration.
@@ -20,9 +23,15 @@ the job, not quietly run the wrong configuration.
 from __future__ import annotations
 
 import os
-from typing import Sequence
+from typing import Mapping, Sequence
 
-__all__ = ["env_bool", "env_choice", "TRUE_WORDS", "FALSE_WORDS"]
+__all__ = [
+    "env_bool",
+    "env_choice",
+    "env_mapped",
+    "TRUE_WORDS",
+    "FALSE_WORDS",
+]
 
 #: Spellings accepted as boolean true (case-insensitive).
 TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
@@ -67,3 +76,24 @@ def env_choice(
             f"{sorted(choices)}"
         )
     return raw
+
+
+def env_mapped(name: str, mapping: Mapping[str, object], default):
+    """Parse an environment flag through a spelling → value mapping.
+
+    Spellings are matched case-insensitively after stripping whitespace
+    (like :func:`env_bool`).  Unset (or empty) returns ``default``; any
+    other value must be a key of ``mapping`` or a :class:`ValueError`
+    naming the accepted spellings is raised.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    word = raw.strip().lower()
+    try:
+        return mapping[word]
+    except KeyError:
+        raise ValueError(
+            f"{name}={raw!r} is not a recognised value; use one of "
+            f"{sorted(mapping)}"
+        ) from None

@@ -138,6 +138,7 @@ class WarpState:
         "mem_ready",
         "_fp_act",
         "_fp_na",
+        "_row",
         "_prof_t0",
     )
 
@@ -172,6 +173,8 @@ class WarpState:
         # id cannot be reused).
         self._fp_act = None
         self._fp_na = 0
+        # Arena row index under the vectorized fastpath (-1 = unbound).
+        self._row = -1
 
 
 class _Prep:
@@ -936,7 +939,7 @@ def _run_sm_serial(
     resident: int,
     sm_index: int,
     trace=None,
-    fastpath: bool = False,
+    fastpath: bool | int = False,
     profile_spec=None,
 ) -> SMRun:
     stats = KernelStats()
@@ -945,8 +948,14 @@ def _run_sm_serial(
         from .profiler import SMProfile
 
         profile = SMProfile(len(lk.instructions), sm_index, profile_spec)
-    if fastpath:
+    # ``fastpath`` is a mode: 0/False = interpreter, 1 = per-warp v1,
+    # 2/True = cross-warp vectorized v2.
+    mode = (2 if fastpath else 0) if isinstance(fastpath, bool) else int(fastpath)
+    extra: dict = {}
+    if mode:
         from .fastpath import FastSMExecutor as executor_cls
+
+        extra["vectorize"] = mode >= 2
     else:
         executor_cls = SMExecutor
     ex = executor_cls(
@@ -961,6 +970,7 @@ def _run_sm_serial(
         trace=trace,
         sm_index=sm_index,
         profile=profile,
+        **extra,
     )
     end = ex.run(block_ids, resident)
     stats.memory.merge(ex.pipeline.stats)
@@ -1028,7 +1038,7 @@ def run_sms(
     engine: str = "serial",
     max_workers: int | None = None,
     trace=None,
-    fastpath: bool = False,
+    fastpath: bool | int = False,
     profile=None,
 ) -> list[SMRun]:
     """Simulate every (sm_index, block_ids) assignment; results in SM order.
@@ -1037,9 +1047,10 @@ def run_sms(
     observes accesses in program order and is not generally picklable.
     Under ``process``, worker stores are replayed into ``gmem`` in SM
     order, so race-free kernels end with a bit-identical heap.
-    ``fastpath`` selects the codegen'd executor
-    (:class:`repro.cudasim.fastpath.FastSMExecutor`); every engine ×
-    fastpath combination produces identical results.  ``profile`` is an
+    ``fastpath`` is a mode — ``0``/``False`` interpreter, ``1`` per-warp
+    codegen, ``2``/``True`` cross-warp vectorized — selecting
+    :class:`repro.cudasim.fastpath.FastSMExecutor`; every engine ×
+    fastpath-mode combination produces identical results.  ``profile`` is an
     optional picklable :class:`~repro.cudasim.profiler.ProfileSpec`;
     it travels in the payload (not via the profiler's module global) so
     ``process`` workers collect the same counters as in-process engines.

@@ -23,6 +23,16 @@ overhead without perturbing a single simulated cycle:
    release) and runs straight-line stretches through a fused driver
    inlined in :meth:`FastSMExecutor._run` that replays the interpreter's
    exact stall/idle accounting while other warps sleep.
+4. (v2, ``REPRO_EXEC_FASTPATH=2``, the default) warps sitting at the
+   same pc of the same basic block are *batched*: the executor keeps all
+   resident warps' register files, predicates and scoreboards stacked in
+   one per-SM arena (``(regs, warps, lanes)`` arrays; each
+   :class:`WarpState` holds row views), and a warp-group scheduler
+   (:meth:`FastSMExecutor._vdispatch`) dispatches one numpy-vectorized
+   call per ``(pc, bucket)`` through the ``make_vsteps`` template family
+   emitted next to the per-warp ``make_steps``.  Divergence, barriers
+   and per-warp-divergent scoreboard timing fall back to the per-warp
+   v1 path (which remains the general engine underneath).
 
 Bit-identity argument
 ---------------------
@@ -49,25 +59,67 @@ executing warp is the *only* ready warp:
 * reconvergence pcs are always block leaders (see :mod:`.cfg`), so the
   divergence-stack check is needed only at run entry.
 
+The v2 cross-warp dispatch rests on a *lockstep* property of the same
+scan: when every countable warp sits at the same pc ``pc0`` (cost
+``c0``) in one contiguous arena-row range ``[lo, hi]`` and warp at
+cyclic position ``m`` from the chosen warp has ``wake <= now + c0*m``,
+the interpreter issues warp-major round-robin with zero stalls and zero
+idle — instruction ``q`` issues for position ``m`` at exactly
+``now + O_q + m*c_q`` with ``O_{q+1} = O_q + W*c_q``.  One vectorized
+``(warps, lanes)`` step per instruction reproduces that schedule
+bit-for-bit (every simulated time is a dyadic rational, so float64
+sums are exact in any association order).  The dispatch window is
+bounded statically per ``(pc0, W)`` by the in-run dependency test
+``O_a + L_a + max(0, c_a - c_q)*(W-1) <= O_q`` and dynamically by a
+vectorized pre-run scoreboard check; countable warps outside the bucket
+are tolerated only while they provably stay asleep (their wake at or
+past the window end), charging the interpreter's wrap-scan stalls in
+closed form.  Anything else — divergence splitting the bucket across
+pcs, barriers, memory-pipeline stagger — returns ``None`` and the v1
+per-warp path executes instead.
+
+On top of the lockstep window, unprofiled runs use a *replay*
+scheduler (:meth:`FastSMExecutor._vreplay` /
+:meth:`FastSMExecutor._vdispatch_replay`): the interpreter's
+round-robin scan is simulated once in pure Python over a window of
+schedulable pcs (:func:`repro.cudasim.cfg.replay_schedulable` —
+fusible ALU work plus unpredicated shared loads and branches), and the
+resulting issue plan — with complete ``(warps,)`` row groups folded
+into single vector events within branch/load-free segments — is
+memoized on the shared program keyed by the warps' pc and entry-wake
+configuration.  Shared loads are scheduled at their conflict-free cost
+and branches under a static direction assumption
+(backward/unconditional taken, forward predicated fall-through); at
+dispatch each such event is either proven by a cheap vectorized check
+(whole-warp broadcast load, uniform predicate) or executed through the
+real ``_issue``, and any deviation — cost, direction, or a mask rebind
+from divergence — aborts the window via a per-event snapshot that
+restores warp clocks, pcs and the exact stall/idle attribution of the
+prefix.  Mixed resident blocks whose divergence stacks reach into the
+window's visited pc range fall back before dispatch.
+
 The reference interpreter stays available behind
-``REPRO_EXEC_FASTPATH=0`` or ``Device(fastpath=False)`` and
-``tests/test_fastpath.py`` pins heap bytes, :class:`KernelStats` and end
-cycles to it across every layout × coalescing policy.
+``REPRO_EXEC_FASTPATH=0`` or ``Device(fastpath=False)``; ``=1`` pins
+the per-warp v1 path and ``=2`` (default) enables cross-warp batching.
+``tests/test_fastpath.py`` pins heap bytes, :class:`KernelStats`,
+:class:`KernelProfile` and end cycles across all three modes for every
+layout × coalescing policy.
 """
 
 from __future__ import annotations
 
 import hashlib
 from collections import deque
+from operator import itemgetter
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from ..telemetry import runtime as _telemetry
-from .cfg import FUSIBLE_OPS, fusible_run_ends
+from .cfg import FUSIBLE_OPS, fusible_run_ends, replay_schedulable
 from .device import DeviceProperties
-from .envflags import env_bool
+from .envflags import env_mapped
 from .errors import DeadlockError, ExecutionError
 from .executor import WARP, BlockState, SMExecutor, WarpState
 from .isa import SFU_OPS, Imm, Op, Param, Reg, Special, SReg
@@ -75,23 +127,43 @@ from .kernel_cache import KernelCache, default_cache
 from .lower import LoweredKernel
 from .memory import SharedMemory
 
+#: Sort key for segment folding: the event's pc.
+_EV_PC = itemgetter(2)
+
 __all__ = [
     "FASTPATH_ENV",
     "FASTPATH_GENERATION",
+    "FASTPATH_MODES",
     "FastProgram",
     "fastpath_enabled",
+    "fastpath_mode",
     "program_key",
     "compile_fastpath",
+    "vec_counters",
+    "reset_vec_counters",
     "FastSMExecutor",
 ]
 
-#: Environment switch: set to ``0``/``false``/``no``/``off`` to force the
-#: reference interpreter (parsed strictly by :func:`env_bool`).
+#: Environment switch: ``0``/``false``/``no``/``off`` forces the
+#: reference interpreter, ``1`` the per-warp v1 fast path, ``2`` (also
+#: ``true``/``yes``/``on``, and the default when unset) the cross-warp
+#: vectorized v2 path (parsed strictly by :func:`env_mapped`).
 FASTPATH_ENV = "REPRO_EXEC_FASTPATH"
 
 #: Bump when generated code changes observable behavior, so cached
-#: programs from an older codegen can never be returned.
-FASTPATH_GENERATION = 1
+#: programs from an older codegen can never be returned.  Generation 2:
+#: cross-warp vectorized templates (``make_vsteps``) and the per-pc
+#: cost/latency/write metadata the warp-group scheduler consumes.
+FASTPATH_GENERATION = 2
+
+#: Spelling → mode for :data:`FASTPATH_ENV`.  The boolean aliases keep
+#: their historical meaning: any "true" spelling selects the best
+#: available engine (now v2), any "false" spelling the interpreter.
+FASTPATH_MODES = {
+    "0": 0, "false": 0, "no": 0, "off": 0,
+    "1": 1,
+    "2": 2, "true": 2, "yes": 2, "on": 2,
+}
 
 _F64 = np.float64
 _INF = float("inf")
@@ -118,16 +190,33 @@ _INT_BINOP_SYMS = {
 }
 
 
-def fastpath_enabled(override: bool | None = None) -> bool:
-    """Resolve the fastpath switch: explicit override, else environment.
+def fastpath_mode(override: bool | int | None = None) -> int:
+    """Resolve the three-state fastpath switch: ``0`` interpreter,
+    ``1`` per-warp v1, ``2`` cross-warp vectorized v2.
 
-    The environment value is parsed strictly (``0/false/no/off`` disable,
-    ``1/true/yes/on`` enable, anything else raises) so ``=off`` can never
-    silently *enable* the fast path.
+    ``override`` takes an explicit mode (``0``/``1``/``2``) or a boolean
+    (``True`` → the best engine, mode 2; ``False`` → interpreter) and
+    wins over the environment.  The environment value is parsed strictly
+    through :data:`FASTPATH_MODES` so ``=off`` can never silently
+    *enable* the fast path and a typo fails loudly; unset defaults to
+    mode 2.
     """
     if override is not None:
-        return bool(override)
-    return env_bool(FASTPATH_ENV, default=True)
+        if isinstance(override, bool):
+            return 2 if override else 0
+        mode = int(override)
+        if mode not in (0, 1, 2):
+            raise ValueError(
+                f"fastpath mode must be 0 (interpreter), 1 (per-warp) "
+                f"or 2 (vectorized); got {override!r}"
+            )
+        return mode
+    return env_mapped(FASTPATH_ENV, FASTPATH_MODES, default=2)
+
+
+def fastpath_enabled(override: bool | int | None = None) -> bool:
+    """Boolean view of :func:`fastpath_mode`: is any compiled path on?"""
+    return fastpath_mode(override) > 0
 
 
 @dataclass
@@ -138,6 +227,13 @@ class FastProgram:
     context and returns one step function per fusible pc (``None``
     elsewhere).  ``deps``/``ends``/``ops``/``classes`` are shared,
     read-only metadata used by the fused driver and the stat flush.
+
+    Vectorized (v2) programs additionally carry ``make_vsteps`` — the
+    cross-warp template factory operating on ``(warps, lanes)`` stacks —
+    plus the static per-pc timing metadata the warp-group scheduler's
+    window analysis needs: ``costs`` (issue cycles), ``lats`` (result
+    latency, ``None`` when the op writes no scoreboard entry) and
+    ``writes`` (destination register slot, ``-1`` when none).
     """
 
     n: int
@@ -149,6 +245,28 @@ class FastProgram:
     classes: list  # per-pc IssueClass (stat flush)
     param_names: tuple[str, ...] = ()
     fused_pcs: int = field(default=0)
+    make_vsteps: Callable | None = None
+    costs: list | None = None  # per-pc issue cycles (None: not fusible)
+    lats: list | None = None  # per-pc result latency (None: no mark)
+    writes: list | None = None  # per-pc scoreboarded dst slot (-1: none)
+    #: Per-pc ``(issue cycles, result latency, dst slots, address reg
+    #: slot, byte offset)`` for the memory ops the replay scheduler can
+    #: place inside a window — unpredicated shared loads, whose result
+    #: latency is constant and whose conflict-free issue cost the
+    #: dispatcher validates at execution time.  ``None`` for every
+    #: other pc.
+    mem: list | None = None
+    #: Per-pc ``(target, pred slot, pred negated, assumed taken, issue
+    #: cycles)`` for branches the replay schedules under a direction
+    #: assumption — backward and unconditional branches assumed taken,
+    #: forward predicated branches assumed fall-through — validated at
+    #: execution time (wrong direction or divergence aborts the window
+    #: exactly).  ``None`` for every other pc.
+    bra: list | None = None
+    #: Scheduler-replay cache keyed by ``(pcs, k0, dkey)`` — schedules
+    #: are pure functions of the program, so the cache lives here and
+    #: is shared by every SM executor and launch of this program.
+    vmeta: dict = field(default_factory=dict)
 
 
 # --------------------------------------------------------------- codegen
@@ -365,32 +483,144 @@ def _emit_step(
     return "\n".join(body), args
 
 
-def generate_source(lk: LoweredKernel, dev: DeviceProperties) -> str:
-    """Python source of the program module for ``lk`` on ``dev``."""
+def _voperand_expr(
+    s, params_bound: dict, lk: LoweredKernel, args: _Args
+) -> _OperandExpr:
+    """Cross-warp twin of :func:`_operand_expr`: register and predicate
+    slots resolve to ``(warps, lanes)`` stacks, ``ctaid`` to the per-row
+    ``(warps, 1)`` block-id column (it varies across a cross-block
+    bucket).  Value identity with the per-warp expressions is preserved
+    row for row — every op below them is elementwise."""
+    if isinstance(s, Reg):
+        if s.is_predicate:
+            return _OperandExpr(
+                f"P[{args.add(lk.pred_map[s.name])}]", True, "bool"
+            )
+        return _OperandExpr(
+            f"R[{args.add(lk.reg_map[s.name])}]", True, "f64"
+        )
+    if isinstance(s, Imm):
+        return _OperandExpr(args.add(s.value), False)
+    if isinstance(s, Param):
+        local = params_bound.setdefault(s.name, f"_p{len(params_bound)}")
+        return _OperandExpr(local, False)
+    if isinstance(s, SReg):
+        sp = s.special
+        if sp is Special.TID:
+            return _OperandExpr("tid", True, "i64")
+        if sp is Special.CTAID:
+            return _OperandExpr("cta", True, "i64")
+        if sp is Special.NTID:
+            return _OperandExpr("_ntid", False)
+        if sp is Special.NCTAID:
+            return _OperandExpr("_nctaid", False)
+        if sp is Special.LANEID:
+            return _OperandExpr("_lane", True, "i64")
+    raise ExecutionError(f"cannot codegen operand {s!r}")
+
+
+def _emit_vstep(
+    ins,
+    lk: LoweredKernel,
+    dev: DeviceProperties,
+    params_bound: dict,
+) -> tuple[str, _Args]:
+    """Template body for one instruction over a ``(warps, lanes)`` stack.
+
+    The step issues the instruction for ``nw`` warps in the
+    interpreter's warp-major lockstep order: warp at cyclic position
+    ``mv[k]`` issues at ``now + mv[k]*c``, so scoreboard marks land at
+    ``now + L + mv*c`` and the clock returns advanced by ``c*nw``.  All
+    value computation is elementwise over the stack, so each row equals
+    the per-warp step bit for bit.
+    """
+    args = _Args()
+    srcs = [_voperand_expr(s, params_bound, lk, args) for s in ins.srcs]
+    expr, latency, issue = _value_expr(ins, srcs, dev)
+    if ins.op is Op.CLOCK:
+        # Per-warp issue moments, broadcast over lanes.
+        expr = f"(now + mv * {issue!r})[:, None]"
+    body: list[str] = []
+
+    predicated = ins.pred is not None
+    if predicated:
+        pi = args.add(lk.pred_map[ins.pred.name])
+        inv = "~" if ins.pred_neg else ""
+        body.append(f"m = act & {inv}P[{pi}]")
+        body.append("cnt[pc] += nw")
+        body.append("lanes[pc] += int(m.sum())")
+        mask, full_var = "m", None
+    else:
+        body.append("cnt[pc] += nw")
+        body.append("lanes[pc] += nl")
+        mask, full_var = "act", "full"
+
+    if expr is not None and ins.dsts:
+        body.append(f"v = {expr}")
+        d = ins.dsts[0]
+        if d.is_predicate:
+            tgt = f"P[{args.add(lk.pred_map[d.name])}]"
+            bcast = f"np.broadcast_to(v, {mask}.shape)"
+            if full_var:
+                body.append(f"if {full_var}:")
+                body.append(f"    {tgt}[:] = v")
+                body.append("else:")
+                body.append(f"    {tgt}[{mask}] = {bcast}[{mask}]")
+            else:
+                body.append(f"{tgt}[{mask}] = {bcast}[{mask}]")
+        else:
+            di = args.add(lk.reg_map[d.name])
+            bcast = f"np.broadcast_to(A(v, _F64), {mask}.shape)"
+            if full_var:
+                body.append(f"if {full_var}:")
+                body.append(f"    R[{di}][:] = v")
+                body.append("else:")
+                body.append(f"    R[{di}][{mask}] = {bcast}[{mask}]")
+            else:
+                body.append(f"R[{di}][{mask}] = {bcast}[{mask}]")
+            if latency is not None:
+                # One mark per warp, staggered by the issue order.
+                body.append(
+                    f"pend[:, {di}] = now + {latency!r} + mv * {issue!r}"
+                )
+    body.append(f"return now + {issue!r} * nw")
+    return "\n".join(body), args
+
+
+def _emit_factory(
+    lk: LoweredKernel,
+    dev: DeviceProperties,
+    factory: str,
+    steps_name: str,
+    prefix: str,
+    sig: str,
+    emit,
+) -> tuple[list[str], int, int]:
+    """Emit one template-family factory (``make_steps``/``make_vsteps``).
+
+    Returns the source lines plus (fused pc count, template count) for
+    the header comment.
+    """
     params_bound: dict[str, str] = {}
     templates: dict[str, tuple[str, list[str]]] = {}
     binds: list[str] = []
-    fused = []
+    fused = 0
     for pc, ins in enumerate(lk.instructions):
         if ins.op not in FUSIBLE_OPS:
             continue
-        body, args = _emit_step(ins, lk, dev, params_bound)
+        body, args = emit(ins, lk, dev, params_bound)
         entry = templates.get(body)
         if entry is None:
-            entry = (f"_T{len(templates)}", list(args.names))
+            entry = (f"{prefix}{len(templates)}", list(args.names))
             templates[body] = entry
         call = ", ".join([str(pc)] + [repr(v) for v in args.values])
-        binds.append(f"    steps[{pc}] = {entry[0]}({call})")
-        fused.append(pc)
+        binds.append(f"    {steps_name}[{pc}] = {entry[0]}({call})")
+        fused += 1
     n = len(lk.instructions)
-    head = [
-        f"# codegen: fastpath for kernel {lk.name!r} "
-        f"({len(fused)}/{n} pcs fused, {len(templates)} step shapes)"
-        " -- generated, do not edit",
-        "import numpy as np",
+    lines = [
         "",
         "",
-        "def make_steps(ctx):",
+        f"def {factory}(ctx):",
         "    A = np.asarray",
         "    _F32 = np.float32",
         "    _F64 = np.float64",
@@ -404,21 +634,52 @@ def generate_source(lk: LoweredKernel, dev: DeviceProperties) -> str:
         "    params = ctx['params']",
     ]
     for name, local in params_bound.items():
-        head.append(f"    {local} = params[{name!r}]")
-    tmpl_lines: list[str] = []
+        lines.append(f"    {local} = params[{name!r}]")
     for tmpl_body, (name, argnames) in templates.items():
-        sig = ", ".join(["pc", *argnames])
-        tmpl_lines.append("")
-        tmpl_lines.append(f"    def {name}({sig}):")
-        tmpl_lines.append("        def s(w, now, act, full, na):")
-        tmpl_lines.extend(
-            f"            {ln}" for ln in tmpl_body.splitlines()
+        tmpl_sig = ", ".join(["pc", *argnames])
+        lines.append("")
+        lines.append(f"    def {name}({tmpl_sig}):")
+        lines.append(f"        def s({sig}):")
+        lines.extend(f"            {ln}" for ln in tmpl_body.splitlines())
+        lines.append("        return s")
+    lines.append("")
+    lines.append(f"    {steps_name} = [None] * {n}")
+    lines.extend(binds)
+    lines.append(f"    return {steps_name}")
+    return lines, fused, len(templates)
+
+
+def generate_source(
+    lk: LoweredKernel, dev: DeviceProperties, vectorize: bool = False
+) -> str:
+    """Python source of the program module for ``lk`` on ``dev``.
+
+    With ``vectorize`` the module carries *both* factories: the v2
+    executor dispatches cross-warp buckets through ``make_vsteps`` and
+    falls back to the per-warp ``make_steps`` family everywhere the
+    lockstep window does not apply.
+    """
+    warp_lines, fused, n_tmpl = _emit_factory(
+        lk, dev, "make_steps", "steps", "_T", "w, now, act, full, na",
+        _emit_step,
+    )
+    n = len(lk.instructions)
+    head = [
+        f"# codegen: fastpath for kernel {lk.name!r} "
+        f"({fused}/{n} pcs fused, {n_tmpl} step shapes"
+        f"{', cross-warp' if vectorize else ''})"
+        " -- generated, do not edit",
+        "import numpy as np",
+    ]
+    lines = head + warp_lines
+    if vectorize:
+        vec_lines, _, _ = _emit_factory(
+            lk, dev, "make_vsteps", "vsteps", "_V",
+            "R, P, pend, tid, cta, act, full, nl, nw, now, mv",
+            _emit_vstep,
         )
-        tmpl_lines.append("        return s")
-    tail = ["", f"    steps = [None] * {n}"]
-    tail.extend(binds)
-    tail.append("    return steps")
-    return "\n".join(head + tmpl_lines + tail) + "\n"
+        lines += vec_lines
+    return "\n".join(lines) + "\n"
 
 
 def _need_tuples(lk: LoweredKernel) -> list[tuple[int, ...]]:
@@ -440,13 +701,133 @@ def _need_tuples(lk: LoweredKernel) -> list[tuple[int, ...]]:
     return out
 
 
+def _step_costs(
+    lk: LoweredKernel, dev: DeviceProperties
+) -> tuple[list, list, list]:
+    """Per-pc (issue cycles, result latency, scoreboarded dst slot).
+
+    Mirrors exactly what :func:`_value_expr` bakes into the step
+    templates: SFU ops (``SFU_OPS``) issue/complete on SFU timing,
+    everything else on ALU timing; ``SETP``/``CLOCK``/``NOP`` and
+    predicate destinations write no scoreboard mark (latency ``None``,
+    slot ``-1``).  Non-fusible pcs carry ``None`` costs.
+    """
+    costs: list = []
+    lats: list = []
+    writes: list = []
+    alu_i, sfu_i = float(dev.alu_issue_cycles), float(dev.sfu_issue_cycles)
+    alu_l, sfu_l = float(dev.alu_result_latency), float(dev.sfu_result_latency)
+    for ins in lk.instructions:
+        if ins.op not in FUSIBLE_OPS:
+            costs.append(None)
+            lats.append(None)
+            writes.append(-1)
+            continue
+        sfu = ins.op in SFU_OPS
+        costs.append(sfu_i if sfu else alu_i)
+        lat = None
+        if (
+            ins.op not in (Op.SETP, Op.CLOCK, Op.NOP)
+            and ins.dsts
+            and not ins.dsts[0].is_predicate
+        ):
+            lat = sfu_l if sfu else alu_l
+        lats.append(lat)
+        writes.append(
+            lk.reg_map[ins.dsts[0].name] if lat is not None else -1
+        )
+    return costs, lats, writes
+
+
+def _mem_costs(lk: LoweredKernel, dev: DeviceProperties) -> list:
+    """Per-pc replay metadata for schedulable memory ops.
+
+    Only unpredicated ``LD_SHARED`` qualifies: its result latency is the
+    constant ALU latency and its destination marks are unconditional, so
+    dependent wakes stay static.  The issue cost assumes a conflict-free
+    access — degree ``lanes`` for an L-word vector load (a float4 read
+    is 4 shared accesses even without conflicts); the dispatcher
+    compares the real cost returned by ``_issue`` against it and aborts
+    the window on the first mismatch.  A predicated load can skip its
+    destination marks entirely when the mask comes up empty, so it
+    parks the row instead.
+    """
+    alu_i = float(dev.alu_issue_cycles)
+    alu_l = float(dev.alu_result_latency)
+    out: list = []
+    for ins in lk.instructions:
+        if ins.op is Op.LD_SHARED and ins.pred is None:
+            dsts = tuple(
+                lk.reg_map[d.name] for d in ins.dsts if not d.is_predicate
+            )
+            # Address metadata for the dispatcher's inlined execution of
+            # the dominant access shape (register base, fully active,
+            # whole-warp broadcast): the base register slot (or -1 when
+            # the address is not a plain register) and the byte offset.
+            src0 = ins.srcs[0] if ins.srcs else None
+            aslot = (
+                lk.reg_map[src0.name]
+                if isinstance(src0, Reg) and not src0.is_predicate
+                else -1
+            )
+            out.append((alu_i * len(dsts), alu_l, dsts, aslot, ins.offset))
+        else:
+            out.append(None)
+    return out
+
+
+def _bra_costs(lk: LoweredKernel, dev: DeviceProperties) -> list:
+    """Per-pc replay metadata for branches.
+
+    A branch's issue cost is the constant ALU cost and it writes no
+    scoreboard entry, so the only unknown is its direction.  The replay
+    assumes backward and unconditional branches taken (loop back-edges
+    are taken on every iteration but the last) and forward predicated
+    branches fall through (guards are rarely taken on the hot path),
+    then keeps scheduling down the assumed trajectory.  The dispatcher
+    validates each branch as it executes — a uniform predicate matching
+    the assumption is free; anything else runs through ``_issue`` and
+    aborts the window exactly on a direction mismatch or divergence.
+    """
+    alu_i = float(dev.alu_issue_cycles)
+    out: list = []
+    for pc, ins in enumerate(lk.instructions):
+        if ins.op is Op.BRA:
+            tgt = lk.targets[ins.target]
+            if ins.pred is None:
+                # Unconditional: taken lanes equal the active mask, so
+                # the interpreter always jumps — nothing to validate.
+                out.append((tgt, -1, False, True, alu_i))
+            else:
+                out.append(
+                    (
+                        tgt,
+                        lk.pred_map[ins.pred.name],
+                        ins.pred_neg,
+                        tgt <= pc,
+                        alu_i,
+                    )
+                )
+        else:
+            out.append(None)
+    return out
+
+
 def program_key(
-    lk: LoweredKernel, dev: DeviceProperties, toolchain=None
+    lk: LoweredKernel,
+    dev: DeviceProperties,
+    toolchain=None,
+    vectorize: bool = False,
 ) -> str:
-    """Cache key: lowered-IR hash × device timing × toolchain × generation."""
+    """Cache key: lowered-IR hash × device timing × toolchain ×
+    generation × vectorization mode.  The mode token guarantees a
+    per-warp (v1) program — in memory or in a ``REPRO_KERNEL_CACHE_DIR``
+    disk cache — can never be returned to the vectorized executor, and
+    vice versa."""
     h = hashlib.sha256()
     h.update(b"fastpath:")
     h.update(str(FASTPATH_GENERATION).encode())
+    h.update(b"|vec" if vectorize else b"|warp")
     h.update(str(getattr(toolchain, "value", toolchain)).encode())
     h.update(
         f"|{dev.alu_issue_cycles}|{dev.sfu_issue_cycles}"
@@ -486,12 +867,15 @@ def program_key(
     return h.hexdigest()
 
 
-def _build_program(lk: LoweredKernel, dev: DeviceProperties) -> FastProgram:
-    source = generate_source(lk, dev)
+def _build_program(
+    lk: LoweredKernel, dev: DeviceProperties, vectorize: bool = False
+) -> FastProgram:
+    source = generate_source(lk, dev, vectorize=vectorize)
     namespace: dict = {}
     exec(compile(source, f"<fastpath:{lk.name}>", "exec"), namespace)
     ends = fusible_run_ends(lk)
     fused_pcs = sum(1 for i in lk.instructions if i.op in FUSIBLE_OPS)
+    costs, lats, writes = _step_costs(lk, dev)
     return FastProgram(
         n=len(lk.instructions),
         source=source,
@@ -502,6 +886,12 @@ def _build_program(lk: LoweredKernel, dev: DeviceProperties) -> FastProgram:
         classes=[i.issue_class for i in lk.instructions],
         param_names=tuple(lk.kernel.params),
         fused_pcs=fused_pcs,
+        make_vsteps=namespace.get("make_vsteps"),
+        costs=costs,
+        lats=lats,
+        writes=writes,
+        mem=_mem_costs(lk, dev),
+        bra=_bra_costs(lk, dev),
     )
 
 
@@ -510,23 +900,25 @@ def compile_fastpath(
     dev: DeviceProperties,
     toolchain=None,
     cache: KernelCache | None = None,
+    vectorize: bool = False,
 ) -> FastProgram:
     """Compile (or fetch) the fastpath program for one lowered kernel.
 
     Programs are memoized in ``cache`` (default: the process-wide kernel
     cache) and counted on the telemetry registry as
     ``cudasim.fastpath.hits`` / ``.misses``; a miss is wrapped in a
-    ``cudasim.fastpath.compile`` span.
+    ``cudasim.fastpath.compile`` span.  ``vectorize`` requests the
+    cross-warp (v2) program — keyed separately, see :func:`program_key`.
     """
     cache = cache if cache is not None else default_cache()
-    key = program_key(lk, dev, toolchain)
+    key = program_key(lk, dev, toolchain, vectorize=vectorize)
     missed = False
 
     def build() -> FastProgram:
         nonlocal missed
         missed = True
         with _telemetry.span("cudasim.fastpath.compile", kernel=lk.name):
-            return _build_program(lk, dev)
+            return _build_program(lk, dev, vectorize=vectorize)
 
     program = cache.get_or_build(key, build)
     if missed:
@@ -539,33 +931,136 @@ def compile_fastpath(
 # ------------------------------------------------------------- executor
 
 
+#: Process-local dispatch telemetry for the cross-warp scheduler.  The
+#: executor benchmark reads these directly (serial engine, in-process);
+#: when the telemetry layer is enabled each SM run also flushes its
+#: deltas to the registry as ``cudasim.fastpath.vec.*`` counters.
+_VEC_COUNTERS = {
+    "dispatches": 0,  # successful cross-warp dispatches
+    "warps": 0,  # warps issued through those dispatches
+    "instructions": 0,  # warp-instructions issued vectorized
+    "fallbacks": 0,  # bucket attempts that fell back to the v1 path
+}
+
+
+def vec_counters() -> dict:
+    """Snapshot of the cross-warp dispatch counters (process-local)."""
+    return dict(_VEC_COUNTERS)
+
+
+def reset_vec_counters() -> None:
+    """Zero the cross-warp dispatch counters (benchmark bookkeeping)."""
+    for k in _VEC_COUNTERS:
+        _VEC_COUNTERS[k] = 0
+
+
 class FastSMExecutor(SMExecutor):
     """SM executor running straight-line stretches through codegen.
 
     Drop-in replacement for :class:`SMExecutor` selected by
-    ``run_sms(..., fastpath=True)``; produces bit-identical memory,
+    ``run_sms(..., fastpath=1)``; produces bit-identical memory,
     stats and cycle counts (pinned by ``tests/test_fastpath.py``).
+
+    With ``vectorize=True`` (``fastpath=2``, the default mode) the
+    executor additionally keeps every resident warp's register file,
+    predicate file and scoreboard stacked in one per-SM arena and
+    dispatches same-pc warp groups through the cross-warp templates —
+    see :meth:`_vdispatch`.  The per-warp machinery stays fully
+    functional underneath as the fallback engine.
     """
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args, vectorize: bool = False, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        self._vec = bool(vectorize)
         self._program = compile_fastpath(
-            self.lk, self.device, toolchain=type(self.policy).__name__
+            self.lk,
+            self.device,
+            toolchain=type(self.policy).__name__,
+            vectorize=self._vec,
         )
         n = self._program.n
         self._cnt = [0] * n
         self._lanes_acc = [0] * n
-        self._steps = self._program.make_steps(
-            {
-                "cnt": self._cnt,
-                "lanes": self._lanes_acc,
-                "lane": self._lane,
-                "block_dim": self.block_dim,
-                "grid_dim": self.grid_dim,
-                "params": self.params,
-            }
-        )
+        ctx = {
+            "cnt": self._cnt,
+            "lanes": self._lanes_acc,
+            "lane": self._lane,
+            "block_dim": self.block_dim,
+            "grid_dim": self.grid_dim,
+            "params": self.params,
+        }
+        self._steps = self._program.make_steps(ctx)
         self._ends = self._program.ends
+        if self._vec:
+            # Both template families share the cnt/lanes accumulators,
+            # so the stat flush is engine-agnostic.
+            self._vsteps = self._program.make_vsteps(ctx)
+            # Static schedule caches: lockstep windows stay local (the
+            # key space is tiny), replays live on the shared program so
+            # every SM and every launch reuses them.
+            self._vmeta: dict = {}  # (pc0, W) -> lockstep window
+            self._vrmeta = self._program.vmeta  # (pcs, k0, dkey) -> replay
+            self._mv_cache: dict = {}  # (W, i - lo) -> cyclic positions
+            # Pcs the replay scheduler can issue from (the window rule
+            # of :func:`repro.cudasim.cfg.replay_schedulable`): fusible
+            # ALU work plus the validated shared loads and branches.
+            self._vok = [
+                replay_schedulable(ins) for ins in self.lk.instructions
+            ]
+        # Dispatch counters (merged into _VEC_COUNTERS per run).
+        self._vd = self._vw = self._vi = self._vf = 0
+
+    # -- arena ------------------------------------------------------------
+
+    def _arena_alloc(self, max_resident: int) -> None:
+        """Allocate the stacked per-SM state: one row per resident warp.
+
+        :class:`WarpState` instances are bound to row *views*, so the
+        per-warp interpreter/v1 paths and the cross-warp steps read and
+        write the same storage — there is no copy on either side of a
+        fallback boundary.
+        """
+        rows = max(1, max_resident) * max(1, self.block_dim // WARP)
+        regs = max(self.lk.reg_count, 1)
+        preds = max(self.lk.pred_count, 1)
+        self._a_regs = np.zeros((regs, rows, WARP), dtype=_F64)
+        self._a_preds = np.zeros((preds, rows, WARP), dtype=bool)
+        self._a_pend = np.zeros((rows, regs), dtype=_F64)
+        self._a_tid = np.zeros((rows, WARP), dtype=np.int64)
+        self._a_cta = np.zeros((rows, 1), dtype=np.int64)
+        self._a_ones = np.ones((rows, WARP), dtype=bool)
+
+    def _assign_rows(self, warps: list[WarpState]) -> None:
+        """Bind every warp to the arena row matching its list index.
+
+        Blocks are only ever removed from or appended to the resident
+        list, so surviving warps move monotonically *down* (``old >
+        idx``) and precede all fresh warps — copying in ascending index
+        order never overwrites a row that is still to be read.
+        """
+        regs3, preds3 = self._a_regs, self._a_preds
+        pend2, tid2, cta2 = self._a_pend, self._a_tid, self._a_cta
+        for idx, w in enumerate(warps):
+            old = w._row
+            if old == idx:
+                continue
+            if old < 0:
+                # Fresh warp: all state is zero except the thread ids.
+                regs3[:, idx, :] = 0.0
+                preds3[:, idx, :] = False
+                pend2[idx] = 0.0
+                tid2[idx] = w.tid
+            else:
+                regs3[:, idx, :] = regs3[:, old, :]
+                preds3[:, idx, :] = preds3[:, old, :]
+                pend2[idx] = pend2[old]
+                tid2[idx] = tid2[old]
+            cta2[idx, 0] = w.block.block_id
+            w._row = idx
+            w.regs = regs3[:, idx, :]
+            w.preds = preds3[:, idx, :]
+            w.pending = pend2[idx]
+            w.tid = tid2[idx]
 
     # -- scheduler --------------------------------------------------------
 
@@ -582,6 +1077,895 @@ class FastSMExecutor(SMExecutor):
                 t = v
         return t
 
+    def _vwindow(self, pc0: int, W: int) -> tuple:
+        """Static lockstep window for a ``(pc0, W)`` bucket.
+
+        Walks the fusible run from ``pc0`` accumulating each
+        instruction's position-0 issue offset
+
+            ``O_q = max(O_{q-1} + W*c_{q-1}, max_a(O_a + L_a))``
+
+        where ``a`` ranges over in-run writers of ``q``'s dependencies.
+        When the dependency bound wins, the interpreter idles uniformly
+        (every warp's wake is staggered by its position, so the group
+        sleeps and wakes together); the gap is recorded for exact
+        stall/idle/profile replay at dispatch time.  The window stops at
+        the first instruction whose dependency cannot be ready by the
+        *last* position's slot — possible only for a producer with a
+        larger issue cost (SFU feeding ALU)::
+
+            O_a + L_a + (c_a - c_q) * (W - 1) <= O_q
+
+        Registers whose pending value predates the run collect the
+        offset of their first appearance past ``pc0`` into the
+        ``(cols, thr)`` arrays — the dispatcher's vectorized pre-run
+        scoreboard check.  ``pc0``'s own dependencies are excluded
+        because the bucket wake test already bounds them exactly (this
+        is what lets a run resume vectorized right after a dependency
+        stall truncated it).
+
+        Returns ``(stop, offsets, tots, gaps, cols, thr)``: per window
+        instruction ``k = q - pc0``, ``offsets[k]`` is ``O_q``,
+        ``tots[k]`` the clock once every position finished ``q``, and
+        ``gaps[k]`` the idle the issue port sees before ``q``.  All
+        offsets are exact dyadic rationals, so the float arithmetic is
+        association-free.
+        """
+        prog = self._program
+        end = prog.ends[pc0]
+        deps = prog.deps
+        costs = prog.costs
+        lats = prog.lats
+        dst = prog.writes
+        offsets: list[float] = []
+        tots: list[float] = []
+        gaps: list[float] = []
+        written: dict[int, tuple[float, float, float]] = {}
+        pre: dict[int, float] = {}
+        stop = pc0
+        prev_end = 0.0
+        for q in range(pc0, end):
+            c = costs[q]
+            o_q = prev_end
+            slow = None
+            pre_regs = None
+            for r in deps[q]:
+                hit = written.get(r)
+                if hit is not None:
+                    t = hit[0] + hit[2]
+                    if t > o_q:
+                        o_q = t
+                    if hit[1] > c:
+                        if slow is None:
+                            slow = [hit]
+                        else:
+                            slow.append(hit)
+                elif q > pc0 and r not in pre:
+                    if pre_regs is None:
+                        pre_regs = [r]
+                    else:
+                        pre_regs.append(r)
+            if slow is not None and any(
+                o_a + l_a + (c_a - c) * (W - 1) > o_q
+                for o_a, c_a, l_a in slow
+            ):
+                break
+            if pre_regs is not None:
+                for r in pre_regs:
+                    pre[r] = o_q
+            offsets.append(o_q)
+            gaps.append(o_q - prev_end)
+            prev_end = o_q + c * W
+            tots.append(prev_end)
+            w = dst[q]
+            if w >= 0:
+                written[w] = (o_q, c, lats[q])
+            stop = q + 1
+        cols = np.array(sorted(pre), dtype=np.intp)
+        thr = np.array([pre[r] for r in sorted(pre)], dtype=_F64)
+        return stop, offsets, tots, gaps, cols, thr
+
+    def _vdispatch(
+        self,
+        warps: list[WarpState],
+        wake: list[float],
+        i: int,
+        pc0: int,
+        now: float,
+    ) -> tuple[float, int] | None:
+        """Attempt one cross-warp dispatch for the warp group at ``pc0``.
+
+        Succeeds when every countable warp at ``pc0`` forms one
+        contiguous arena-row range in lockstep (each member issuable at
+        its cyclic round-robin slot) and every countable warp *outside*
+        the group stays asleep past the window — then the interpreter's
+        schedule is provably warp-major round-robin with zero idle, and
+        the whole window executes as ``stop - pc0`` stacked numpy steps.
+        Returns ``(new_now, new_rr)`` or ``None`` to fall back to the
+        per-warp v1 path (divergent pcs, barriers, dependency stalls,
+        non-contiguous groups).
+        """
+        prog = self._program
+        c0 = prog.costs[pc0]
+        n = len(warps)
+        # Bucket discovery: done / at-barrier warps are scanned free by
+        # the interpreter and are ignored here too; countable warps off
+        # ``pc0`` must sleep past the window (their earliest wake is
+        # ``t_out``); countable warps at ``pc0`` must form one
+        # contiguous row range so the arena can be sliced.
+        lo = hi = -1
+        count = 0
+        n_out = 0
+        t_out = _INF
+        for j in range(n):
+            w = warps[j]
+            if w.done or w.at_barrier:
+                continue
+            if w.pc != pc0:
+                n_out += 1
+                t = wake[j]
+                if t < t_out:
+                    t_out = t
+                continue
+            if lo < 0:
+                lo = j
+            hi = j
+            count += 1
+        W = count
+        if W < 2 or hi - lo + 1 != W or not lo <= i <= hi:
+            self._vf += 1
+            return None
+        # Lockstep wake check: the warp at cyclic position m (scan order
+        # from the chosen warp i) must be issuable at now + m*c0.
+        for j in range(lo, hi + 1):
+            m = j - i
+            if m < 0:
+                m += W
+            if wake[j] > now + m * c0:
+                self._vf += 1
+                return None
+        key = (pc0, W)
+        meta = self._vmeta.get(key)
+        if meta is None:
+            meta = self._vmeta[key] = self._vwindow(pc0, W)
+        stop, offsets, tots, gaps, cols, thr = meta
+        # Outside sleepers bound the window: every wrap and idle scan
+        # happens strictly before the window's end time, so wake >=
+        # T_stop keeps them asleep (and charged one stall per scan,
+        # below).
+        if n_out and t_out != _INF:
+            limit = t_out - now
+            while stop > pc0 and tots[stop - 1 - pc0] > limit:
+                stop -= 1
+        if stop <= pc0:
+            self._vf += 1
+            return None
+        hi2 = hi + 1
+        pend2 = self._a_pend
+        if cols.size and not (pend2[lo:hi2, cols] <= now + thr).all():
+            self._vf += 1
+            return None
+        # Committed.  Reconvergence pops first (mask-only, timing-free).
+        prof = self.profile
+        for j in range(lo, hi2):
+            w = warps[j]
+            while w.div_stack and w.pc == w.div_stack[-1][0]:
+                _, mask = w.div_stack.pop()
+                w.active = (w.active | mask) & w.alive
+                if prof is not None:
+                    prof.reconvergences += 1
+        # Stack the active masks; per-warp masks may differ — writes are
+        # row-masked and the timing model is mask-independent.
+        nl = 0
+        allfull = True
+        for j in range(lo, hi2):
+            w = warps[j]
+            act = w.active
+            if act is w._fp_act:
+                na = w._fp_na
+            else:
+                na = int(np.count_nonzero(act))
+                w._fp_act = act
+                w._fp_na = na
+            nl += na
+            if na != WARP:
+                allfull = False
+        if allfull:
+            act2 = self._a_ones[:W]
+            full = True
+        else:
+            act2 = np.vstack([warps[j].active for j in range(lo, hi2)])
+            full = False
+        k0 = i - lo
+        mv = self._mv_cache.get((W, k0))
+        if mv is None:
+            mv = (np.arange(W, dtype=_F64) - k0) % W
+            self._mv_cache[(W, k0)] = mv
+        vsteps = self._vsteps
+        regs2 = self._a_regs[:, lo:hi2, :]
+        preds2 = self._a_preds[:, lo:hi2, :]
+        pend = pend2[lo:hi2]
+        tid = self._a_tid[lo:hi2]
+        cta = self._a_cta[lo:hi2]
+        stats = self.stats
+        warp_i = warps[i]
+        deps = prog.deps
+        rounds = stop - pc0
+        for k in range(rounds):
+            q = pc0 + k
+            t_q = now + offsets[k]
+            g = gaps[k]
+            if g:
+                # Uniform dependency stall: the whole group sleeps and
+                # wakes staggered — one failed full scan (every
+                # countable warp charged), the idle advance, and the
+                # gap attributed to the earliest waker, warp i at
+                # cyclic position 0 (provably the strict minimum, the
+                # same winner ``_prof_gap`` would pick).
+                stats.scoreboard_stalls += W + n_out
+                stats.idle_cycles += g
+                if prof is not None:
+                    prof.gap(
+                        t_q - g,
+                        g,
+                        self._prof_dep_reason(warp_i, deps[q], t_q),
+                    )
+            vsteps[q](
+                regs2, preds2, pend, tid, cta, act2, full, nl, W, t_q, mv
+            )
+        t = now + tots[rounds - 1]
+        if n_out:
+            # Each wrap scan passes every countable outside warp once,
+            # charging one scoreboard stall per warp — the interpreter's
+            # accounting, in closed form.  A group starting at row lo
+            # wraps between instructions (rounds - 1); one starting
+            # mid-range wraps inside each instruction (rounds).
+            wraps = rounds - 1 if i == lo else rounds
+            if wraps:
+                stats.scoreboard_stalls += n_out * wraps
+        # Per-warp epilogue: pc, next_issue and the cached wake time.
+        deps_stop = prog.deps[stop]
+        c_last = prog.costs[stop - 1]
+        for j in range(lo, hi2):
+            w = warps[j]
+            m = j - i
+            if m < 0:
+                m += W
+            w.pc = stop
+            ni = t - c_last * (W - 1 - m)
+            w.next_issue = ni
+            pending = w.pending
+            wk = ni
+            for r in deps_stop:
+                v = pending[r]
+                if v > wk:
+                    wk = v
+            wake[j] = wk
+        self._vd += 1
+        self._vw += W
+        self._vi += W * rounds
+        rr = i if i > lo else hi2 % n
+        return t, rr
+
+    def _vreplay(self, pcs: tuple, k0: int, dkey: tuple) -> tuple | None:
+        """Symbolic replay of the scheduler for one warp bucket.
+
+        Simulates the interpreter's round-robin scan/issue/idle loop for
+        ``W`` warps whose entry pcs are ``pcs`` and whose entry wake
+        offsets (relative to dispatch time, flat row order) are
+        ``dkey``, with the first pick at row ``k0``.  Every scheduling
+        decision is re-derived from static information only, so the
+        schedule and its stall/idle charges are exact for any entry
+        stagger, any mix of pcs, and any interleaving of ALU work with
+        schedulable shared loads: those have a constant result latency,
+        so dependent wakes stay static, and their conflict-free issue
+        cost is validated by the dispatcher as it executes, aborting the
+        window mid-schedule on the first mismatch (still exact, because
+        events run in schedule order).
+
+        Branches are scheduled under a direction assumption (see
+        :func:`_bra_costs`): the replay follows each row's assumed pc
+        trajectory — through loop back-edges — and the dispatcher
+        validates every branch as it executes, so a window can span
+        whole loop bodies and many iterations.  A wrong assumption
+        aborts the window at that branch with the real outcome applied,
+        which is exactly how the schedule ends on a loop's final
+        iteration.
+
+        A row *parks* when it reaches an instruction the replay cannot
+        schedule — barrier, global/texture access, store,
+        predicated load, ``EXIT`` — from then on only a lower bound on
+        its wake is known (its entry wake when it never issued, else its
+        issue end raised by in-window dependency completions; pre-window
+        pendings can only raise it further).  The replay cuts at the
+        first decision a parked row could influence:
+
+        * a scan reaches a parked row at a time at or past its bound;
+        * an idle advance whose target some parked row's bound reaches.
+
+        Pre-window register pendings are bounded by per-row thresholds:
+        each row's pending for a register first read in-window at issue
+        time ``T`` must satisfy ``pending <= now + T``.  Under that
+        bound every modeled wake the replay *acted on* (picks and idle
+        targets) equals the real wake, so the schedule is exact; the
+        dispatcher checks the bound vectorized and falls back if it
+        fails.
+
+        Returns ``None`` when the window is too small to be worth
+        dispatching, else ``(plan, kvec, pvec, qlo, qhi, cut, rr_pos,
+        stalls, idle, cols, thr2, nivec, total)``: the execution plan
+        (stacked numpy groups, scalar steps, memory issues and branch
+        validations, in schedule order), per-row instruction counts,
+        per-row final pcs, per-row visited pc ranges, the port-free cut
+        offset, the ring cursor at the cut, closed-form stall/idle
+        charges, the pre-window threshold arrays, and per-row
+        next-issue offsets.  All offsets are exact dyadic rationals, so
+        the float arithmetic is association-free.
+        """
+        prog = self._program
+        W = len(dkey)
+        deps = prog.deps
+        costs = prog.costs
+        lats = prog.lats
+        dst = prog.writes
+        mem = prog.mem
+        bra = prog.bra
+        k = [0] * W
+        p = list(pcs)  # per-row current pc along the assumed trajectory
+        qlo = list(pcs)  # per-row visited pc range (issue points)
+        qhi = list(pcs)
+        wake_v = list(dkey)
+        fin = [False] * W
+        b = list(dkey)  # wake lower bound, parked rows only
+        ni = [-1.0] * W  # last issue + cost (next_issue), -1 = never issued
+        wrow: list[dict] = [{} for _ in range(W)]  # in-window completions
+        threc: list[dict] = [{} for _ in range(W)]  # pre-window first reads
+        ev: list[tuple] = []  # events in schedule order
+        stalls = 0
+        idle = 0.0
+        total = 0
+        for m in range(W):
+            q = pcs[m]
+            if costs[q] is None and mem[q] is None and bra[q] is None:
+                # Parked at entry: its bound is the (clamped) entry
+                # wake, which every scan time strictly exceeds when the
+                # row was already ready, so the first reach cuts.
+                fin[m] = True
+
+        def issue(pos: int, t: float) -> float:
+            """Issue row ``pos``'s next instruction at ``t``; return cost."""
+            nonlocal total
+            q = p[pos]
+            c = costs[q]
+            wr = wrow[pos]
+            if k[pos]:
+                # Record pre-window read thresholds (the entry pc's own
+                # deps are bounded exactly by the entry wake).
+                th = threc[pos]
+                for r in deps[q]:
+                    if r not in wr and r not in th:
+                        th[r] = t
+            if c is not None:
+                ev.append((0, pos, q, t, c))
+                w = dst[q]
+                if w >= 0:
+                    wr[w] = t + lats[q]
+                nxt = q + 1
+            else:
+                mq = mem[q]
+                if mq is not None:
+                    c, lat, dsts = mq[:3]
+                    # Shared load: constant latency, conflict-free cost
+                    # assumed; the prefix of committed charges rides
+                    # along for the dispatcher's mid-window abort.
+                    ev.append((1, pos, q, t, c, stalls, idle))
+                    done = t + lat
+                    for w in dsts:
+                        wr[w] = done
+                    nxt = q + 1
+                else:
+                    # Branch under a direction assumption; validated by
+                    # the dispatcher, so it carries the charge prefix
+                    # for an exact abort on mismatch.
+                    tgt, _pi, _ng, taken, c = bra[q]
+                    ev.append((3, pos, q, t, c, stalls, idle))
+                    nxt = tgt if taken else q + 1
+            k[pos] += 1
+            total += 1
+            if q < qlo[pos]:
+                qlo[pos] = q
+            elif q > qhi[pos]:
+                qhi[pos] = q
+            p[pos] = nxt
+            end = t + c
+            ni[pos] = end
+            if (
+                costs[nxt] is not None
+                or mem[nxt] is not None
+                or bra[nxt] is not None
+            ):
+                wk = end
+                for r in deps[nxt]:
+                    v = wr.get(r)
+                    if v is not None and v > wk:
+                        wk = v
+                wake_v[pos] = wk
+            else:
+                fin[pos] = True
+                bb = end
+                for r in deps[nxt]:
+                    v = wr.get(r)
+                    if v is not None and v > bb:
+                        bb = v
+                b[pos] = bb
+            return c
+
+        # The main loop already scanned up to and picked row k0 (its
+        # stalls are charged there), so the first issue is uncharged.
+        # The event cap bounds the schedule when assumed-taken
+        # back-edges never park (the plan past the real trip count is
+        # simply never executed — the final iteration's branch aborts).
+        t = issue(k0, 0.0)
+        cur = k0 + 1  # ring position of the next scan start
+        while total < 24576:
+            # One interpreter scan from ``cur`` at port-free time ``t``.
+            # Positions outside the bucket are done or at a barrier
+            # (wake inf, uncounted), so the ring covers members only.
+            pick = -1
+            charges = 0
+            reach = False
+            for s in range(W):
+                pos = cur + s
+                if pos >= W:
+                    pos -= W
+                if fin[pos]:
+                    if t >= b[pos]:
+                        reach = True  # might be ready — undecidable
+                        break
+                    charges += 1
+                    continue
+                if wake_v[pos] <= t:
+                    pick = pos
+                    break
+                charges += 1
+            if reach:
+                break  # cut before this scan; its charges are dropped
+            if pick < 0:
+                # Failed full scan.  Find the idle target among the
+                # running rows; every parked row must provably sleep
+                # past it, else the advance is undecidable.
+                tgt = _INF
+                for pos in range(W):
+                    if not fin[pos] and wake_v[pos] < tgt:
+                        tgt = wake_v[pos]
+                if tgt == _INF:
+                    break  # every row parked — natural window end
+                if any(fin[pos] and b[pos] <= tgt for pos in range(W)):
+                    break  # cut before this scan
+                stalls += W
+                idle += tgt - t
+                t = tgt
+                continue  # post-idle scan, same cursor
+            stalls += charges
+            t += issue(pick, t)
+            cur = pick + 1
+        cut = t
+        rr_pos = cur
+        if total < 2:
+            return None  # nothing beyond the forced first issue
+        # Fold the schedule into an execution plan.  Within a *segment*
+        # — a maximal run of fusible ALU events between validated
+        # events (loads, branches) — execution order across rows is
+        # state-invisible: registers are warp-private, the window has
+        # no stores so shared memory is frozen, and each event keeps
+        # its own scheduled time.  Per-row order is preserved because a
+        # segment contains no back-edge, so each row's pcs strictly
+        # increase and sorting by pc keeps them in program order.  So
+        # sort each segment by pc and fold every complete group (all W
+        # rows at one pc) into one stacked numpy step; leftovers stay
+        # scalar.  Folds never cross a validated event: everything
+        # before it in the plan is also before it in schedule time,
+        # which is what makes a mid-window abort exact.
+        plan: list[tuple] = []
+        all_rows = (1 << W) - 1
+        seg: list[tuple] = []
+
+        def flush_seg() -> None:
+            seg.sort(key=_EV_PC)
+            ns = len(seg)
+            j = 0
+            while j < ns:
+                q = seg[j][2]
+                jj = j
+                rows_seen = 0
+                while jj < ns and seg[jj][2] == q:
+                    rows_seen |= 1 << seg[jj][1]
+                    jj += 1
+                if jj - j == W and rows_seen == all_rows:
+                    tvec = np.empty(W, dtype=_F64)
+                    for e2 in seg[j:jj]:
+                        tvec[e2[1]] = e2[3]
+                    plan.append((2, 0, q, tvec))
+                else:
+                    plan.extend(seg[j:jj])
+                j = jj
+            seg.clear()
+
+        # Per-row abort snapshots: every validated event carries the
+        # per-row (issue count, next-issue offset, next pc) state as of
+        # its own completion, so an abort rebuilds rows in O(W) instead
+        # of replaying the plan prefix.
+        kr = [0] * W
+        lr = list(dkey)
+        pr = list(pcs)
+        for e in ev:
+            if e[0] == 0:
+                seg.append(e)
+            else:
+                flush_seg()
+                plan.append(e)
+        flush_seg()
+        # Second pass: walk the folded plan once to attach snapshots.
+        costs_l = costs
+        plan2: list[tuple] = []
+        for e in plan:
+            kind = e[0]
+            if kind == 2:
+                q = e[2]
+                c = costs_l[q]
+                tv = e[3]
+                for m in range(W):
+                    kr[m] += 1
+                    lr[m] = tv[m] + c
+                    pr[m] = q + 1
+                plan2.append(e)
+            elif kind == 0:
+                m = e[1]
+                kr[m] += 1
+                lr[m] = e[3] + e[4]
+                pr[m] = e[2] + 1
+                plan2.append(e)
+            else:
+                m = e[1]
+                q = e[2]
+                kr[m] += 1
+                lr[m] = e[3] + e[4]
+                if kind == 3:
+                    tgt, _pi, _ng, taken, _c = bra[q]
+                    pr[m] = tgt if taken else q + 1
+                else:
+                    pr[m] = q + 1
+                plan2.append(
+                    e + ((tuple(kr), tuple(lr), tuple(pr)),)
+                )
+        plan = plan2
+        regs = sorted(set().union(*(th.keys() for th in threc)))
+        if regs:
+            cols = np.array(regs, dtype=np.intp)
+            thr2 = np.full((W, len(regs)), _INF, dtype=_F64)
+            for m in range(W):
+                th = threc[m]
+                for j, r in enumerate(regs):
+                    v = th.get(r)
+                    if v is not None:
+                        thr2[m, j] = v
+        else:
+            cols = thr2 = None
+        return (
+            tuple(plan),
+            tuple(k),
+            tuple(p),
+            tuple(qlo),
+            tuple(qhi),
+            cut,
+            rr_pos,
+            stalls,
+            idle,
+            cols,
+            thr2,
+            tuple(ni),
+            total,
+        )
+
+    def _vdispatch_replay(
+        self,
+        warps: list[WarpState],
+        wake: list[float],
+        i: int,
+        pc0: int,
+        now: float,
+    ) -> tuple[float, int] | None:
+        """Cross-warp dispatch through the symbolic scheduler replay.
+
+        The profiler-off counterpart of :meth:`_vdispatch`: the bucket
+        is every countable warp — at *any* pc — and the schedule comes
+        from :meth:`_vreplay` keyed by the bucket's exact entry pcs and
+        wake pattern, so staggered, reordered and mixed-pc groups
+        vectorize, with shared loads issued by the interpreter's own
+        ``_issue`` at their scheduled times.  Aligned stretches run as
+        stacked numpy steps; everything else replays scalar in schedule
+        order.  Stall and idle charges come from the replay's closed
+        forms.
+        """
+        prog = self._program
+        n = len(warps)
+        lo = hi = -1
+        count = 0
+        for j in range(n):
+            wp = warps[j]
+            if wp.done or wp.at_barrier:
+                continue
+            if lo < 0:
+                lo = j
+            hi = j
+            count += 1
+        W = count
+        if W < 2 or hi - lo + 1 != W:
+            self._vf += 1
+            return None
+        k0 = i - lo
+        pcs = tuple(warps[lo + m].pc for m in range(W))
+        # Entry wake offsets in flat row order; anything at or before
+        # ``now`` schedules identically to 0 (scans never happen
+        # earlier), so clamping collapses the cache key space.
+        dkey = tuple(max(0.0, wake[lo + m] - now) for m in range(W))
+        key = (pcs, k0, dkey)
+        vrmeta = self._vrmeta
+        meta = vrmeta.get(key, False)
+        if meta is False:
+            if len(vrmeta) >= 65536:
+                vrmeta.clear()
+            meta = vrmeta[key] = self._vreplay(pcs, k0, dkey)
+        if meta is None:
+            self._vf += 1
+            return None
+        (plan, kvec, pvec, qlovec, qhivec, cut, rr_pos, stalls, idle,
+         cols, thr2, nivec, total) = meta
+        hi2 = hi + 1
+        pend2 = self._a_pend
+        if cols is not None and not (
+            pend2[lo:hi2, cols] <= now + thr2
+        ).all():
+            self._vf += 1
+            return None
+        # A reconvergence point inside a row's visited pc range would
+        # rejoin parked lanes mid-window; entries at the entry pc
+        # itself pop on commit, anything else in range falls back.
+        for m in range(W):
+            km = kvec[m]
+            if km:
+                stack = warps[lo + m].div_stack
+                if stack:
+                    p0 = pcs[m]
+                    idx = len(stack) - 1
+                    while idx >= 0 and stack[idx][0] == p0:
+                        idx -= 1
+                    if idx >= 0:
+                        ql, qh = qlovec[m], qhivec[m]
+                        if any(
+                            ql <= s0 <= qh for s0, _ in stack[: idx + 1]
+                        ):
+                            self._vf += 1
+                            return None
+        # Committed.  Reconvergence pops for every row that issues
+        # (rows the window never schedules haven't moved).
+        for m in range(W):
+            if not kvec[m]:
+                continue
+            wp = warps[lo + m]
+            while wp.div_stack and wp.pc == wp.div_stack[-1][0]:
+                _, mask = wp.div_stack.pop()
+                wp.active = (wp.active | mask) & wp.alive
+        nl = 0
+        allfull = True
+        acts = []
+        nas = []
+        for j in range(lo, hi2):
+            wp = warps[j]
+            act = wp.active
+            if act is wp._fp_act:
+                na = wp._fp_na
+            else:
+                na = int(np.count_nonzero(act))
+                wp._fp_act = act
+                wp._fp_na = na
+            acts.append(act)
+            nas.append(na)
+            nl += na
+            if na != WARP:
+                allfull = False
+        steps = self._steps
+        vsteps = self._vsteps
+        if allfull:
+            act2 = self._a_ones[:W]
+        else:
+            act2 = np.vstack(acts)
+        mvz = self._mv_cache.get(W)
+        if mvz is None:
+            mvz = self._mv_cache[W] = np.zeros(W, dtype=_F64)
+        regs2 = self._a_regs[:, lo:hi2, :]
+        preds2 = self._a_preds[:, lo:hi2, :]
+        pend = pend2[lo:hi2]
+        tid = self._a_tid[lo:hi2]
+        cta = self._a_cta[lo:hi2]
+        issue_one = self._issue
+        mem = prog.mem
+        bra = prog.bra
+        cnt = self._cnt
+        lanes_acc = self._lanes_acc
+        for e in plan:
+            kind = e[0]
+            if kind == 2:
+                vsteps[e[2]](
+                    regs2, preds2, pend, tid, cta, act2, allfull, nl, W,
+                    now + e[3], mvz,
+                )
+            elif kind == 0:
+                m = e[1]
+                na = nas[m]
+                steps[e[2]](
+                    warps[lo + m], now + e[3], acts[m], na == WARP, na
+                )
+            elif kind == 3:
+                m = e[1]
+                q = e[2]
+                tgt, pi, neg, taken, _c = bra[q]
+                if pi < 0:
+                    # Unconditional: the interpreter always jumps.
+                    cnt[q] += 1
+                    lanes_acc[q] += nas[m]
+                    continue
+                wp = warps[lo + m]
+                ok = False
+                if nas[m] == WARP:
+                    # Fully active warp: the assumption holds iff the
+                    # predicate is uniform in the assumed direction.
+                    prow = wp.preds[pi]
+                    if neg:
+                        ok = (not prow.any()) if taken else prow.all()
+                    else:
+                        ok = prow.all() if taken else (not prow.any())
+                if ok:
+                    cnt[q] += 1
+                    lanes_acc[q] += nas[m]
+                    continue
+                # Partial mask or assumption miss: run the real branch.
+                # It may still match (uniform over a partial mask) —
+                # anything else ends the window exactly here with the
+                # real outcome already applied.
+                t = now + e[3]
+                wp.pc = q
+                end = issue_one(wp, t)
+                if (
+                    end != t + e[4]
+                    or wp.pc != (tgt if taken else q + 1)
+                    or wp.active is not acts[m]
+                ):
+                    return self._vabort(warps, wake, lo, W, now, end, e)
+            else:
+                m = e[1]
+                wp = warps[lo + m]
+                t = now + e[3]
+                q = e[2]
+                # Inlined execution of the dominant shared-load shape —
+                # register base, fully active warp, whole-warp broadcast
+                # address, aligned and in bounds.  Broadcast degree is
+                # exactly ``len(dsts)`` (one distinct word per bank,
+                # serialized by the vector width), which is the replay's
+                # assumed cost, so this shape can never abort; stats
+                # flow through the per-pc counters ``_flush_counts``
+                # folds, identically to ``KernelStats.count``.
+                _, lat, dsts, aslot, off = mem[q]
+                if aslot >= 0 and nas[m] == WARP:
+                    arow = wp.regs[aslot]
+                    a0 = arow[0]
+                    addr = int(a0) + off
+                    shared = wp.block.shared
+                    if (
+                        not addr & 3
+                        and 0 <= addr
+                        and addr + 4 * len(dsts) <= shared.size_bytes
+                        and (arow == a0).all()
+                    ):
+                        words = shared.words
+                        ws = addr >> 2
+                        pending = wp.pending
+                        tl = t + lat
+                        for kk, dst in enumerate(dsts):
+                            wp.regs[dst][:] = words[ws + kk]
+                            pending[dst] = tl
+                        cnt[q] += 1
+                        lanes_acc[q] += WARP
+                        continue
+                wp.pc = q
+                end = issue_one(wp, t)
+                if end != t + e[4]:
+                    return self._vabort(warps, wake, lo, W, now, end, e)
+        stats = self.stats
+        stats.scoreboard_stalls += stalls
+        stats.idle_cycles += idle
+        deps = prog.deps
+        for m in range(W):
+            if not kvec[m]:
+                continue
+            j = lo + m
+            wp = warps[j]
+            wp.pc = pvec[m]
+            t = now + nivec[m]
+            wp.next_issue = t
+            pending = wp.pending
+            wk = t
+            for r in deps[wp.pc]:
+                v = pending[r]
+                if v > wk:
+                    wk = v
+            wake[j] = wk
+        self._vd += 1
+        self._vw += W
+        self._vi += total
+        rr = lo + rr_pos if rr_pos < W else hi2 % n
+        return now + cut, rr
+
+    def _vabort(
+        self,
+        warps: list[WarpState],
+        wake: list[float],
+        lo: int,
+        W: int,
+        now: float,
+        end: float,
+        e: tuple,
+    ) -> tuple[float, int]:
+        """Exact mid-window abort on a validation mismatch.
+
+        A scheduled load hit a bank conflict (its real issue cost
+        exceeds the replay's conflict-free assumption) or a scheduled
+        branch went the other way or diverged — every later scheduled
+        event is invalid.  The executed prefix — the mismatching event
+        included — is exactly what the interpreter would have done (no
+        earlier decision depended on the outcome), so charge the
+        prefix's stall and idle accrual, rebuild pc/next-issue/wake for
+        every row from the event's precomputed snapshot (the aborted
+        row keeps the pc ``_issue`` just applied — the real branch
+        outcome), and resume the main loop at the event's real end with
+        the cursor just past the aborting warp.
+        """
+        prog = self._program
+        stats = self.stats
+        stats.scoreboard_stalls += e[5]
+        stats.idle_cycles += e[6]
+        kpart, last, lastpc = e[7]
+        m_ab = e[1]
+        deps = prog.deps
+        ntot = 0
+        for m in range(W):
+            km = kpart[m]
+            if not km:
+                continue
+            ntot += km
+            j = lo + m
+            wp = warps[j]
+            if m != m_ab:
+                wp.pc = lastpc[m]
+                t = now + last[m]
+            else:
+                t = end
+            wp.next_issue = t
+            pending = wp.pending
+            wk = t
+            for r in deps[wp.pc]:
+                v = pending[r]
+                if v > wk:
+                    wk = v
+            wake[j] = wk
+        self._vd += 1
+        self._vw += W
+        self._vi += ntot
+        pos = m_ab + 1
+        n = len(warps)
+        rr = lo + pos if pos < W else (lo + W) % n
+        return end, rr
+
     def _run(self, block_ids: list[int], max_resident: int) -> float:
         steps = self._steps
         prepped = self._prepped
@@ -594,6 +1978,10 @@ class FastSMExecutor(SMExecutor):
         queue = deque(block_ids)
         resident: list[BlockState] = []
         now = 0.0
+        vec = self._vec
+        vok = self._vok if vec else None
+        if vec:
+            self._arena_alloc(max_resident)
 
         # The scan state is cached instead of recomputed per iteration:
         # ``wake[i]`` is warp i's earliest issue cycle (inf = done or at
@@ -631,6 +2019,8 @@ class FastSMExecutor(SMExecutor):
                 hi = lo + len(blk.warps)
                 spans.extend([(lo, hi)] * len(blk.warps))
                 lo = hi
+            if vec:
+                self._assign_rows(warps)
             wake = [wake_of(w) for w in warps]
 
         activate()
@@ -670,6 +2060,26 @@ class FastSMExecutor(SMExecutor):
                     rr = 0
                 warp = warps[i]
                 pc0 = warp.pc
+                if vec and countable_others:
+                    # The scheduler replay handles staggered, reordered
+                    # and mixed-pc buckets (shared loads included) but
+                    # has no per-gap profiler attribution; profiled runs
+                    # use the uniform lockstep dispatcher whose
+                    # attribution is provably identical to the
+                    # interpreter's.
+                    if prof is None:
+                        if vok[pc0]:
+                            res = self._vdispatch_replay(
+                                warps, wake, i, pc0, now
+                            )
+                            if res is not None:
+                                now, rr = res
+                                continue
+                    elif steps[pc0] is not None:
+                        res = self._vdispatch(warps, wake, i, pc0, now)
+                        if res is not None:
+                            now, rr = res
+                            continue
                 if steps[pc0] is not None:
                     # Fused driver, inlined (one entry per scheduler
                     # iteration makes the call itself measurable).  The
@@ -803,9 +2213,33 @@ class FastSMExecutor(SMExecutor):
             now = new_now
         stats.sm_cycles.append(now)
         self._flush_counts()
+        if vec:
+            self._flush_vec()
         return now
 
     # -- stats ------------------------------------------------------------
+
+    def _flush_vec(self) -> None:
+        """Merge this run's dispatch counters into the process totals."""
+        counters = _VEC_COUNTERS
+        counters["dispatches"] += self._vd
+        counters["warps"] += self._vw
+        counters["instructions"] += self._vi
+        counters["fallbacks"] += self._vf
+        if _telemetry.enabled():
+            for name, value in (
+                ("dispatches", self._vd),
+                ("warps", self._vw),
+                ("instructions", self._vi),
+                ("fallbacks", self._vf),
+            ):
+                if value:
+                    _telemetry.inc(
+                        f"cudasim.fastpath.vec.{name}",
+                        float(value),
+                        kernel=self.lk.name,
+                    )
+        self._vd = self._vw = self._vi = self._vf = 0
 
     def _flush_counts(self) -> None:
         """Fold the per-pc codegen counters into :class:`KernelStats`.

@@ -37,7 +37,7 @@ from .device import DeviceProperties, G8800GTX, Toolchain
 from .envflags import env_choice
 from .errors import LaunchError
 from .executor import ENGINE_ENV, SM_ENGINES, run_sms
-from .fastpath import fastpath_enabled
+from .fastpath import fastpath_mode
 from .ir import Kernel
 from .kernel_cache import CompileOptions, KernelCache, default_cache
 from .lower import LoweredKernel, lower
@@ -184,10 +184,13 @@ class Device:
     Defaults to the ``REPRO_SM_ENGINE`` environment variable, else serial.
     ``cache`` is the kernel-compilation cache :meth:`compile` consults
     (default: the process-wide cache; pass ``None`` to disable).
-    ``fastpath`` selects the codegen'd executor of
+    ``fastpath`` selects the execution mode of
     :mod:`repro.cudasim.fastpath` (bit-identical to the reference
-    interpreter); it defaults to the ``REPRO_EXEC_FASTPATH`` environment
-    variable, else on — pass ``False`` to pin the interpreter.
+    interpreter): ``0``/``False`` interpreter, ``1`` per-warp codegen,
+    ``2``/``True`` cross-warp vectorized.  It defaults to the
+    ``REPRO_EXEC_FASTPATH`` environment variable, else mode 2; the
+    resolved mode is exposed as :attr:`fastpath_mode` (``fastpath`` is
+    a read-only boolean view of it).
     ``name`` labels this device in telemetry spans and Chrome-trace
     tracks (:class:`~repro.cudasim.device_group.DeviceGroup` names its
     members ``dev0``, ``dev1``, …).
@@ -200,7 +203,7 @@ class Device:
         heap_bytes: int = DEFAULT_HEAP_BYTES,
         sm_engine: str | None = None,
         cache: KernelCache | None | object = _UNSET,
-        fastpath: bool | None = None,
+        fastpath: bool | int | None = None,
         name: str | None = None,
     ) -> None:
         self.props = props
@@ -214,10 +217,15 @@ class Device:
                 f"unknown SM engine {engine!r}; choose from {SM_ENGINES}"
             )
         self.sm_engine = engine
-        self.fastpath = fastpath_enabled(fastpath)
+        self.fastpath_mode = fastpath_mode(fastpath)
         self._cache = cache
         self._streams: list = []
         self._launch_lock = threading.Lock()
+
+    @property
+    def fastpath(self) -> bool:
+        """Whether any compiled fast path is active (mode > 0)."""
+        return self.fastpath_mode > 0
 
     # -- compilation ---------------------------------------------------------
 
@@ -339,7 +347,7 @@ class Device:
                     self.props, self.policy, self.gmem, lk, values,
                     block, grid, assignments, resident,
                     engine=self.sm_engine, trace=trace,
-                    fastpath=self.fastpath, profile=profile_spec,
+                    fastpath=self.fastpath_mode, profile=profile_spec,
                 )
             for run in runs:
                 end = max(end, run.end_cycle)

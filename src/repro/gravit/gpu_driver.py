@@ -962,7 +962,7 @@ class ShardedGpuSimulation:
         num_devices: int = 2,
         device_props: DeviceProperties = G8800GTX,
         sm_engine: str | None = None,
-        fastpath: bool | None = None,
+        fastpath: bool | int | None = None,
         peer_access: bool = True,
         **config_overrides,
     ) -> None:

@@ -1,11 +1,15 @@
 """Fastpath vs interpreter: bit-identity, CFG splitting, codegen cache.
 
 The compiled fast path (:mod:`repro.cudasim.fastpath`) must be an exact
-stand-in for the reference interpreter: same memory image, same
-:class:`KernelStats`, same cycle counts — for every layout, coalescing
-policy, unroll factor, a divergent Barnes-Hut traversal, and a dynamic
-pooled-simulation epoch with mid-run compaction.  These tests pin that
-equivalence byte for byte.
+stand-in for the reference interpreter in *both* of its modes — per-warp
+v1 (``fastpath=1``) and cross-warp vectorized v2 (``fastpath=2``): same
+memory image, same :class:`KernelStats`, same cycle counts — for every
+layout, coalescing policy, unroll factor, a divergent Barnes-Hut
+traversal, and a dynamic pooled-simulation epoch with mid-run
+compaction.  These tests pin that equivalence byte for byte, including
+the fallback seams where the v2 warp-group scheduler must hand buckets
+back to the per-warp path (divergence, barriers, mixed resident blocks,
+conflicting shared addressing).
 """
 
 from __future__ import annotations
@@ -14,7 +18,13 @@ import numpy as np
 import pytest
 
 from repro import telemetry
-from repro.cudasim import BlockPool, Device
+from repro.cudasim import (
+    BlockPool,
+    Device,
+    KernelBuilder,
+    compile_kernel,
+    profiler,
+)
 from repro.cudasim.cfg import (
     FUSIBLE_OPS,
     block_kind,
@@ -27,6 +37,7 @@ from repro.cudasim.fastpath import (
     FASTPATH_ENV,
     compile_fastpath,
     fastpath_enabled,
+    fastpath_mode,
     generate_source,
     program_key,
 )
@@ -42,15 +53,20 @@ from repro.core.layouts import LAYOUT_KINDS, make_layout
 @pytest.fixture(autouse=True)
 def _clean_telemetry():
     telemetry.disable()
+    profiler.disable()
     yield
     telemetry.disable()
+    profiler.disable()
 
 
 N = 64
 BLOCK = 32
 
+#: Interpreter, per-warp v1, cross-warp vectorized v2.
+MODES = (0, 1, 2)
 
-def _forces_run(cfg: GpuConfig, fastpath: bool):
+
+def _forces_run(cfg: GpuConfig, fastpath: int):
     """One forces_cycle on a fresh device; returns everything observable."""
     system = uniform_cube(N, seed=7)
     dev = Device(
@@ -70,6 +86,15 @@ def _assert_identical(slow, fast):
     assert fast[0] == slow[0], "force outputs differ"
     assert fast[1] == slow[1], "global memory images differ"
     assert fast[2] == slow[2], "cycle counts differ"
+    # Stall attribution first: the two stall counters are the part of
+    # KernelStats the vectorized replay reconstructs rather than
+    # observes, so surface them before the full-dict comparison.
+    assert (
+        fast[3]["scoreboard_stalls"] == slow[3]["scoreboard_stalls"]
+    ), "scoreboard stall attribution differs"
+    assert (
+        fast[3]["idle_cycles"] == slow[3]["idle_cycles"]
+    ), "idle-cycle attribution differs"
     assert fast[3] == slow[3], "kernel stats differ"
 
 
@@ -82,14 +107,18 @@ class TestDifferentialForces:
         cfg = GpuConfig(
             layout_kind=kind, block_size=BLOCK, toolchain=toolchain
         )
-        _assert_identical(_forces_run(cfg, False), _forces_run(cfg, True))
+        interp = _forces_run(cfg, 0)
+        for mode in (1, 2):
+            _assert_identical(interp, _forces_run(cfg, mode))
 
     @pytest.mark.parametrize("unroll", [2, 16, BLOCK])
     def test_unroll_bit_identical(self, unroll):
         cfg = GpuConfig(
             layout_kind="soaoas", block_size=BLOCK, unroll=unroll, licm=True
         )
-        _assert_identical(_forces_run(cfg, False), _forces_run(cfg, True))
+        interp = _forces_run(cfg, 0)
+        for mode in (1, 2):
+            _assert_identical(interp, _forces_run(cfg, mode))
 
 
 class TestDifferentialDivergent:
@@ -97,7 +126,7 @@ class TestDifferentialDivergent:
 
     def test_bh_traversal_bit_identical(self):
         outs = []
-        for fastpath in (False, True):
+        for fastpath in MODES:
             system = uniform_sphere(48, seed=11)
             dev = Device(fastpath=fastpath, cache=KernelCache())
             forces, result = bh_forces_gpu(
@@ -111,7 +140,8 @@ class TestDifferentialDivergent:
                     result.stats.as_dict(),
                 )
             )
-        _assert_identical(outs[0], outs[1])
+        for fast in outs[1:]:
+            _assert_identical(outs[0], fast)
 
 
 class TestDifferentialPooled:
@@ -119,7 +149,7 @@ class TestDifferentialPooled:
 
     def test_pooled_epoch_bit_identical(self):
         states = []
-        for fastpath in (False, True):
+        for fastpath in MODES:
             system = uniform_sphere(20, seed=13)
             cfg = GpuConfig(block_size=BLOCK, layout_kind="soaoas")
             dev = Device(
@@ -140,6 +170,136 @@ class TestDifferentialPooled:
                 )
             )
         assert states[0] == states[1]
+        assert states[0] == states[2]
+
+
+class TestDifferentialProfile:
+    """`gravit-prof` KernelProfile: identical across all three modes."""
+
+    def test_profile_identical_across_modes(self):
+        cfg = GpuConfig(layout_kind="soaoas", block_size=BLOCK, unroll=16)
+        dumps = []
+        for fastpath in MODES:
+            profiler.enable()
+            profiler.reset()
+            system = uniform_cube(N, seed=7)
+            dev = Device(fastpath=fastpath, cache=KernelCache())
+            backend = GpuForceBackend(cfg, device=dev)
+            forces, result = backend.forces_cycle(system)
+            assert result.profile is not None
+            dumps.append((forces.tobytes(), result.profile.as_dict()))
+            profiler.disable()
+        assert dumps[0] == dumps[1]
+        assert dumps[0] == dumps[2]
+
+
+# -- v2 fallback seams -----------------------------------------------------
+#
+# Micro-kernels that force the cross-warp scheduler off its lockstep
+# window: divergence leaving warps at one PC with different masks, a
+# barrier splitting a bucket mid-stretch, mixed resident blocks parked
+# at different PCs, and a bank-conflicted shared load whose real issue
+# cost contradicts the replay's assumption.  Each must be bit-identical
+# (memory, cycles, stats — stall attribution included) across modes.
+
+
+def _run_kernel_modes(kernel, grid, block, out_words, shared_words=None):
+    """Launch ``kernel`` under each fastpath mode; return observables."""
+    outs = []
+    for mode in MODES:
+        dev = Device(
+            toolchain=Toolchain.CUDA_1_0,
+            fastpath=mode,
+            cache=KernelCache(),
+            heap_bytes=1 << 20,
+        )
+        lk = compile_kernel(kernel)
+        dst = dev.malloc(4 * out_words)
+        result = dev.launch(lk, grid=grid, block=block, params={"dst": dst})
+        outs.append(
+            (
+                dev.memcpy_dtoh(dst, out_words).tobytes(),
+                dev.gmem.words.tobytes(),
+                result.cycles,
+                result.stats.as_dict(),
+            )
+        )
+    for fast in outs[1:]:
+        _assert_identical(outs[0], fast)
+    return outs
+
+
+class TestVectorFallbacks:
+    def test_same_pc_different_masks(self):
+        """Warp 0 takes the `if` fully, warp 1 diverges: after
+        reconvergence both warps sit at the same PC with different
+        divergence histories and the tail masks must match exactly."""
+        b = KernelBuilder("k_masks", params=("dst",))
+        tid = b.sreg("tid")
+        i = b.imad("i", b.sreg("ctaid"), b.sreg("ntid"), tid)
+        p = b.pred()
+        b.setp("lt", p, tid, 40)
+        x = b.mov(b.reg("x"), 1.0)
+        with b.if_(p):
+            b.add(x, x, 2.0)
+            b.mul(x, x, 3.0)
+        b.add(x, x, 5.0)
+        b.mul(x, x, 0.5)
+        b.st_global(b.imad("a", i, 4, b.param("dst")), x)
+        _run_kernel_modes(b.build(), grid=2, block=64, out_words=128)
+
+    def test_barrier_splits_bucket(self):
+        """bar_sync in the middle of an ALU stretch: the bucket must
+        park at the barrier, not vector-step across it."""
+        b = KernelBuilder("k_bar", params=("dst",))
+        tid = b.sreg("tid")
+        i = b.imad("i", b.sreg("ctaid"), b.sreg("ntid"), tid)
+        x = b.i2f(b.reg("x"), tid)
+        b.add(x, x, 1.0)
+        b.mul(x, x, 2.0)
+        b.st_shared(b.shl("sa", tid, 2), x)
+        b.bar_sync()
+        rev = b.isub("rev", 63, tid)
+        y = b.ld_shared(b.reg("y"), b.shl("sb", rev, 2))
+        b.add(y, y, x)
+        b.mul(y, y, 0.25)
+        b.st_global(b.imad("a", i, 4, b.param("dst")), y)
+        _run_kernel_modes(
+            b.build(shared_words=64), grid=3, block=64, out_words=192
+        )
+
+    def test_mixed_blocks_at_different_pcs(self):
+        """Per-block trip counts leave co-resident warps from different
+        blocks parked at different PCs of the same program."""
+        b = KernelBuilder("k_mixed", params=("dst",))
+        tid = b.sreg("tid")
+        cta = b.sreg("ctaid")
+        i = b.imad("i", cta, b.sreg("ntid"), tid)
+        trips = b.iadd("trips", b.imul("t7", cta, 3), 2)
+        acc = b.mov(b.reg("acc"), 1.0)
+        with b.loop(0, trips):
+            b.add(acc, acc, 1.0)
+            b.mul(acc, acc, 0.5)
+        b.st_global(b.imad("a", i, 4, b.param("dst")), acc)
+        _run_kernel_modes(b.build(), grid=34, block=32, out_words=34 * 32)
+
+    def test_bank_conflict_breaks_cost_assumption(self):
+        """All 32 lanes hit shared bank 0 (stride 32 words): the real
+        broadcast degree contradicts the replay's assumed issue cost,
+        forcing the mid-window abort path."""
+        b = KernelBuilder("k_conflict", params=("dst",))
+        tid = b.sreg("tid")
+        i = b.imad("i", b.sreg("ctaid"), b.sreg("ntid"), tid)
+        x = b.i2f(b.reg("x"), tid)
+        b.st_shared(b.shl("sa", tid, 7), x)
+        b.bar_sync()
+        y = b.ld_shared(b.reg("y"), b.shl("sb", tid, 7))
+        b.add(y, y, 1.0)
+        b.mul(y, y, 2.0)
+        b.st_global(b.imad("a", i, 4, b.param("dst")), y)
+        _run_kernel_modes(
+            b.build(shared_words=64 * 32), grid=2, block=64, out_words=128
+        )
 
 
 # -- CFG splitting ---------------------------------------------------------
@@ -207,6 +367,14 @@ class TestCodegenCache:
         assert k1 == k2
         assert k1 != k3
 
+    def test_program_key_vectorize_sensitive(self):
+        """A per-warp v1 program cached on disk must never be returned
+        to the vectorized executor, and vice versa."""
+        lk, _ = _lowered()
+        k1 = program_key(lk, G8800GTX, Toolchain.CUDA_1_0, vectorize=False)
+        k2 = program_key(lk, G8800GTX, Toolchain.CUDA_1_0, vectorize=True)
+        assert k1 != k2
+
     def test_compile_fastpath_memoizes(self):
         lk, _ = _lowered()
         cache = KernelCache()
@@ -235,6 +403,35 @@ class TestCodegenCache:
         assert Device(cache=KernelCache()).fastpath is False
         assert Device(cache=KernelCache(), fastpath=True).fastpath is True
 
+    def test_env_three_state(self, monkeypatch):
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        assert fastpath_mode() == 2
+        monkeypatch.setenv(FASTPATH_ENV, "0")
+        assert fastpath_mode() == 0
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+        assert fastpath_mode() == 1
+        assert fastpath_enabled() is True
+        monkeypatch.setenv(FASTPATH_ENV, "2")
+        assert fastpath_mode() == 2
+
+    def test_mode_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(FASTPATH_ENV, "2")
+        assert fastpath_mode(0) == 0
+        assert fastpath_mode(1) == 1
+        assert fastpath_mode(False) == 0
+        assert fastpath_mode(True) == 2
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        with pytest.raises(ValueError):
+            fastpath_mode(3)
+        with pytest.raises(ValueError):
+            fastpath_mode(-1)
+
+    def test_device_exposes_resolved_mode(self):
+        for mode in MODES:
+            dev = Device(cache=KernelCache(), fastpath=mode)
+            assert dev.fastpath_mode == mode
+            assert dev.fastpath is (mode > 0)
+
     @pytest.mark.parametrize("value", ("off", "false", "no", "OFF", "False"))
     def test_env_false_spellings_disable(self, monkeypatch, value):
         """The regression: ``REPRO_EXEC_FASTPATH=off`` used to silently
@@ -247,7 +444,7 @@ class TestCodegenCache:
         monkeypatch.setenv(FASTPATH_ENV, value)
         assert fastpath_enabled() is True
 
-    @pytest.mark.parametrize("value", ("maybe", "2", "enabled", "offf"))
+    @pytest.mark.parametrize("value", ("maybe", "3", "enabled", "offf"))
     def test_env_garbage_rejected(self, monkeypatch, value):
         monkeypatch.setenv(FASTPATH_ENV, value)
         with pytest.raises(ValueError, match=FASTPATH_ENV):
