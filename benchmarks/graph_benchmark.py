@@ -1,0 +1,261 @@
+"""Launch-graph benchmark: host dispatch cost, op-by-op vs replay.
+
+Steady-state stepping re-issues the same op sequence every step; the
+host-side Python cost of that re-issue (a future, a FIFO submit and a
+worker handoff per op, plus the per-stream joins) is what
+:class:`repro.cudasim.graph.LaunchGraph` amortizes.  Two sections:
+
+* ``dispatch`` — the isolated host cost.  One epoch = per-stream copy
+  bursts + an event ring + (multi-device) a peer-copy ring across a
+  1–8 device :class:`~repro.cudasim.DeviceGroup`, issued op-by-op
+  (futures, submits, synchronize) vs replayed from a captured graph
+  (one inline pass).  Host µs/epoch before vs after is the headline
+  number; the simulated-cycle advance per epoch must match exactly.
+* ``drivers`` — the end-to-end contract.  The three step drivers
+  (:class:`~repro.gravit.gpu_driver.GpuSimulation`, out-of-core,
+  sharded 1–8 devices) run op-by-op vs ``use_graph=True`` twins:
+  bit-identical forces, identical modeled cycles, same broadcast
+  bytes.  Wall time per step rides along for context (kernel *cycle
+  simulation* dominates it, so the dispatch saving is a small slice
+  here — that is what the ``dispatch`` section isolates).
+
+Deterministic leaves (``bit_identical``, per-step cycles/replays/
+bytes, ``cycles_match``) live under ``"graphs"``; every wall-clock
+metric lives under the ``"timing"`` subtree, which the regression
+checker skips entirely (machine-dependent).
+
+Writes ``BENCH_graphs.json`` at the repository root::
+
+    python benchmarks/graph_benchmark.py [--out BENCH_graphs.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+
+
+def bench_dispatch(
+    devices: tuple[int, ...] = (1, 2, 4, 8),
+    copies_per_stream: int = 12,
+    words: int = 1024,
+    repeats: int = 40,
+) -> tuple[dict, dict]:
+    """Host µs per epoch of pure stream choreography, both modes."""
+    import numpy as np
+
+    from repro.cudasim import DeviceGroup, G8800GTX, LaunchGraph
+
+    props = replace(G8800GTX, name="bench-graph-dispatch")
+    det: dict = {
+        "copies_per_stream": copies_per_stream,
+        "words": words,
+        "per_count": {},
+    }
+    timing: dict = {"per_count": {}}
+    data = np.arange(words, dtype=np.float32)
+
+    def epoch(group, streams, bufs) -> None:
+        """The captured/op-by-op op set: copies + event ring + peers."""
+        ndev = len(streams)
+        events = []
+        for s, buf in zip(streams, bufs):
+            for _ in range(copies_per_stream):
+                s.memcpy_htod_async(buf, data)
+            events.append(s.record_event())
+        for i, s in enumerate(streams):
+            s.wait_event(events[i - 1])  # ring: i waits on i-1
+            if ndev > 1:
+                s.memcpy_peer_async(
+                    bufs[i], group[(i + 1) % ndev],
+                    bufs[(i + 1) % ndev], words,
+                    via_host=group.via_host,
+                )
+
+    for ndev in devices:
+        # Twin stream sets so both modes start from cycle 0: float cursor
+        # deltas are only exactly comparable from the same base.
+        rigs = []
+        for _ in range(2):
+            group = DeviceGroup(ndev, props=props)
+            streams = group.open_streams()
+            bufs = [dev.malloc(4 * words) for dev in group]
+            rigs.append((group, streams, bufs))
+        (ga, sa, ba), (gb, sb, bb) = rigs
+
+        # -- op-by-op: issue + drain, measuring the host dispatch cost.
+        epoch(ga, sa, ba)
+        for s in sa:
+            s.synchronize()
+        opbyop_delta = tuple(s.cycles for s in sa)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            epoch(ga, sa, ba)
+            for s in sa:
+                s.synchronize()
+        opbyop_us = (time.perf_counter() - t0) / repeats * 1e6
+
+        # -- graph: capture the identical epoch once, then replay.
+        with LaunchGraph.capture(sb, name=f"dispatch{ndev}") as graph:
+            epoch(gb, sb, bb)
+        graph.instantiate()
+        r = graph.replay()
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            graph.replay()
+        graph_us = (time.perf_counter() - t0) / repeats * 1e6
+
+        det["per_count"][str(ndev)] = {
+            "ops_per_epoch": len(graph),
+            "cycles_match": bool(
+                tuple(r.stream_deltas) == opbyop_delta
+            ),
+        }
+        timing["per_count"][str(ndev)] = {
+            "opbyop_us_per_epoch": opbyop_us,
+            "graph_us_per_epoch": graph_us,
+            "host_speedup": opbyop_us / graph_us if graph_us else 0.0,
+        }
+        for s in (*sa, *sb):
+            s.close()
+    return det, timing
+
+
+def _time_steps(sim, steps: int, dt: float = 0.01) -> float:
+    """Steady-state host µs/step (one warmup step captures/compiles)."""
+    sim.step(dt)
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        sim.step(dt)
+    return (time.perf_counter() - t0) / steps * 1e6
+
+
+def _pair_row(a, b, steps: int):
+    """Deterministic + timing rows for an (op-by-op, graph) twin pair."""
+    import numpy as np
+
+    us_a = _time_steps(a, steps)
+    us_b = _time_steps(b, steps)
+    total = steps + 1  # warmup included in the totals
+    det = {
+        "bit_identical": bool(
+            np.array_equal(a.download_forces(), b.download_forces())
+        ),
+        "cycles_per_step": float(a.cycles_total) / total,
+        "cycles_match": bool(a.cycles_total == b.cycles_total),
+        "replays_per_step": b.graph_replays / total,
+    }
+    timing = {
+        "opbyop_us_per_step": us_a,
+        "graph_us_per_step": us_b,
+        "host_speedup": us_a / us_b if us_b else 0.0,
+    }
+    return det, timing
+
+
+def bench_drivers(
+    n: int = 128,
+    devices: tuple[int, ...] = (1, 2, 4, 8),
+    block_size: int = 32,
+    tile_rows: int = 64,
+    steps: int = 8,
+) -> tuple[dict, dict]:
+    from repro.cudasim import Device, DeviceGroup, G8800GTX
+    from repro.gravit import (
+        GpuConfig,
+        GpuSimulation,
+        OutOfCoreSimulation,
+        ShardedGpuSimulation,
+    )
+    from repro.gravit.spawn import uniform_sphere
+
+    props = replace(
+        G8800GTX, num_sms=2, max_blocks_per_sm=1, name="bench-graph"
+    )
+    system = uniform_sphere(n, seed=0x64A)
+    cfg = GpuConfig(block_size=block_size)
+    # No ``steps`` leaf: every deterministic value below is per-step
+    # normalized, so ``--quick`` (fewer steps) compares clean.
+    det: dict = {
+        "n": n,
+        "block_size": block_size,
+        "tile_rows": tile_rows,
+    }
+    timing: dict = {}
+
+    a = GpuSimulation(system.copy(), cfg, device=Device(props=props))
+    b = GpuSimulation(
+        system.copy(), cfg, device=Device(props=props), use_graph=True
+    )
+    det["single"], timing["single"] = _pair_row(a, b, steps)
+    a.close()
+    b.close()
+
+    a = OutOfCoreSimulation(
+        system.copy(), cfg, device=Device(props=props), tile_rows=tile_rows
+    )
+    b = OutOfCoreSimulation(
+        system.copy(), cfg,
+        device=Device(props=props), tile_rows=tile_rows, use_graph=True,
+    )
+    det["outofcore"], timing["outofcore"] = _pair_row(a, b, steps)
+    a.close()
+    b.close()
+
+    det["sharded"] = {}
+    timing["sharded"] = {}
+    for ndev in devices:
+        pair = []
+        for use_graph in (False, True):
+            group = DeviceGroup(ndev, props=props, toolchain=cfg.toolchain)
+            pair.append(
+                ShardedGpuSimulation(
+                    system.copy(), cfg, group=group, use_graph=use_graph
+                )
+            )
+        a, b = pair
+        d_row, t_row = _pair_row(a, b, steps)
+        # Both modes must account the same broadcast traffic.
+        d_row["copy_bytes_per_step"] = float(a.copy_bytes_total) / (
+            steps + 1
+        )
+        d_row["copy_bytes_match"] = bool(
+            a.copy_bytes_total == b.copy_bytes_total
+        )
+        det["sharded"][str(ndev)] = d_row
+        timing["sharded"][str(ndev)] = t_row
+        a.close()
+        b.close()
+    return det, timing
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_graphs.json")
+    parser.add_argument("--n", type=int, default=128)
+    parser.add_argument("--steps", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=40)
+    args = parser.parse_args(argv)
+
+    dispatch_det, dispatch_timing = bench_dispatch(repeats=args.repeats)
+    driver_det, driver_timing = bench_drivers(n=args.n, steps=args.steps)
+    report = {
+        "benchmark": "launch-graph capture/replay host dispatch cost",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "graphs": {"dispatch": dispatch_det, "drivers": driver_det},
+        "timing": {"dispatch": dispatch_timing, "drivers": driver_timing},
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

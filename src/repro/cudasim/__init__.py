@@ -38,12 +38,16 @@ from .errors import (
     DeviceError,
     DoubleFreeError,
     ExecutionError,
+    GraphCaptureError,
+    GraphError,
+    GraphValidationError,
     IRError,
     LaunchError,
     LoweringError,
     MisalignedAccess,
     OutOfMemoryError,
     RegisterAllocationError,
+    StaleGraphError,
     StreamError,
 )
 from .executor import SM_ENGINES
@@ -70,8 +74,16 @@ from .kernel_cache import (
     set_default_cache,
 )
 from .device_group import DeviceGroup
-from .envflags import env_bool, env_choice, env_mapped
-from .launch import Device, LaunchResult, compile_kernel, lower_kernel
+from .envflags import env_bool, env_choice, env_float, env_mapped
+from .graph import GraphOp, LaunchGraph, ReplayResult
+from .launch import (
+    DEFAULT_EVENT_TIMEOUT,
+    EVENT_TIMEOUT_ENV,
+    Device,
+    LaunchResult,
+    compile_kernel,
+    lower_kernel,
+)
 from .stream import Event, Stream
 from .liveness import analyze as liveness_analyze
 from .lower import LoweredKernel, disassemble, lower
@@ -154,7 +166,17 @@ __all__ = [
     "vec_counters",
     "env_bool",
     "env_choice",
+    "env_float",
     "env_mapped",
+    "EVENT_TIMEOUT_ENV",
+    "DEFAULT_EVENT_TIMEOUT",
+    "LaunchGraph",
+    "GraphOp",
+    "ReplayResult",
+    "GraphError",
+    "GraphCaptureError",
+    "GraphValidationError",
+    "StaleGraphError",
     "Event",
     "SM_ENGINES",
     "lower",

@@ -66,6 +66,7 @@ class DeviceGroup:
         cache: KernelCache | None | object = _UNSET,
         fastpath: bool | int | None = None,
         peer_access: bool = True,
+        event_timeout: float | None = None,
     ) -> None:
         if count < 1:
             raise ValueError(f"device count must be >= 1, got {count}")
@@ -80,6 +81,7 @@ class DeviceGroup:
                 cache=shared_cache,
                 fastpath=fastpath,
                 name=f"dev{i}",
+                event_timeout=event_timeout,
             )
             for i in range(count)
         )
@@ -115,6 +117,19 @@ class DeviceGroup:
         return [
             dev.stream(f"{prefix}{i}") for i, dev in enumerate(self.devices)
         ]
+
+    def capture(self, streams, name: str | None = None):
+        """Capture a :class:`~repro.cudasim.graph.LaunchGraph` over
+        ``streams`` (one or more streams on this group's members)::
+
+            with group.capture(streams, "step") as graph:
+                ...issue one epoch's ops...
+            graph.instantiate()
+            graph.replay()
+        """
+        from .graph import LaunchGraph
+
+        return LaunchGraph.capture(streams, name=name)
 
     def queue_depths(self) -> tuple[int, ...]:
         """Per-member pending-op counts across each device's streams."""

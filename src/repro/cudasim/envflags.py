@@ -28,6 +28,7 @@ from typing import Mapping, Sequence
 __all__ = [
     "env_bool",
     "env_choice",
+    "env_float",
     "env_mapped",
     "TRUE_WORDS",
     "FALSE_WORDS",
@@ -76,6 +77,28 @@ def env_choice(
             f"{sorted(choices)}"
         )
     return raw
+
+
+def env_float(name: str, default: float) -> float:
+    """Parse a numeric environment flag strictly.
+
+    Unset (or empty) returns ``default``; anything that does not parse
+    as a finite-or-``inf`` float raises :class:`ValueError` naming the
+    variable (``REPRO_EVENT_TIMEOUT=90`` raises the stream wait-event
+    timeout; ``inf`` means wait forever).
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name}={raw!r} is not a number (seconds; 'inf' accepted)"
+        ) from None
+    if value != value:  # NaN would silently disable every comparison
+        raise ValueError(f"{name}={raw!r} must not be NaN")
+    return value
 
 
 def env_mapped(name: str, mapping: Mapping[str, object], default):

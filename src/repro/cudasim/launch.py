@@ -34,7 +34,7 @@ import numpy as np
 from ..core.coalescing import CoalescingPolicy, policy_for
 from ..telemetry import runtime as _telemetry
 from .device import DeviceProperties, G8800GTX, Toolchain
-from .envflags import env_choice
+from .envflags import env_choice, env_float
 from .errors import LaunchError
 from .executor import ENGINE_ENV, SM_ENGINES, run_sms
 from .fastpath import fastpath_mode
@@ -53,11 +53,27 @@ from .transforms import (
     unroll_loops,
 )
 
-__all__ = ["Device", "LaunchResult", "compile_kernel", "lower_kernel"]
+__all__ = [
+    "Device",
+    "LaunchResult",
+    "compile_kernel",
+    "lower_kernel",
+    "EVENT_TIMEOUT_ENV",
+    "DEFAULT_EVENT_TIMEOUT",
+]
 
 #: Default simulated heap: big enough for a million 32-byte records plus
 #: headroom, small enough to allocate instantly on the host.
 DEFAULT_HEAP_BYTES = 192 * 1024 * 1024
+
+#: Environment override for the default cross-stream event-wait timeout
+#: (host seconds; ``inf`` waits forever).  See ``Device(event_timeout=)``.
+EVENT_TIMEOUT_ENV = "REPRO_EVENT_TIMEOUT"
+
+#: Default wall-clock guard on ``Stream.wait_event`` — generous enough
+#: for saturated service queues, finite so a wait on an event nobody
+#: records still surfaces as an error instead of a hang.
+DEFAULT_EVENT_TIMEOUT = 60.0
 
 _UNSET = object()
 _legacy_kwargs_warned = False
@@ -205,10 +221,21 @@ class Device:
         cache: KernelCache | None | object = _UNSET,
         fastpath: bool | int | None = None,
         name: str | None = None,
+        event_timeout: float | None = None,
     ) -> None:
         self.props = props
         self.toolchain = toolchain
         self.name = name
+        # Default wall-clock guard for Stream.wait_event on this device's
+        # streams (host seconds).  None defers to REPRO_EVENT_TIMEOUT,
+        # else 60 s; math.inf (or REPRO_EVENT_TIMEOUT=inf) waits forever.
+        if event_timeout is None:
+            event_timeout = env_float(EVENT_TIMEOUT_ENV, DEFAULT_EVENT_TIMEOUT)
+        if event_timeout <= 0:
+            raise ValueError(
+                f"event_timeout must be > 0 seconds, got {event_timeout!r}"
+            )
+        self.event_timeout = float(event_timeout)
         self.policy: CoalescingPolicy = policy_for(toolchain)
         self.gmem = GlobalMemory(min(heap_bytes, props.global_mem_bytes))
         engine = sm_engine or env_choice(ENGINE_ENV, SM_ENGINES, "serial")

@@ -46,14 +46,19 @@ from typing import TYPE_CHECKING, Callable, Mapping
 import numpy as np
 
 from ..telemetry import runtime as _telemetry
-from .errors import StreamError
+from .errors import GraphCaptureError, StreamError
 from .memory import DevicePtr
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import LaunchGraph
     from .launch import Device, LaunchResult
     from .lower import LoweredKernel
 
 __all__ = ["Stream", "Event", "PCIE_BYTES_PER_S"]
+
+#: Distinguishes "argument not passed" from an explicit ``timeout=None``
+#: (wait forever) on :meth:`Stream.wait_event`.
+_UNSET = object()
 
 #: Modeled host↔device bandwidth (PCIe x16 gen1, the 8800 GTX's bus) used
 #: to place async copies on the simulated timeline.
@@ -111,6 +116,8 @@ class Stream:
         self._lock = threading.Lock()
         self._closed = False
         self._depth = 0
+        #: Active LaunchGraph recording this stream's ops (None = normal).
+        self._capture: "LaunchGraph | None" = None
 
     # -- queue plumbing ----------------------------------------------------
 
@@ -144,13 +151,28 @@ class Stream:
         self, label: str, fn: Callable[[], object], **attrs
     ) -> concurrent.futures.Future:
         with self._lock:
+            if self._capture is not None:
+                raise GraphCaptureError(
+                    f"stream {self.name!r} is capturing into graph "
+                    f"{self._capture.name!r}; '{label}' is not capturable "
+                    "(its result is consumed on the host)"
+                )
             if self._closed:
                 raise StreamError(f"stream {self.name!r} is closed")
             if self._error is not None:
                 raise StreamError(
                     f"stream {self.name!r} aborted by an earlier failure"
                 ) from self._error
-            fut = self._pool.submit(self._run_op, label, fn, attrs)
+            try:
+                fut = self._pool.submit(self._run_op, label, fn, attrs)
+            except RuntimeError as exc:
+                # close()/__exit__ shut the pool between our _closed check
+                # and this submit (or an interpreter-shutdown hook did).
+                # Surface the stream-API error, not the executor's.
+                self._closed = True
+                raise StreamError(
+                    f"stream {self.name!r} is closed"
+                ) from exc
             self._pending.append(fut)
             self._depth += 1
         fut.add_done_callback(self._on_op_done)
@@ -175,12 +197,12 @@ class Stream:
         return self._submit(label, fn, **attrs)
 
     def _run_op(self, label: str, fn: Callable[[], object], attrs: dict):
-        if self._error is not None:
-            raise StreamError(
-                f"stream {self.name!r} aborted by an earlier failure"
-            ) from self._error
-        begin = self.cycles
         try:
+            if self._error is not None:
+                raise StreamError(
+                    f"stream {self.name!r} aborted by an earlier failure"
+                ) from self._error
+            begin = self.cycles
             span_attrs = {
                 "stream": self.name,
                 "device": getattr(self.device, "name", None) or "device",
@@ -193,7 +215,11 @@ class Stream:
                 sp.set(sim_begin_cycle=begin, sim_end_cycle=self.cycles)
             return value
         except BaseException as exc:
-            self._error = exc
+            # First fault wins: ops draining behind a failure raise the
+            # abort StreamError above, which must not replace the root
+            # cause that synchronize() re-raises (sticky-error model).
+            if self._error is None:
+                self._error = exc
             raise
 
     def _copy_cycles(self, nbytes: int) -> float:
@@ -203,10 +229,17 @@ class Stream:
     # -- operations --------------------------------------------------------
 
     def memcpy_htod_async(
-        self, ptr: DevicePtr | int, data: np.ndarray
+        self, ptr: DevicePtr | int, data: np.ndarray, tag: str | None = None
     ) -> concurrent.futures.Future:
-        """Queue a host→device copy (advances the timeline by PCIe time)."""
+        """Queue a host→device copy (advances the timeline by PCIe time).
+
+        ``tag`` names the copy for parameter rebinding when a
+        :class:`~repro.cudasim.graph.LaunchGraph` capture is active; it
+        is ignored in normal (non-capturing) execution.
+        """
         data = np.ascontiguousarray(data)
+        if self._capture is not None:
+            return self._capture._record_htod(self, ptr, data, tag)
 
         def op() -> None:
             self.device.memcpy_htod(ptr, data)
@@ -232,9 +265,19 @@ class Stream:
         grid: int,
         block: int,
         params: Mapping[str, object] | None = None,
+        tag: str | None = None,
         **kwargs,
     ) -> concurrent.futures.Future:
-        """Queue a kernel launch; ``result()`` is its :class:`LaunchResult`."""
+        """Queue a kernel launch; ``result()`` is its :class:`LaunchResult`.
+
+        ``tag`` names the launch for parameter rebinding when a
+        :class:`~repro.cudasim.graph.LaunchGraph` capture is active; it
+        is ignored in normal (non-capturing) execution.
+        """
+        if self._capture is not None:
+            return self._capture._record_launch(
+                self, lk, grid, block, params, tag, kwargs
+            )
 
         def op() -> "LaunchResult":
             result = self.device.launch(
@@ -250,6 +293,9 @@ class Stream:
     def record_event(self, event: Event | None = None) -> Event:
         """Queue a marker; it fires when all prior ops on this stream ran."""
         ev = event or Event()
+        if self._capture is not None:
+            self._capture._record_record(self, ev)
+            return ev
         self._submit("record_event", lambda: ev._fire(self.cycles),
                      event=ev.name)
         return ev
@@ -273,6 +319,10 @@ class Stream:
         """
         nbytes = 4 * nwords
         hops = 2 if via_host else 1
+        if self._capture is not None:
+            return self._capture._record_peer(
+                self, src, dst_device, dst, nwords, hops
+            )
 
         def op() -> None:
             data = self.device.memcpy_dtoh(src, nwords)
@@ -287,20 +337,32 @@ class Stream:
             dst_device=getattr(dst_device, "name", None) or "device",
         )
 
-    def wait_event(self, event: Event, timeout: float | None = 60.0) -> None:
+    def wait_event(self, event: Event, timeout: object = _UNSET) -> None:
         """Make all *later* ops on this stream wait for ``event``.
 
         Returns immediately (the wait itself is queued).  The stream's
         timeline jumps forward to the event's cycle, modeling the idle
         gap.  ``timeout`` (host seconds) guards against waiting on an
-        event that is never recorded.
+        event that is never recorded; it defaults to the device's
+        ``event_timeout`` (60 s unless ``Device(event_timeout=...)`` or
+        ``REPRO_EVENT_TIMEOUT`` says otherwise), and ``None`` or ``inf``
+        waits forever.
         """
+        if self._capture is not None:
+            self._capture._record_wait(self, event)
+            return
+        if timeout is _UNSET:
+            timeout = self.device.event_timeout
+        if timeout is not None and timeout == float("inf"):
+            timeout = None  # threading caps finite timeouts; inf = forever
 
         def op() -> None:
             if not event._fired.wait(timeout):
                 raise StreamError(
                     f"stream {self.name!r} timed out waiting for event "
-                    f"{event.name!r} (was it recorded?)"
+                    f"{event.name!r} after {timeout}s (was it recorded? "
+                    "raise Device(event_timeout=) or REPRO_EVENT_TIMEOUT "
+                    "for legitimately slow upstream streams)"
                 )
             self.cycles = max(self.cycles, event.cycle or 0.0)
 
@@ -350,7 +412,11 @@ class Stream:
         try:
             self.synchronize()
         finally:
-            self._closed = True
+            # _closed flips under the same lock _submit checks it under,
+            # so a racing submitter either lands before the shutdown or
+            # sees the closed stream — never the executor's RuntimeError.
+            with self._lock:
+                self._closed = True
             self._pool.shutdown(wait=True)
             self._unregister()
 
@@ -361,12 +427,39 @@ class Stream:
         if exc_type is None:
             self.close()
         else:  # don't mask the in-flight exception with a drain failure
-            self._closed = True
+            with self._lock:
+                self._closed = True
             self._pool.shutdown(wait=False, cancel_futures=True)
             # The aborted stream must still leave the device registry, or
             # Device.synchronize() keeps draining a closed stream and the
             # list grows without bound across failed sweeps.
             self._unregister()
+
+    # -- graph capture ------------------------------------------------------
+
+    def _begin_capture(self, graph: "LaunchGraph") -> None:
+        """Route this stream's capturable ops into ``graph`` (internal —
+        use :meth:`LaunchGraph.begin` / :meth:`DeviceGroup.capture`)."""
+        with self._lock:
+            if self._closed:
+                raise GraphCaptureError(
+                    f"cannot capture on closed stream {self.name!r}"
+                )
+            if self._error is not None:
+                raise GraphCaptureError(
+                    f"cannot capture on poisoned stream {self.name!r}"
+                ) from self._error
+            if self._capture is not None:
+                raise GraphCaptureError(
+                    f"stream {self.name!r} is already capturing into "
+                    f"graph {self._capture.name!r}"
+                )
+            self._capture = graph
+
+    def _end_capture(self, graph: "LaunchGraph") -> None:
+        with self._lock:
+            if self._capture is graph:
+                self._capture = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else f"{len(self._pending)} queued"

@@ -1,0 +1,274 @@
+"""GRAPHS — launch-graph capture/replay: same bits, a fraction of the host work.
+
+The paper's optimizations all target *device* time; this experiment
+targets the other half of the steady-state stepping loop, the host.
+Every step re-issues the same op sequence — per-op futures, FIFO
+submits, worker handoffs, and per-stream joins — so
+:class:`repro.cudasim.graph.LaunchGraph` captures one epoch, validates
+it into a DAG, and replays it inline with near-zero per-op dispatch
+(the ``cudaGraphLaunch`` model).  Two questions:
+
+1. **Correctness** — replay must be *bit-identical* to op-by-op
+   issue for every driver that adopts it: the single-device
+   :class:`~repro.gravit.gpu_driver.GpuSimulation`, the out-of-core
+   tile loop, and the sharded multi-device broadcast step.  Forces,
+   state, modeled cycles and copy-byte accounting must all match
+   exactly — capture only changes *who dispatches*, never what runs.
+2. **Host dispatch cost** — how many host µs does one epoch of pure
+   stream choreography (copy bursts, an event ring, peer copies)
+   cost op-by-op vs replayed, across 1–8 devices?  The replayed
+   epoch must advance every stream cursor by exactly the same
+   cycles while spending an order of magnitude less host time.
+
+The wall-clock speedups are machine-dependent and reported as
+context; the bit-identity and cycle-parity booleans are the gates CI
+asserts hard.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..cudasim import DeviceGroup, G8800GTX, LaunchGraph
+from ..cudasim.launch import Device
+from ..gravit.gpu_driver import (
+    GpuConfig,
+    GpuSimulation,
+    OutOfCoreSimulation,
+    ShardedGpuSimulation,
+)
+from ..gravit.spawn import uniform_sphere
+from ..telemetry import runtime as _telemetry
+from .report import ExperimentResult, format_table
+from dataclasses import replace
+
+__all__ = ["run", "LAYOUT_KINDS"]
+
+LAYOUT_KINDS = ("aos", "soaoas")
+
+
+def _dispatch_epoch(group, streams, bufs, data, copies_per_stream) -> None:
+    """One epoch of pure choreography: copy bursts + event ring + peers."""
+    ndev = len(streams)
+    events = []
+    for s, buf in zip(streams, bufs):
+        for _ in range(copies_per_stream):
+            s.memcpy_htod_async(buf, data)
+        events.append(s.record_event())
+    for i, s in enumerate(streams):
+        s.wait_event(events[i - 1])
+        if ndev > 1:
+            s.memcpy_peer_async(
+                bufs[i], group[(i + 1) % ndev], bufs[(i + 1) % ndev],
+                data.size, via_host=group.via_host,
+            )
+
+
+def _dispatch_row(
+    ndev: int, copies_per_stream: int, words: int, repeats: int
+) -> dict:
+    """Op-by-op vs replay host µs for one device count."""
+    props = replace(G8800GTX, name="graphs-dispatch")
+    data = np.arange(words, dtype=np.float32)
+    # Twin rigs: float cursor deltas compare exactly only from the same
+    # base, so both modes measure their first epoch from cycle zero.
+    rigs = []
+    for _ in range(2):
+        group = DeviceGroup(ndev, props=props)
+        streams = group.open_streams()
+        bufs = [dev.malloc(4 * words) for dev in group]
+        rigs.append((group, streams, bufs))
+    (ga, sa, ba), (gb, sb, bb) = rigs
+
+    _dispatch_epoch(ga, sa, ba, data, copies_per_stream)
+    for s in sa:
+        s.synchronize()
+    opbyop_delta = tuple(s.cycles for s in sa)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        _dispatch_epoch(ga, sa, ba, data, copies_per_stream)
+        for s in sa:
+            s.synchronize()
+    opbyop_us = (time.perf_counter() - t0) / repeats * 1e6
+
+    with LaunchGraph.capture(sb, name=f"graphs-exp{ndev}") as graph:
+        _dispatch_epoch(gb, sb, bb, data, copies_per_stream)
+    graph.instantiate()
+    first = graph.replay()
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        graph.replay()
+    graph_us = (time.perf_counter() - t0) / repeats * 1e6
+    for s in (*sa, *sb):
+        s.close()
+    return {
+        "ops_per_epoch": len(graph),
+        "cycles_match": bool(tuple(first.stream_deltas) == opbyop_delta),
+        "opbyop_us_per_epoch": opbyop_us,
+        "graph_us_per_epoch": graph_us,
+        "host_speedup": opbyop_us / graph_us if graph_us else 0.0,
+    }
+
+
+def _fields_equal(a, b) -> bool:
+    return all(
+        np.array_equal(getattr(a, f), getattr(b, f))
+        for f in ("px", "py", "pz", "vx", "vy", "vz", "mass")
+    )
+
+
+def _driver_pair(make, steps: int, dt: float, scheme: str) -> dict:
+    """Run op-by-op and graphed twins of one driver; compare everything."""
+    a = make(False)
+    b = make(True)
+    try:
+        a.run(steps, dt, scheme=scheme)
+        b.run(steps, dt, scheme=scheme)
+        row = {
+            "bit_identical": bool(
+                _fields_equal(a.download(), b.download())
+                and np.array_equal(a.download_forces(), b.download_forces())
+            ),
+            "cycles_match": bool(a.cycles_total == b.cycles_total),
+            "cycles": float(a.cycles_total),
+            "graph_replays": b.graph_replays,
+        }
+        if hasattr(a, "copy_bytes_total"):
+            row["copy_bytes_match"] = bool(
+                a.copy_bytes_total == b.copy_bytes_total
+            )
+        return row
+    finally:
+        a.close()
+        b.close()
+
+
+def run(
+    n: int = 128,
+    devices: tuple[int, ...] = (1, 2, 4, 8),
+    layout_kinds: tuple[str, ...] = LAYOUT_KINDS,
+    block_size: int = 32,
+    tile_rows: int = 64,
+    sharded_devices: int = 3,
+    steps: int = 4,
+    dt: float = 0.01,
+    scheme: str = "leapfrog",
+    copies_per_stream: int = 12,
+    words: int = 1024,
+    repeats: int = 40,
+    seed: int = 0x64A,
+) -> ExperimentResult:
+    props = replace(
+        G8800GTX, num_sms=2, max_blocks_per_sm=1, name="graphs-exp"
+    )
+    system = uniform_sphere(n, seed=seed)
+
+    # -- 1. host dispatch microbenchmark, 1..8 devices -----------------------
+    dispatch: dict[str, dict] = {}
+    for ndev in devices:
+        with _telemetry.span("graphs.dispatch", devices=ndev):
+            dispatch[str(ndev)] = _dispatch_row(
+                ndev, copies_per_stream, words, repeats
+            )
+
+    # -- 2. driver bit-identity: graphed twins of all three drivers ----------
+    drivers: dict[str, dict] = {"single": {}, "outofcore": {}, "sharded": {}}
+    for kind in layout_kinds:
+        cfg = GpuConfig(layout_kind=kind, block_size=block_size)
+        with _telemetry.span("graphs.single", layout=kind, n=n):
+            drivers["single"][kind] = _driver_pair(
+                lambda ug, cfg=cfg: GpuSimulation(
+                    system.copy(), cfg,
+                    device=Device(props=props), use_graph=ug,
+                ),
+                steps, dt, scheme,
+            )
+        with _telemetry.span("graphs.outofcore", layout=kind, n=n):
+            drivers["outofcore"][kind] = _driver_pair(
+                lambda ug, cfg=cfg: OutOfCoreSimulation(
+                    system.copy(), cfg,
+                    device=Device(props=props),
+                    tile_rows=tile_rows, use_graph=ug,
+                ),
+                steps, dt, scheme,
+            )
+    cfg = GpuConfig(layout_kind="soaoas", block_size=block_size)
+    with _telemetry.span("graphs.sharded", devices=sharded_devices, n=n):
+        drivers["sharded"][str(sharded_devices)] = _driver_pair(
+            lambda ug: ShardedGpuSimulation(
+                system.copy(), cfg,
+                group=DeviceGroup(
+                    sharded_devices, props=props, toolchain=cfg.toolchain
+                ),
+                use_graph=ug,
+            ),
+            steps, dt, scheme,
+        )
+
+    bit_identical = all(
+        row["bit_identical"] and row["cycles_match"]
+        for rows in drivers.values()
+        for row in rows.values()
+    )
+    cycles_parity = all(d["cycles_match"] for d in dispatch.values())
+    min_speedup = min(d["host_speedup"] for d in dispatch.values())
+
+    headers = ["devices", "ops/epoch", "opbyop µs", "replay µs", "speedup"]
+    table_rows = [
+        [
+            ndev,
+            dispatch[str(ndev)]["ops_per_epoch"],
+            dispatch[str(ndev)]["opbyop_us_per_epoch"],
+            dispatch[str(ndev)]["graph_us_per_epoch"],
+            dispatch[str(ndev)]["host_speedup"],
+        ]
+        for ndev in devices
+    ]
+    table = format_table(headers, table_rows, float_fmt="{:.1f}")
+
+    return ExperimentResult(
+        experiment_id="graphs",
+        title="Launch-graph replay: bit-identical steps, less host dispatch",
+        data={
+            "n": n,
+            "steps": steps,
+            "scheme": scheme,
+            "copies_per_stream": copies_per_stream,
+            "repeats": repeats,
+            "dispatch": dispatch,
+            "drivers": drivers,
+            "bit_identical": bit_identical,
+            "dispatch_cycles_match": cycles_parity,
+            "min_host_speedup": min_speedup,
+            "series": {
+                "dispatch_speedup": {
+                    "devices": list(devices),
+                    "host_speedup": [
+                        dispatch[str(d)]["host_speedup"] for d in devices
+                    ],
+                    "opbyop_us_per_epoch": [
+                        dispatch[str(d)]["opbyop_us_per_epoch"]
+                        for d in devices
+                    ],
+                    "graph_us_per_epoch": [
+                        dispatch[str(d)]["graph_us_per_epoch"]
+                        for d in devices
+                    ],
+                },
+            },
+        },
+        table=table,
+        notes=[
+            "replay runs the captured epoch inline in capture order — "
+            "validation made that a topological order, so no futures, "
+            "handoffs or joins remain on the steady-state path",
+            "wall-clock speedups are machine-dependent context; the "
+            "bit-identity and cycle-parity booleans are the hard gates",
+        ],
+        measured_claims={
+            "bit_identical": bit_identical,
+            "min_host_speedup": round(min_speedup, 1),
+        },
+    )

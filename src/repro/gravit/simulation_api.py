@@ -85,6 +85,9 @@ class SimulationConfig:
     out_of_core: bool = False
     #: Rows per streamed tile (out-of-core only); None = 4 x block_size.
     tile_rows: int | None = None
+    #: Capture the steady-state step into a LaunchGraph once and replay
+    #: it thereafter — same bits, near-zero host work per step.
+    use_graph: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "unroll", Unroll.coerce(self.unroll))
@@ -101,6 +104,12 @@ class SimulationConfig:
                 raise ValueError(
                     "pooled simulations are single-device; got "
                     f"devices={self.devices}"
+                )
+            if self.use_graph:
+                raise ValueError(
+                    "use_graph is unsupported for pooled simulations — "
+                    "gather/scatter reshapes device memory every step, so "
+                    "there is no steady-state op sequence to capture"
                 )
         if self.tile_rows is not None and not self.out_of_core:
             raise ValueError("tile_rows requires out_of_core=True")
@@ -158,6 +167,8 @@ class SimulationConfig:
             bits.append("pooled")
         if self.out_of_core:
             bits.append("ooc")
+        if self.use_graph:
+            bits.append("graph")
         return "+".join(bits)
 
     def replace(self, **changes) -> "SimulationConfig":
@@ -249,7 +260,10 @@ class Simulation:
             )
         if group is not None or cfg.devices > 1:
             return ShardedGpuSimulation(
-                system, cfg.gpu_config, group=group or cfg.make_group()
+                system,
+                cfg.gpu_config,
+                group=group or cfg.make_group(),
+                use_graph=cfg.use_graph,
             )
         if cfg.out_of_core:
             return OutOfCoreSimulation(
@@ -257,7 +271,11 @@ class Simulation:
                 cfg.gpu_config,
                 device=device or cfg.make_device(),
                 tile_rows=cfg.tile_rows,
+                use_graph=cfg.use_graph,
             )
         return GpuSimulation(
-            system, cfg.gpu_config, device=device or cfg.make_device()
+            system,
+            cfg.gpu_config,
+            device=device or cfg.make_device(),
+            use_graph=cfg.use_graph,
         )

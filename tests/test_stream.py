@@ -258,6 +258,147 @@ class TestCancellation:
         s.close()
 
 
+class TestStickyErrorFirstFaultWins:
+    """Regression: ops draining behind a failure raise the abort
+    StreamError, which must never *replace* the recorded root cause —
+    ``synchronize()`` re-raises the first fault, not the last echo."""
+
+    def test_root_cause_survives_aborted_followers(self, dev):
+        import threading
+
+        gate = threading.Event()
+        s = dev.stream()
+        s.submit("block", gate.wait)
+
+        def boom():
+            raise ValueError("root cause 42")
+
+        s.submit("boom", boom)
+        # Queue N ops behind the failure *before* it executes; each one
+        # drains through _run_op, sees the poisoned stream, and aborts.
+        for k in range(6):
+            s.submit(f"after{k}", lambda: None)
+        gate.set()
+        for _ in range(3):  # sticky across repeated drains
+            with pytest.raises(StreamError, match="root cause 42") as ei:
+                s.synchronize()
+            assert isinstance(ei.value.__cause__, ValueError)
+            assert "root cause 42" in str(ei.value.__cause__)
+        # The recorded fault is the original, not an abort StreamError.
+        assert isinstance(s._error, ValueError)
+        s._pool.shutdown(wait=True)
+        s._unregister()
+
+
+class TestCloseShutdownRace:
+    """Regression: a submit racing ``close()`` must surface the stream
+    API's StreamError, never the executor's raw RuntimeError."""
+
+    def test_pool_shutdown_window_raises_stream_error(self, dev):
+        # Deterministic re-creation of the race window: the pool is shut
+        # but the submitter has not yet observed _closed.
+        s = dev.stream()
+        s._pool.shutdown(wait=True)
+        with pytest.raises(StreamError, match="closed"):
+            s.submit("late", lambda: None)
+        assert s._closed  # the failed submit latched the closed state
+        s._unregister()
+
+    def test_submitter_racing_close_sees_stream_errors_only(self, dev):
+        import threading
+
+        for _ in range(10):
+            s = dev.stream()
+            leaked = []
+            started = threading.Event()
+
+            def submitter():
+                started.set()
+                for _ in range(200):
+                    try:
+                        s.submit("noop", lambda: None)
+                    except StreamError:
+                        return  # the documented close-race outcome
+                    except BaseException as exc:  # pragma: no cover
+                        leaked.append(exc)
+                        return
+
+            t = threading.Thread(target=submitter)
+            t.start()
+            started.wait()
+            s.close()
+            t.join()
+            assert leaked == []
+
+
+class TestEventTimeoutConfiguration:
+    """Regression: the 60 s wait_event guard was hardcoded; it now comes
+    from ``Device(event_timeout=)`` / ``REPRO_EVENT_TIMEOUT``."""
+
+    def test_default_is_60s(self, dev):
+        from repro.cudasim import DEFAULT_EVENT_TIMEOUT
+
+        assert DEFAULT_EVENT_TIMEOUT == 60.0
+        assert dev.event_timeout == 60.0
+
+    def test_constructor_override_governs_wait(self):
+        d = Device(heap_bytes=1 << 20, event_timeout=0.05)
+        s = d.stream()
+        s.wait_event(Event("nobody-records-this"))
+        with pytest.raises(StreamError, match="after 0.05s"):
+            s.synchronize()
+
+    def test_env_override(self, monkeypatch):
+        from repro.cudasim import EVENT_TIMEOUT_ENV
+
+        monkeypatch.setenv(EVENT_TIMEOUT_ENV, "0.25")
+        assert Device(heap_bytes=1 << 20).event_timeout == 0.25
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        from repro.cudasim import EVENT_TIMEOUT_ENV
+
+        monkeypatch.setenv(EVENT_TIMEOUT_ENV, "soon")
+        with pytest.raises(ValueError, match="REPRO_EVENT_TIMEOUT"):
+            Device(heap_bytes=1 << 20)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="event_timeout"):
+            Device(heap_bytes=1 << 20, event_timeout=0.0)
+
+    def test_infinite_timeout_waits_not_overflows(self):
+        # threading.Event.wait(inf) raises OverflowError on some
+        # platforms; the stream must translate inf into "wait forever".
+        d = Device(heap_bytes=1 << 20, event_timeout=float("inf"))
+        s0 = d.stream("producer")
+        s1 = d.stream("consumer")
+        ev = s0.record_event()
+        s1.wait_event(ev)
+        s1.synchronize()
+        s0.close()
+        s1.close()
+
+    def test_explicit_argument_beats_device_default(self):
+        d = Device(heap_bytes=1 << 20, event_timeout=30.0)
+        s = d.stream()
+        s.wait_event(Event("never"), timeout=0.05)
+        with pytest.raises(StreamError, match="never"):
+            s.synchronize()
+
+    def test_transfer_pipeline_plumbs_timeout(self):
+        from repro.cudasim.xfer import StagingBuffer, TransferPipeline
+
+        d = Device(heap_bytes=1 << 20)
+        staging = StagingBuffer(d, 256, slots=2)
+        copy, compute = d.stream("c0"), d.stream("c1")
+        pipe = TransferPipeline(copy, compute, staging,
+                                event_timeout=0.05)
+        stuck = Event("never-fired")
+        pipe._wait(compute, stuck)
+        with pytest.raises(StreamError, match="after 0.05s"):
+            compute.synchronize()
+        copy.close()
+
+
 class TestPeerCopy:
     def test_peer_copy_moves_data(self, dev):
         peer = Device(heap_bytes=1 << 20, name="peer")
